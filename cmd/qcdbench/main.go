@@ -1,0 +1,60 @@
+// Command qcdbench reproduces Table IV: the tag-side cost gap between
+// CRC-CD and QCD, both from the instrumented cost model (instruction
+// counts, memory, transmission) and as measured wall-clock nanoseconds on
+// this machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/bitstr"
+	"repro/internal/crc"
+	"repro/internal/epc"
+	"repro/internal/experiment"
+	"repro/internal/prng"
+)
+
+func main() {
+	iters := flag.Int("iters", 1_000_000, "iterations for the wall-clock measurement")
+	flag.Parse()
+
+	out, err := experiment.Table4(experiment.Options{})
+	if err != nil {
+		fmt.Println("qcdbench:", err)
+		return
+	}
+	fmt.Print(out.Render())
+
+	fmt.Printf("\nWall-clock on this machine (%d iterations each):\n", *iters)
+	rng := prng.New(1)
+	id := bitstr.FromUint64(rng.Bits(64), epc.IDBits)
+	r8 := bitstr.FromUint64(rng.Bits(8), 8)
+
+	start := time.Now()
+	var sink uint64
+	for i := 0; i < *iters; i++ {
+		sink += crc.ChecksumBits(crc.CRC32IEEE, id)
+	}
+	crcNs := float64(time.Since(start).Nanoseconds()) / float64(*iters)
+
+	start = time.Now()
+	var sink2 int
+	for i := 0; i < *iters; i++ {
+		sink2 += bitstr.Not(r8).OnesCount()
+	}
+	notNs := float64(time.Since(start).Nanoseconds()) / float64(*iters)
+
+	fmt.Printf("  bit-serial CRC-32 of a 64-bit ID: %8.1f ns/op\n", crcNs)
+	fmt.Printf("  bitwise complement of 8-bit r:    %8.1f ns/op\n", notNs)
+	fmt.Printf("  ratio: %.0fx  (sinks: %d %d)\n", crcNs/notNs, sink%10, sink2%10)
+
+	fmt.Println("\nTime-optimal strength (expected-cost model, retries included):")
+	for _, n := range []float64{50, 500, 5000, 50000} {
+		lF, _ := analytic.FSAStrengthModel(n).OptimalStrength()
+		lB, _ := analytic.BTStrengthModel(n).OptimalStrength()
+		fmt.Printf("  n=%6.0f: FSA l*=%d, BT l*=%d  (paper recommends 8 for accuracy)\n", n, lF, lB)
+	}
+}

@@ -1,0 +1,137 @@
+// Command rfidsim runs one RFID identification experiment and prints its
+// aggregate metrics.
+//
+// Usage:
+//
+//	rfidsim -tags 500 -alg fsa -frame 300 -detector qcd -strength 8 -rounds 100
+//	rfidsim -tags 5000 -alg bt -detector crccd
+//	rfidsim -tags 500 -alg fsa -frame 300 -detector qcd -compare   # vs CRC-CD
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	rfid "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		tags     = flag.Int("tags", 500, "number of tags")
+		alg      = flag.String("alg", rfid.AlgFSA, "algorithm: fsa | bt | qadaptive | qt")
+		frame    = flag.Int("frame", 300, "FSA frame size")
+		policy   = flag.String("policy", rfid.PolicyFixed, "FSA frame policy: fixed | schoute | lowerbound | optimal")
+		detector = flag.String("detector", rfid.DetQCD, "detector: qcd | crccd | oracle")
+		strength = flag.Int("strength", 8, "QCD strength in bits")
+		crcName  = flag.String("crc", "CRC-32/IEEE", "CRC preset for crccd")
+		rounds   = flag.Int("rounds", 100, "Monte-Carlo rounds")
+		seed     = flag.Uint64("seed", 1, "master seed")
+		tau      = flag.Float64("tau", 1, "μs per bit")
+		workers  = flag.Int("workers", 0, "parallel rounds (0 = GOMAXPROCS)")
+		confirm  = flag.Bool("confirm-empty", true, "FSA reader terminates on an all-idle frame")
+		ber      = flag.Float64("ber", 0, "channel bit-error rate (FSA only)")
+		capture  = flag.Float64("capture", 0, "capture-effect probability (FSA only)")
+		compare  = flag.Bool("compare", false, "also run CRC-CD on the same workload and report EI")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of a table")
+	)
+	flag.Parse()
+
+	cfg := rfid.Config{
+		Tags: *tags, Seed: *seed, Rounds: *rounds,
+		Algorithm: *alg, FrameSize: *frame, FramePolicy: *policy,
+		Detector: *detector, Strength: *strength, CRCName: *crcName,
+		TauMicros: *tau, Workers: *workers, ConfirmEmpty: *confirm,
+		BER: *ber, CaptureProb: *capture,
+	}
+	agg, err := rfid.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfidsim:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		printJSON(cfg, agg, *compare)
+		return
+	}
+	printAggregate(cfg, agg)
+
+	if *compare {
+		base := cfg
+		base.Detector = rfid.DetCRCCD
+		baseAgg, err := rfid.Run(base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfidsim (baseline):", err)
+			os.Exit(1)
+		}
+		ei := (baseAgg.TimeMicros.Mean() - agg.TimeMicros.Mean()) / baseAgg.TimeMicros.Mean()
+		fmt.Printf("\nbaseline CRC-CD time: %.4g μs\nefficiency improvement (EI): %.2f%%\n",
+			baseAgg.TimeMicros.Mean(), 100*ei)
+	}
+}
+
+// jsonSummary is the machine-readable shape of one aggregate.
+type jsonSummary struct {
+	Config     rfid.Config        `json:"config"`
+	Metrics    map[string]jsonVal `json:"metrics"`
+	BaselineEI *float64           `json:"baseline_ei,omitempty"`
+}
+
+type jsonVal struct {
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	CI95   float64 `json:"ci95"`
+}
+
+func printJSON(cfg rfid.Config, a *rfid.Aggregate, compare bool) {
+	out := jsonSummary{
+		Config: cfg,
+		Metrics: map[string]jsonVal{
+			"slots":       {a.Slots.Mean(), a.Slots.StdDev(), a.Slots.CI95()},
+			"frames":      {a.Frames.Mean(), a.Frames.StdDev(), a.Frames.CI95()},
+			"idle":        {a.Idle.Mean(), a.Idle.StdDev(), a.Idle.CI95()},
+			"single":      {a.Single.Mean(), a.Single.StdDev(), a.Single.CI95()},
+			"collided":    {a.Collided.Mean(), a.Collided.StdDev(), a.Collided.CI95()},
+			"throughput":  {a.Throughput.Mean(), a.Throughput.StdDev(), a.Throughput.CI95()},
+			"time_micros": {a.TimeMicros.Mean(), a.TimeMicros.StdDev(), a.TimeMicros.CI95()},
+			"accuracy":    {a.Accuracy.Mean(), a.Accuracy.StdDev(), a.Accuracy.CI95()},
+			"ur":          {a.UR.Mean(), a.UR.StdDev(), a.UR.CI95()},
+			"delay":       {a.Delay.Mean(), a.Delay.StdDev(), 0},
+		},
+	}
+	if compare {
+		base := cfg
+		base.Detector = rfid.DetCRCCD
+		if baseAgg, err := rfid.Run(base); err == nil {
+			ei := (baseAgg.TimeMicros.Mean() - a.TimeMicros.Mean()) / baseAgg.TimeMicros.Mean()
+			out.BaselineEI = &ei
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "rfidsim:", err)
+		os.Exit(1)
+	}
+}
+
+func printAggregate(cfg rfid.Config, a *rfid.Aggregate) {
+	t := report.NewTable(
+		fmt.Sprintf("%s + %s: %d tags, %d rounds", cfg.Algorithm, cfg.Detector, cfg.Tags, cfg.Rounds),
+		"metric", "mean", "stddev", "ci95")
+	row := func(name string, mean, sd, ci float64, dec int) {
+		t.AddRow(name, report.F(mean, dec), report.F(sd, dec), report.F(ci, dec))
+	}
+	row("slots", a.Slots.Mean(), a.Slots.StdDev(), a.Slots.CI95(), 1)
+	row("frames", a.Frames.Mean(), a.Frames.StdDev(), a.Frames.CI95(), 1)
+	row("idle slots", a.Idle.Mean(), a.Idle.StdDev(), a.Idle.CI95(), 1)
+	row("single slots", a.Single.Mean(), a.Single.StdDev(), a.Single.CI95(), 1)
+	row("collided slots", a.Collided.Mean(), a.Collided.StdDev(), a.Collided.CI95(), 1)
+	row("throughput λ", a.Throughput.Mean(), a.Throughput.StdDev(), a.Throughput.CI95(), 4)
+	row("time (μs)", a.TimeMicros.Mean(), a.TimeMicros.StdDev(), a.TimeMicros.CI95(), 0)
+	row("accuracy", a.Accuracy.Mean(), a.Accuracy.StdDev(), a.Accuracy.CI95(), 4)
+	row("utilisation rate", a.UR.Mean(), a.UR.StdDev(), a.UR.CI95(), 4)
+	row("mean delay (μs)", a.Delay.Mean(), a.Delay.StdDev(), 0, 0)
+	fmt.Print(t.Render())
+}

@@ -1,0 +1,47 @@
+package rfid_test
+
+import (
+	"fmt"
+
+	rfid "repro"
+)
+
+// The paper's Section I overlap example: concurrent transmissions combine
+// as a bitwise Boolean sum.
+func ExampleOverlap() {
+	a, _ := rfid.ParseBits("011001")
+	b, _ := rfid.ParseBits("010010")
+	fmt.Println(rfid.Overlap(a, b))
+	// Output: 011011
+}
+
+// QCD's collision function f(r) = r̄ flags overlapped preambles: the
+// complement of an OR is an AND of complements, never their OR.
+func ExampleComplement() {
+	r1, _ := rfid.ParseBits("1010")
+	r2, _ := rfid.ParseBits("0110")
+	or := rfid.Overlap(r1, r2)
+	sumOfComplements := rfid.Overlap(rfid.Complement(r1), rfid.Complement(r2))
+	fmt.Println(rfid.Complement(or).Equal(sumOfComplements))
+	// Output: false
+}
+
+// Classifying a slot with a QCD detector: one responder passes, two
+// responders with distinct integers are flagged.
+func ExampleNewQCD() {
+	det := rfid.NewQCD(8, 64)
+	fmt.Println(det.Name(), det.ContentionBits(), "contention bits")
+	// Output: QCD-8 16 contention bits
+}
+
+// Table II's closed form: the minimum efficiency improvement of QCD over
+// CRC-CD on framed slotted ALOHA.
+func ExampleTheoreticalFSAEI() {
+	for _, strength := range []int{4, 8, 16} {
+		fmt.Printf("strength %2d: EI >= %.4f\n", strength, rfid.TheoreticalFSAEI(strength))
+	}
+	// Output:
+	// strength  4: EI >= 0.6698
+	// strength  8: EI >= 0.5864
+	// strength 16: EI >= 0.4198
+}

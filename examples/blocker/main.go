@@ -1,0 +1,80 @@
+// Blocker: the query-tree privacy/starvation scenario from Section II of
+// the paper. A "blocker tag" (Juels et al.) answers every reader query
+// inside the subtree it protects, so the reader perceives endless
+// collisions and can never single out a protected tag — turning the QT
+// protocol's determinism into a consumer-privacy shield (or, adversarially,
+// a denial of service). Tags outside the protected subtree are unaffected.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rfid "repro"
+)
+
+func main() {
+	const perHalf = 24
+
+	// Build a population split between the '0…' (store inventory) and
+	// '1…' (sold items, privacy-protected) halves of the ID space.
+	pop := rfid.NewPopulation(2*perHalf, 64, 5)
+	one, _ := rfid.ParseBits("1")
+	inventory, sold := 0, 0
+	for _, t := range pop {
+		if t.ID.Bit(0) == 0 {
+			inventory++
+		} else {
+			sold++
+		}
+	}
+	fmt.Printf("population: %d inventory tags (prefix 0), %d sold tags (prefix 1)\n\n", inventory, sold)
+
+	det := rfid.NewQCD(8, 64)
+
+	// Baseline: no blocker — QT identifies everyone.
+	res := rfid.IdentifyQTWithBlocker(pop, det, nil, 0)
+	fmt.Printf("without blocker: identified %d/%d in %d slots\n",
+		res.Session.TagsIdentified, len(pop), res.Session.Census.Slots())
+
+	// With a blocker protecting the '1…' subtree.
+	for _, t := range pop {
+		t.Reset()
+	}
+	res = rfid.IdentifyQTWithBlocker(pop, det, &one, 20000)
+	idInv, idSold := countIdentified(pop)
+	fmt.Printf("with blocker on '1…': identified %d inventory, %d sold (%s)\n",
+		idInv, idSold, truncated(res.Truncated))
+	if idSold != 0 {
+		log.Fatal("blocker leaked protected tags")
+	}
+
+	// A full-space blocker starves the whole protocol.
+	for _, t := range pop {
+		t.Reset()
+	}
+	root := rfid.BitString{} // zero-length prefix: the whole ID space
+	res = rfid.IdentifyQTWithBlocker(pop, det, &root, 5000)
+	fmt.Printf("with full-space blocker: identified %d/%d before the reader gave up (%s)\n",
+		res.Session.TagsIdentified, len(pop), truncated(res.Truncated))
+}
+
+func countIdentified(pop rfid.Population) (zero, one int) {
+	for _, t := range pop {
+		if t.Identified {
+			if t.ID.Bit(0) == 0 {
+				zero++
+			} else {
+				one++
+			}
+		}
+	}
+	return
+}
+
+func truncated(b bool) string {
+	if b {
+		return "slot budget exhausted"
+	}
+	return "tree exhausted"
+}

@@ -1,0 +1,61 @@
+// Conveyor: the mobile-tag scenario that motivates Figure 6. Tagged
+// parcels ride a conveyor past a portal reader and spend only a limited
+// contact window inside its field; a tag that is not identified before it
+// leaves the window is lost. The example computes, for a range of belt
+// speeds (contact windows), the fraction of tags each detection scheme
+// identifies in time — QCD's >80% delay reduction translates directly
+// into higher read rates at speed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	rfid "repro"
+)
+
+func main() {
+	const tags = 200 // parcels inside the portal at once
+	cfg := rfid.Config{
+		Tags: tags, FrameSize: tags, Algorithm: rfid.AlgFSA,
+		Strength: 8, Seed: 7,
+	}
+
+	// One representative session per scheme; RunRound exposes the raw
+	// per-tag identification delays.
+	delays := map[string][]float64{}
+	for _, det := range []string{rfid.DetCRCCD, rfid.DetQCD} {
+		c := cfg
+		c.Detector = det
+		s, err := rfid.RunRound(c, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := append([]float64(nil), s.DelaysMicros...)
+		sort.Float64s(d)
+		delays[det] = d
+	}
+
+	fmt.Printf("portal reader, %d parcels in the field, FSA frame %d, τ=1μs/bit\n\n", tags, tags)
+	fmt.Printf("%-18s %14s %14s\n", "contact window", "CRC-CD read%", "QCD-8 read%")
+	for _, windowMs := range []float64{5, 10, 20, 40, 80, 160} {
+		windowMicros := windowMs * 1000
+		fmt.Printf("%15.0fms %13.1f%% %13.1f%%\n",
+			windowMs,
+			100*readRate(delays[rfid.DetCRCCD], windowMicros),
+			100*readRate(delays[rfid.DetQCD], windowMicros))
+	}
+
+	crcSum := rfid.Summarize(delays[rfid.DetCRCCD])
+	qcdSum := rfid.Summarize(delays[rfid.DetQCD])
+	fmt.Printf("\ndelay p50/p99: CRC-CD %.1f/%.1f ms, QCD %.1f/%.1f ms (reduction %.0f%%)\n",
+		crcSum.P50/1000, crcSum.P99/1000, qcdSum.P50/1000, qcdSum.P99/1000,
+		100*(1-qcdSum.Mean/crcSum.Mean))
+}
+
+// readRate is the fraction of tags identified within the window.
+func readRate(sortedDelays []float64, windowMicros float64) float64 {
+	i := sort.SearchFloat64s(sortedDelays, windowMicros)
+	return float64(i) / float64(len(sortedDelays))
+}

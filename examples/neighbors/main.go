@@ -1,0 +1,47 @@
+// Neighbors: the paper's conclusion notes QCD "can be easily extended to
+// other wireless fields, for example the neighbor discovery of sensor
+// networks". This example does exactly that: N sensor nodes wake in the
+// same radio cell and must discover each other by announcing their IDs in
+// a slotted contention window — structurally the tag-identification
+// problem with the "reader" replaced by a listening node. Plugging QCD in
+// place of CRC-validated hello frames shortens the discovery phase, which
+// is radio-on time, the dominant energy cost of duty-cycled sensors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rfid "repro"
+)
+
+func main() {
+	const nodes = 64
+
+	fmt.Printf("neighbor discovery: %d sensor nodes, slotted hellos, τ=1μs/bit\n\n", nodes)
+	fmt.Printf("%-34s %14s %14s %10s\n", "hello validation", "radio-on time", "discovered", "slots")
+
+	for _, detName := range []string{"CRC-validated hello (CRC-CD)", "complement preamble (QCD-8)"} {
+		var det rfid.Detector
+		if detName[0] == 'C' {
+			d, ok := rfid.NewCRCCD("CRC-32/IEEE", 64)
+			if !ok {
+				log.Fatal("missing preset")
+			}
+			det = d
+		} else {
+			det = rfid.NewQCD(8, 64)
+		}
+
+		// One contention window per discovery round; nodes re-announce
+		// until everyone has been heard — identical dynamics to FSA tag
+		// identification with the window sized to the population.
+		nodesPop := rfid.NewPopulation(nodes, 64, 77)
+		s := rfid.IdentifyFSA(nodesPop, det, nodes)
+		fmt.Printf("%-34s %12.0fμs %14d %10d\n",
+			detName, s.TimeMicros, s.TagsIdentified, s.Census.Slots())
+	}
+
+	fmt.Println("\nradio-on time is the sensor's energy budget: the preamble scheme")
+	fmt.Println("discovers the same neighborhood in under half the airtime.")
+}

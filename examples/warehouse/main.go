@@ -1,0 +1,58 @@
+// Warehouse: the paper's Table V environment end to end. A 100 m × 100 m
+// floor with a 10×10 grid of readers (3 m range) inventories thousands of
+// scattered tags. Each reader runs an EPC Gen-2 style session over the
+// tags in its range; a tag identified by one reader keeps silent for the
+// rest. The run compares total inventory airtime under CRC-CD and QCD.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rfid "repro"
+)
+
+const tags = 5000
+
+func main() {
+	fmt.Printf("warehouse floor: 100m × 100m, 100 readers (3m range), %d tags\n\n", tags)
+
+	type result struct {
+		name       string
+		micros     float64
+		identified int
+	}
+	var results []result
+
+	for _, detName := range []string{rfid.DetCRCCD, rfid.DetQCD} {
+		floor, pop := rfid.PaperFloor(tags, 42)
+		det := buildDetector(detName)
+
+		totalMicros, identified := floor.RunSequential(func(sub rfid.Population) float64 {
+			// Per-reader session: one run of FSA sized to the local
+			// sub-population (a handful of tags per 3 m cell).
+			return rfid.IdentifyFSA(sub, det, len(sub)).TimeMicros
+		})
+		_ = pop
+		results = append(results, result{detName, totalMicros, identified})
+	}
+
+	fmt.Printf("%-10s %14s %12s\n", "detector", "airtime", "identified")
+	for _, r := range results {
+		fmt.Printf("%-10s %12.0fμs %12d\n", r.name, r.micros, r.identified)
+	}
+	ei := (results[0].micros - results[1].micros) / results[0].micros
+	fmt.Printf("\nfloor-wide efficiency improvement: %.1f%%\n", 100*ei)
+	fmt.Println("(uncovered tags sit outside every reader's 3 m disc: a 10 m grid covers ~28% of the floor)")
+}
+
+func buildDetector(name string) rfid.Detector {
+	if name == rfid.DetQCD {
+		return rfid.NewQCD(8, 64)
+	}
+	d, ok := rfid.NewCRCCD("CRC-32/IEEE", 64)
+	if !ok {
+		log.Fatal("missing CRC preset")
+	}
+	return d
+}

@@ -1,0 +1,94 @@
+// Package air executes the over-the-air protocol of a single slot: the
+// contention phase, the reader's classification, the optional ID phase,
+// and the acknowledgement rule that decides whether a tag was identified.
+//
+// Every anti-collision engine (FSA, BT, QT) reduces to "choose who
+// responds in this slot"; the slot mechanics themselves are shared and
+// live here so that any detector plugs into any algorithm — the paper's
+// "seamlessly adopted by current anti-collision algorithms" property.
+package air
+
+import (
+	"repro/internal/bitstr"
+	"repro/internal/detect"
+	"repro/internal/signal"
+	"repro/internal/tagmodel"
+)
+
+// Outcome describes what happened in one slot.
+type Outcome struct {
+	// Truth is the ground-truth slot type (from the responder count).
+	Truth signal.SlotType
+	// Declared is the detector's classification.
+	Declared signal.SlotType
+	// Identified is the tag whose ID the reader successfully acknowledged,
+	// or nil. A tag can be identified only in a slot declared single.
+	Identified *tagmodel.Tag
+	// Phantom is true when the slot was declared single but the extracted
+	// ID matched no responder (a garbled acknowledgement): airtime was
+	// spent, nobody was identified, and the responders re-arbitrate.
+	Phantom bool
+	// Bits is the total airtime of the slot in bits, as actually spent:
+	// contention, plus the ID phase if the detector declared single and
+	// uses a separate ID transmission.
+	Bits int
+}
+
+// RunSlot executes one slot in which the given tags respond under det.
+// nowMicros is the simulation time at the start of the slot and tauMicros
+// the per-bit airtime; an identified tag is stamped with the slot's end
+// time. Responders must be unidentified tags; the engine guarantees this.
+func RunSlot(det detect.Detector, responders []*tagmodel.Tag, nowMicros, tauMicros float64) Outcome {
+	out := Outcome{Truth: signal.Classify(len(responders))}
+
+	var ch signal.Channel
+	for _, t := range responders {
+		payload := det.ContentionPayload(t)
+		t.BitsSent += int64(payload.Len())
+		ch.Transmit(payload)
+	}
+	contention := ch.Receive()
+	out.Declared = det.Classify(contention)
+	out.Bits = det.ContentionBits()
+
+	if out.Declared != signal.Single {
+		return out
+	}
+
+	// The reader believes exactly one tag responded. Run the ID phase if
+	// the scheme defers the ID, then acknowledge the extracted ID; only a
+	// tag whose ID matches the acknowledgement byte-for-byte considers
+	// itself identified (EPC Gen-2 ACK semantics), so a misdetected
+	// collision usually wastes the slot rather than corrupting state.
+	var idPhase signal.Reception
+	if det.NeedsIDPhase() {
+		out.Bits += det.IDPhaseBits()
+		var idCh signal.Channel
+		for _, t := range responders {
+			t.BitsSent += int64(t.ID.Len())
+			idCh.Transmit(t.ID)
+		}
+		idPhase = idCh.Receive()
+	}
+
+	acked, ok := det.ExtractID(contention, idPhase)
+	if ok {
+		out.Identified = matchResponder(responders, acked)
+	}
+	if out.Identified != nil {
+		out.Identified.Identified = true
+		out.Identified.IdentifiedAtMicros = nowMicros + float64(out.Bits)*tauMicros
+	} else {
+		out.Phantom = true
+	}
+	return out
+}
+
+func matchResponder(responders []*tagmodel.Tag, acked bitstr.BitString) *tagmodel.Tag {
+	for _, t := range responders {
+		if t.ID.Equal(acked) {
+			return t
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package air
+
+import (
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/crc"
+	"repro/internal/detect"
+	"repro/internal/prng"
+	"repro/internal/signal"
+	"repro/internal/tagmodel"
+)
+
+func pop(n int, seed uint64) tagmodel.Population {
+	return tagmodel.NewPopulation(n, 64, prng.New(seed))
+}
+
+func TestIdleSlot(t *testing.T) {
+	for _, det := range []detect.Detector{
+		detect.NewQCD(8, 64),
+		detect.NewCRCCD(crc.CRC32IEEE, 64),
+		detect.NewOracle(1, 64),
+	} {
+		o := RunSlot(det, nil, 0, 1)
+		if o.Truth != signal.Idle || o.Declared != signal.Idle {
+			t.Errorf("%s: idle slot -> truth %v declared %v", det.Name(), o.Truth, o.Declared)
+		}
+		if o.Identified != nil || o.Phantom {
+			t.Errorf("%s: idle slot identified/phantom", det.Name())
+		}
+		if o.Bits != det.ContentionBits() {
+			t.Errorf("%s: idle slot bits = %d", det.Name(), o.Bits)
+		}
+	}
+}
+
+func TestSingleSlotIdentifies(t *testing.T) {
+	for _, det := range []detect.Detector{
+		detect.NewQCD(8, 64),
+		detect.NewCRCCD(crc.CRC32IEEE, 64),
+		detect.NewOracle(1, 64),
+	} {
+		p := pop(1, 42)
+		o := RunSlot(det, p, 100, 1)
+		if o.Declared != signal.Single {
+			t.Fatalf("%s: single slot declared %v", det.Name(), o.Declared)
+		}
+		if o.Identified != p[0] || !p[0].Identified {
+			t.Fatalf("%s: tag not identified", det.Name())
+		}
+		wantEnd := 100 + float64(o.Bits)
+		if p[0].IdentifiedAtMicros != wantEnd {
+			t.Errorf("%s: identified at %v, want %v", det.Name(), p[0].IdentifiedAtMicros, wantEnd)
+		}
+		wantBits := detect.SlotBits(det, signal.Single)
+		if o.Bits != wantBits {
+			t.Errorf("%s: bits = %d, want %d", det.Name(), o.Bits, wantBits)
+		}
+	}
+}
+
+func TestCollidedSlotNoIdentification(t *testing.T) {
+	// Strength 16 makes a detection miss vanishingly unlikely for a fixed
+	// seeded pair, so this is deterministic in practice.
+	det := detect.NewQCD(16, 64)
+	p := pop(2, 43)
+	o := RunSlot(det, p, 0, 1)
+	if o.Truth != signal.Collided {
+		t.Fatalf("truth = %v", o.Truth)
+	}
+	if o.Declared != signal.Collided {
+		t.Fatalf("declared = %v", o.Declared)
+	}
+	if o.Identified != nil {
+		t.Fatal("a collided slot identified a tag")
+	}
+	if o.Bits != det.ContentionBits() {
+		t.Errorf("collided slot bits = %d, want contention only", o.Bits)
+	}
+}
+
+func TestBitsSentAccounting(t *testing.T) {
+	det := detect.NewQCD(8, 64)
+	p := pop(1, 44)
+	RunSlot(det, p, 0, 1)
+	// Contention preamble (16) + ID phase (64).
+	if p[0].BitsSent != 80 {
+		t.Errorf("tag sent %d bits, want 80", p[0].BitsSent)
+	}
+
+	p2 := pop(2, 45)
+	RunSlot(detect.NewQCD(16, 64), p2, 0, 1)
+	for _, tag := range p2 {
+		if tag.BitsSent != 32 { // collided: preamble only
+			t.Errorf("collided tag sent %d bits, want 32", tag.BitsSent)
+		}
+	}
+}
+
+func TestMisdetectedCollisionPhantomOrSubset(t *testing.T) {
+	// Force a QCD miss: both tags will draw the same 1-bit integer with
+	// probability 1/2, so scan seeds for a missed detection and check the
+	// outcome is phantom (OR of distinct IDs matches neither) or a subset
+	// identification (OR equals one ID).
+	det := detect.NewQCD(1, 8)
+	sawMiss := false
+	for seed := uint64(0); seed < 64 && !sawMiss; seed++ {
+		rng := prng.New(seed)
+		a := tagmodel.New(0, bitstr.FromUint64(rng.Bits(8), 8), rng.Split())
+		b := tagmodel.New(1, bitstr.FromUint64(rng.Bits(8), 8), rng.Split())
+		if a.ID.Equal(b.ID) {
+			continue
+		}
+		o := RunSlot(det, []*tagmodel.Tag{a, b}, 0, 1)
+		if o.Truth != signal.Collided || o.Declared != signal.Single {
+			continue
+		}
+		sawMiss = true
+		or := bitstr.Or(a.ID, b.ID)
+		subset := or.Equal(a.ID) || or.Equal(b.ID)
+		if subset {
+			if o.Identified == nil || o.Phantom {
+				t.Error("subset-ID collision should identify the superset tag")
+			}
+		} else {
+			if o.Identified != nil || !o.Phantom {
+				t.Error("garbled ACK should identify nobody and flag phantom")
+			}
+		}
+		// The slot must have paid for the ID phase either way.
+		if o.Bits != det.ContentionBits()+det.IDPhaseBits() {
+			t.Errorf("misdetected slot bits = %d", o.Bits)
+		}
+	}
+	if !sawMiss {
+		t.Fatal("no missed detection found across 64 seeds (1-bit strength should miss ~50%)")
+	}
+}
+
+func TestSubsetIDIdentifiesSupersetTagOnly(t *testing.T) {
+	// Craft IDs where a ⊂ b bitwise, and force same preamble integers by
+	// using the oracle-defeating 1-bit strength until a miss occurs with
+	// the OR equal to b's ID: then b is identified, a is not.
+	det := detect.NewQCD(1, 4)
+	idA := bitstr.MustParse("0001")
+	idB := bitstr.MustParse("0011") // a|b == b
+	for seed := uint64(0); seed < 200; seed++ {
+		rng := prng.New(seed)
+		a := tagmodel.New(0, idA, rng.Split())
+		b := tagmodel.New(1, idB, rng.Split())
+		o := RunSlot(det, []*tagmodel.Tag{a, b}, 0, 1)
+		if o.Declared != signal.Single {
+			continue
+		}
+		if o.Identified != b {
+			t.Fatal("expected the superset tag to be acknowledged")
+		}
+		if a.Identified {
+			t.Fatal("subset tag must stay unidentified")
+		}
+		return
+	}
+	t.Fatal("no missed detection in 200 seeds")
+}

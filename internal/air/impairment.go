@@ -1,0 +1,124 @@
+package air
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/detect"
+	"repro/internal/prng"
+	"repro/internal/signal"
+	"repro/internal/tagmodel"
+)
+
+// Impairment models a non-ideal channel, the "more practical issues"
+// the paper's conclusion defers:
+//
+//   - BER flips each bit the reader receives independently with the given
+//     probability. Noise makes both schemes conservative: a flipped
+//     preamble bit breaks c = r̄ and a flipped payload bit breaks the CRC,
+//     so clean singles get re-arbitrated instead of mis-read.
+//   - CaptureProb is the capture effect: with this probability a slot
+//     with m ≥ 2 responders delivers only the strongest tag's signal, so
+//     the reader legitimately singulates one tag out of a collision.
+//
+// The zero value is the ideal channel.
+type Impairment struct {
+	BER         float64
+	CaptureProb float64
+	// Rng drives the noise and capture draws; required when either
+	// probability is non-zero.
+	Rng *prng.Source
+}
+
+func (im *Impairment) active() bool {
+	return im != nil && (im.BER > 0 || im.CaptureProb > 0)
+}
+
+func (im *Impairment) validate() {
+	if im == nil {
+		return
+	}
+	if im.BER < 0 || im.BER >= 1 || im.CaptureProb < 0 || im.CaptureProb > 1 {
+		panic(fmt.Sprintf("air: invalid impairment %+v", im))
+	}
+	if im.active() && im.Rng == nil {
+		panic("air: impairment needs an Rng")
+	}
+}
+
+// corrupt flips bits of s independently with probability BER.
+func (im *Impairment) corrupt(s bitstr.BitString) bitstr.BitString {
+	if im == nil || im.BER == 0 || s.Len() == 0 {
+		return s
+	}
+	out := s
+	for i := 0; i < s.Len(); i++ {
+		if im.Rng.Float64() < im.BER {
+			out = out.SetBit(i, 1-out.Bit(i))
+		}
+	}
+	return out
+}
+
+// RunSlotImpaired is RunSlot over a noisy/capturing channel. A nil or
+// zero impairment reproduces RunSlot exactly.
+func RunSlotImpaired(det detect.Detector, responders []*tagmodel.Tag, im *Impairment, nowMicros, tauMicros float64) Outcome {
+	im.validate()
+	if !im.active() {
+		return RunSlot(det, responders, nowMicros, tauMicros)
+	}
+	out := Outcome{Truth: signal.Classify(len(responders))}
+
+	// Capture: one slot-wide draw decides whether the strongest responder
+	// (modelled as a uniform pick) captures both phases.
+	captured := -1
+	if len(responders) >= 2 && im.CaptureProb > 0 && im.Rng.Float64() < im.CaptureProb {
+		captured = im.Rng.Intn(len(responders))
+	}
+
+	var ch signal.Channel
+	for i, t := range responders {
+		payload := det.ContentionPayload(t)
+		t.BitsSent += int64(payload.Len())
+		if captured >= 0 && i != captured {
+			continue // drowned out by the captured tag
+		}
+		ch.Transmit(payload)
+	}
+	contention := ch.Receive()
+	contention.Responders = len(responders) // ground truth survives capture
+	contention.Signal = im.corrupt(contention.Signal)
+	out.Declared = det.Classify(contention)
+	out.Bits = det.ContentionBits()
+	if out.Declared != signal.Single {
+		return out
+	}
+
+	var idPhase signal.Reception
+	if det.NeedsIDPhase() {
+		out.Bits += det.IDPhaseBits()
+		var idCh signal.Channel
+		for i, t := range responders {
+			t.BitsSent += int64(t.ID.Len())
+			if captured >= 0 && i != captured {
+				continue
+			}
+			idCh.Transmit(t.ID)
+		}
+		idPhase = idCh.Receive()
+		idPhase.Responders = len(responders)
+		idPhase.Signal = im.corrupt(idPhase.Signal)
+	}
+
+	acked, ok := det.ExtractID(contention, idPhase)
+	if ok {
+		out.Identified = matchResponder(responders, acked)
+	}
+	if out.Identified != nil {
+		out.Identified.Identified = true
+		out.Identified.IdentifiedAtMicros = nowMicros + float64(out.Bits)*tauMicros
+	} else {
+		out.Phantom = true
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package air
+
+import (
+	"testing"
+
+	"repro/internal/crc"
+	"repro/internal/detect"
+	"repro/internal/prng"
+	"repro/internal/signal"
+)
+
+func TestZeroImpairmentMatchesIdeal(t *testing.T) {
+	det := detect.NewQCD(8, 64)
+	p1 := pop(3, 50)
+	ideal := RunSlot(det, p1, 0, 1)
+	p2 := pop(3, 50)
+	same := RunSlotImpaired(det, p2, nil, 0, 1)
+	if ideal.Declared != same.Declared || ideal.Bits != same.Bits {
+		t.Error("nil impairment diverged from RunSlot")
+	}
+	p3 := pop(3, 50)
+	zero := RunSlotImpaired(det, p3, &Impairment{}, 0, 1)
+	if ideal.Declared != zero.Declared {
+		t.Error("zero impairment diverged from RunSlot")
+	}
+}
+
+func TestNoiseCausesFalseCollisionsNotMisreads(t *testing.T) {
+	// Under heavy noise, true singles get re-arbitrated (declared
+	// collided) but are essentially never mis-identified: the self-check
+	// fails closed for both schemes.
+	for _, det := range []detect.Detector{
+		detect.NewQCD(8, 64),
+		detect.NewCRCCD(crc.CRC32IEEE, 64),
+	} {
+		im := &Impairment{BER: 0.05, Rng: prng.New(1)}
+		falseCollision, misread := 0, 0
+		for i := 0; i < 500; i++ {
+			p := pop(1, 1000+uint64(i))
+			o := RunSlotImpaired(det, p, im, 0, 1)
+			switch {
+			case o.Declared == signal.Collided:
+				falseCollision++
+			case o.Identified != nil && o.Identified != p[0]:
+				misread++
+			}
+		}
+		if falseCollision == 0 {
+			t.Errorf("%s: no false collisions at BER=0.05 (noise not applied?)", det.Name())
+		}
+		if misread != 0 {
+			t.Errorf("%s: %d misreads", det.Name(), misread)
+		}
+	}
+}
+
+func TestCaptureSingulatesCollisions(t *testing.T) {
+	// With capture probability 1, every 2-tag slot reads exactly one of
+	// the two tags.
+	det := detect.NewQCD(16, 64)
+	im := &Impairment{CaptureProb: 1, Rng: prng.New(2)}
+	for i := 0; i < 100; i++ {
+		p := pop(2, 2000+uint64(i))
+		o := RunSlotImpaired(det, p, im, 0, 1)
+		if o.Declared != signal.Single {
+			t.Fatalf("trial %d: captured slot declared %v", i, o.Declared)
+		}
+		if o.Identified == nil || (o.Identified != p[0] && o.Identified != p[1]) {
+			t.Fatalf("trial %d: captured slot identified %v", i, o.Identified)
+		}
+		if o.Truth != signal.Collided {
+			t.Fatalf("trial %d: ground truth lost", i)
+		}
+	}
+}
+
+func TestCaptureNeverFiresOnSingles(t *testing.T) {
+	det := detect.NewQCD(8, 64)
+	im := &Impairment{CaptureProb: 1, Rng: prng.New(3)}
+	p := pop(1, 77)
+	o := RunSlotImpaired(det, p, im, 0, 1)
+	if o.Identified != p[0] {
+		t.Error("capture broke the lone-responder path")
+	}
+}
+
+func TestImpairmentValidation(t *testing.T) {
+	det := detect.NewQCD(8, 64)
+	bad := []*Impairment{
+		{BER: -0.1, Rng: prng.New(1)},
+		{BER: 1.0, Rng: prng.New(1)},
+		{CaptureProb: 1.5, Rng: prng.New(1)},
+		{BER: 0.1}, // missing Rng
+	}
+	for i, im := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("impairment %d accepted: %+v", i, im)
+				}
+			}()
+			RunSlotImpaired(det, pop(1, 9), im, 0, 1)
+		}()
+	}
+}
+
+func TestCaptureCountsAllTransmissions(t *testing.T) {
+	// Drowned-out tags still spent their energy transmitting.
+	det := detect.NewQCD(8, 64)
+	im := &Impairment{CaptureProb: 1, Rng: prng.New(4)}
+	p := pop(2, 88)
+	RunSlotImpaired(det, p, im, 0, 1)
+	for _, tag := range p {
+		if tag.BitsSent < 16 {
+			t.Errorf("tag %d sent %d bits; capture must not erase its cost", tag.Index, tag.BitsSent)
+		}
+	}
+}

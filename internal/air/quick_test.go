@@ -1,0 +1,123 @@
+package air
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstr"
+	"repro/internal/crc"
+	"repro/internal/detect"
+	"repro/internal/prng"
+	"repro/internal/signal"
+	"repro/internal/tagmodel"
+)
+
+// randomResponders builds 0..6 tags with unique random 64-bit IDs.
+func randomResponders(r *rand.Rand) []*tagmodel.Tag {
+	n := r.Intn(7)
+	rng := prng.New(r.Uint64())
+	if n == 0 {
+		return nil
+	}
+	return tagmodel.NewPopulation(n, 64, rng)
+}
+
+func detectors() []detect.Detector {
+	return []detect.Detector{
+		detect.NewQCD(8, 64),
+		detect.NewQCD(1, 64), // high miss rate on purpose
+		detect.NewCRCCD(crc.CRC32IEEE, 64),
+		detect.NewCRCCD(crc.CRC16EPC, 64),
+		detect.NewOracle(1, 64),
+	}
+}
+
+// TestQuickSlotInvariants checks, for random responder sets and every
+// detector:
+//  1. idle truth ⇒ idle declared (no detector hallucinates energy);
+//  2. single truth ⇒ single declared AND the tag is identified
+//     (Theorem 1 claim 2 / CRC self-consistency);
+//  3. an identified tag is always one of the responders;
+//  4. declared collided ⇒ nobody identified;
+//  5. bits spent match the declared slot type's airtime.
+func TestQuickSlotInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, det := range detectors() {
+			tags := randomResponders(r)
+			o := RunSlot(det, tags, 0, 1)
+			switch {
+			case len(tags) == 0:
+				if o.Declared != signal.Idle || o.Identified != nil {
+					return false
+				}
+			case len(tags) == 1:
+				if o.Declared != signal.Single || o.Identified != tags[0] {
+					return false
+				}
+			}
+			if o.Identified != nil {
+				found := false
+				for _, tag := range tags {
+					if tag == o.Identified {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			if o.Declared == signal.Collided && o.Identified != nil {
+				return false
+			}
+			want := detect.SlotBits(det, o.Declared)
+			if o.Bits != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoFalseCollisionOnTrueSingle is Theorem 1's converse as a
+// standalone property: m = 1 is never flagged.
+func TestQuickNoFalseCollisionOnTrueSingle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rng := prng.New(r.Uint64())
+		tag := tagmodel.New(0, bitstr.FromUint64(rng.Bits(64), 64), rng.Split())
+		for _, det := range detectors() {
+			o := RunSlot(det, []*tagmodel.Tag{tag}, 0, 1)
+			tag.Identified = false // reset for the next detector
+			if o.Declared != signal.Single {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPhantomImpliesFalseSingle: a phantom can only arise from a
+// misdetected collision, never from a true single.
+func TestQuickPhantomImpliesFalseSingle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		det := detect.NewQCD(1, 64) // misses ~half of pairwise collisions
+		tags := randomResponders(r)
+		o := RunSlot(det, tags, 0, 1)
+		if o.Phantom && o.Truth != signal.Collided {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package aloha implements Framed Slotted ALOHA (FSA) anti-collision
+// algorithms (Section III-A of the paper): the reader announces a frame of
+// F slots, every unidentified tag picks one uniformly at random and
+// responds there, and the procedure repeats until all tags are identified.
+//
+// Frame sizing is pluggable: the paper's evaluation uses a constant frame
+// length (Table VI), Lemma 1 shows the λ = 1/e optimum at F = n, and the
+// dynamic policies (Schoute backlog estimation, EPC Gen-2 Q) are provided
+// for the frame-policy ablation.
+package aloha
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/air"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/signal"
+	"repro/internal/tagmodel"
+	"repro/internal/timing"
+)
+
+// FrameCensus summarises one completed frame for the frame policy.
+type FrameCensus struct {
+	Size     int
+	Idle     int
+	Single   int
+	Collided int
+	// Remaining is the number of still-unidentified tags; policies must
+	// not use it for sizing (the reader cannot know it) — it exists so
+	// tests can assert policies ignore it — except the clairvoyant Optimal
+	// policy used to validate Lemma 1.
+	Remaining int
+}
+
+// FramePolicy chooses FSA frame sizes.
+type FramePolicy interface {
+	Name() string
+	// FirstFrame returns the size of the initial frame.
+	FirstFrame() int
+	// NextFrame returns the size of the next frame given the previous
+	// frame's census. It is called only when unidentified tags remain, so
+	// prev.Collided >= 1 unless detection failed; implementations must
+	// still return a positive size in that case.
+	NextFrame(prev FrameCensus) int
+}
+
+// Fixed is the paper's evaluation policy: a constant frame length.
+type Fixed struct{ F int }
+
+// NewFixed returns a constant-size policy. It panics if f < 1.
+func NewFixed(f int) Fixed {
+	if f < 1 {
+		panic(fmt.Sprintf("aloha: frame size %d must be positive", f))
+	}
+	return Fixed{F: f}
+}
+
+// Name implements FramePolicy.
+func (p Fixed) Name() string { return fmt.Sprintf("fixed-%d", p.F) }
+
+// FirstFrame implements FramePolicy.
+func (p Fixed) FirstFrame() int { return p.F }
+
+// NextFrame implements FramePolicy.
+func (p Fixed) NextFrame(FrameCensus) int { return p.F }
+
+// Schoute sizes the next frame from Schoute's backlog estimator
+// n̂ = 2.39 · c (each collided slot hides 2.39 tags on average at the
+// ALOHA operating point), the basis of dynamic FSA per Lee et al.
+type Schoute struct{ Initial int }
+
+// NewSchoute returns a dynamic policy starting from the given first frame.
+func NewSchoute(initial int) Schoute {
+	if initial < 1 {
+		panic("aloha: initial frame must be positive")
+	}
+	return Schoute{Initial: initial}
+}
+
+// Name implements FramePolicy.
+func (p Schoute) Name() string { return "schoute" }
+
+// FirstFrame implements FramePolicy.
+func (p Schoute) FirstFrame() int { return p.Initial }
+
+// NextFrame implements FramePolicy.
+func (p Schoute) NextFrame(prev FrameCensus) int {
+	est := int(math.Ceil(2.39 * float64(prev.Collided)))
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// LowerBound is Vogt's simpler estimator n̂ = 2·c: a collision hides at
+// least two tags.
+type LowerBound struct{ Initial int }
+
+// NewLowerBound returns the 2c-estimate policy.
+func NewLowerBound(initial int) LowerBound {
+	if initial < 1 {
+		panic("aloha: initial frame must be positive")
+	}
+	return LowerBound{Initial: initial}
+}
+
+// Name implements FramePolicy.
+func (p LowerBound) Name() string { return "lowerbound" }
+
+// FirstFrame implements FramePolicy.
+func (p LowerBound) FirstFrame() int { return p.Initial }
+
+// NextFrame implements FramePolicy.
+func (p LowerBound) NextFrame(prev FrameCensus) int {
+	est := 2 * prev.Collided
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// Optimal is the clairvoyant policy that always sets F to the number of
+// remaining tags, the Lemma-1 optimum; it exists to validate λ_max ≈ 1/e
+// and as the upper baseline in ablations.
+type Optimal struct{ N int }
+
+// Name implements FramePolicy.
+func (p Optimal) Name() string { return "optimal" }
+
+// FirstFrame implements FramePolicy.
+func (p Optimal) FirstFrame() int { return max(1, p.N) }
+
+// NextFrame implements FramePolicy.
+func (p Optimal) NextFrame(prev FrameCensus) int { return max(1, prev.Remaining) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// slotCap bounds total slots as a defence against livelock; identification
+// of n tags needs O(n) slots in expectation, so this cap is never reached
+// by a healthy run.
+func slotCap(n int) int64 { return int64(n)*1000 + 1_000_000 }
+
+// Options tunes reader behaviour beyond the frame policy.
+type Options struct {
+	// ConfirmEmpty makes the reader run one final frame after the last
+	// identification and stop only when it observes a frame of pure idle
+	// slots. A real reader cannot know the tag count, so this is how
+	// FSA inventory actually terminates; the paper's Table VII idle
+	// counts include this trailing frame.
+	ConfirmEmpty bool
+
+	// Impairment applies a noisy/capturing channel to every slot
+	// (nil = ideal channel).
+	Impairment *air.Impairment
+
+	// KeepSlotLog records a per-slot event log on the session (see
+	// metrics.Session.SlotLog), enabling clock-retiming analyses.
+	KeepSlotLog bool
+}
+
+// Run identifies the whole population with framed slotted ALOHA under the
+// given detector, frame policy and timing model, and returns the session
+// metrics. Tags must be in their reset state.
+func Run(pop tagmodel.Population, det detect.Detector, policy FramePolicy, tm timing.Model) *metrics.Session {
+	return RunWithOptions(pop, det, policy, tm, Options{})
+}
+
+// RunWithOptions is Run with explicit reader options.
+func RunWithOptions(pop tagmodel.Population, det detect.Detector, policy FramePolicy, tm timing.Model, opt Options) *metrics.Session {
+	s := &metrics.Session{}
+	if opt.KeepSlotLog {
+		s.EnableSlotLog()
+	}
+	now := 0.0
+	var slots int64
+	remaining := len(pop)
+	frameSize := policy.FirstFrame()
+	confirmed := false
+
+	buckets := make([][]*tagmodel.Tag, 0)
+	for remaining > 0 || (opt.ConfirmEmpty && !confirmed) {
+		if slots > slotCap(len(pop)) {
+			panic(fmt.Sprintf("aloha: exceeded slot cap identifying %d tags (detector %s, policy %s)",
+				len(pop), det.Name(), policy.Name()))
+		}
+		// Announce the frame: every unidentified tag picks a slot.
+		if cap(buckets) < frameSize {
+			buckets = make([][]*tagmodel.Tag, frameSize)
+		} else {
+			buckets = buckets[:frameSize]
+			for i := range buckets {
+				buckets[i] = buckets[i][:0]
+			}
+		}
+		for _, t := range pop {
+			if t.Identified {
+				continue
+			}
+			t.Slot = t.Rng.Intn(frameSize)
+			buckets[t.Slot] = append(buckets[t.Slot], t)
+		}
+
+		var fc FrameCensus
+		fc.Size = frameSize
+		for i := 0; i < frameSize; i++ {
+			o := air.RunSlotImpaired(det, buckets[i], opt.Impairment, now, tm.TauMicros)
+			now += float64(o.Bits) * tm.TauMicros
+			s.Record(o, now)
+			slots++
+			switch o.Truth {
+			case signal.Idle:
+				fc.Idle++
+			case signal.Single:
+				fc.Single++
+			default:
+				fc.Collided++
+			}
+			if o.Identified != nil {
+				remaining--
+			}
+		}
+		s.Census.Frames++
+		fc.Remaining = remaining
+		// An all-idle frame is the reader's evidence that the field is
+		// empty; it terminates the inventory when ConfirmEmpty is set.
+		confirmed = fc.Single == 0 && fc.Collided == 0
+		if remaining > 0 || (opt.ConfirmEmpty && !confirmed) {
+			frameSize = policy.NextFrame(fc)
+			if frameSize < 1 {
+				panic(fmt.Sprintf("aloha: policy %s returned frame size %d", policy.Name(), frameSize))
+			}
+		}
+	}
+	return s
+}

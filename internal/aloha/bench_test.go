@@ -1,0 +1,32 @@
+package aloha
+
+import (
+	"testing"
+
+	"repro/internal/crc"
+	"repro/internal/detect"
+	"repro/internal/prng"
+	"repro/internal/tagmodel"
+)
+
+func benchRun(b *testing.B, n, f int, det detect.Detector) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pop := tagmodel.NewPopulation(n, 64, prng.New(uint64(i)+1))
+		Run(pop, det, NewFixed(f), tm)
+	}
+}
+
+func BenchmarkFSA500QCD(b *testing.B)   { benchRun(b, 500, 300, detect.NewQCD(8, 64)) }
+func BenchmarkFSA500CRCCD(b *testing.B) { benchRun(b, 500, 300, detect.NewCRCCD(crc.CRC32IEEE, 64)) }
+func BenchmarkFSA5000QCD(b *testing.B)  { benchRun(b, 5000, 3000, detect.NewQCD(8, 64)) }
+
+func BenchmarkQAdaptive500(b *testing.B) {
+	det := detect.NewQCD(8, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pop := tagmodel.NewPopulation(500, 64, prng.New(uint64(i)+1))
+		RunQAdaptive(pop, det, DefaultQConfig(), tm)
+	}
+}

@@ -1,0 +1,119 @@
+package aloha
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/air"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/signal"
+	"repro/internal/tagmodel"
+	"repro/internal/timing"
+)
+
+// EDFSAConfig parameterises Enhanced Dynamic FSA (Lee, Joo & Lee,
+// MobiQuitous 2005 — reference [8] of the paper). Real readers cap the
+// frame length (EPC Gen-2 tops out at 2^15, practical readers far lower);
+// when the estimated backlog exceeds what the maximum frame can absorb at
+// the λ = 1/e operating point, EDFSA splits the tags into M groups by a
+// random draw the reader announces, and interrogates one group per frame
+// with only that group responding.
+type EDFSAConfig struct {
+	// MaxFrame is the largest frame the reader can issue (e.g. 256).
+	MaxFrame int
+	// InitialFrame seeds the first round (default MaxFrame).
+	InitialFrame int
+}
+
+func (c EDFSAConfig) validate() {
+	if c.MaxFrame < 1 {
+		panic(fmt.Sprintf("aloha: EDFSA MaxFrame %d must be positive", c.MaxFrame))
+	}
+}
+
+// RunEDFSA identifies the population with enhanced dynamic FSA under the
+// given detector. Frames in the census count issued frames (one per
+// group per round).
+func RunEDFSA(pop tagmodel.Population, det detect.Detector, cfg EDFSAConfig, tm timing.Model) *metrics.Session {
+	cfg.validate()
+	first := cfg.InitialFrame
+	if first < 1 {
+		first = cfg.MaxFrame
+	}
+
+	s := &metrics.Session{}
+	now := 0.0
+	var slots int64
+	remaining := len(pop)
+	estimate := float64(first) // backlog estimate going into each round
+
+	buckets := make([][]*tagmodel.Tag, 0)
+	for remaining > 0 {
+		if slots > slotCap(len(pop)) {
+			panic(fmt.Sprintf("aloha: EDFSA exceeded slot cap identifying %d tags", len(pop)))
+		}
+		// Choose groups so each group's backlog fits the max frame at the
+		// optimal occupancy n ≈ F.
+		groups := int(math.Ceil(estimate / float64(cfg.MaxFrame)))
+		if groups < 1 {
+			groups = 1
+		}
+		frameSize := int(math.Ceil(estimate / float64(groups)))
+		if frameSize < 1 {
+			frameSize = 1
+		}
+		if frameSize > cfg.MaxFrame {
+			frameSize = cfg.MaxFrame
+		}
+
+		// Tags self-select a group uniformly; the reader interrogates the
+		// groups in turn within this round.
+		for _, t := range pop {
+			if !t.Identified {
+				t.Counter = t.Rng.Intn(groups)
+			}
+		}
+
+		var roundSingles, roundCollided int
+		for g := 0; g < groups && remaining > 0; g++ {
+			if cap(buckets) < frameSize {
+				buckets = make([][]*tagmodel.Tag, frameSize)
+			} else {
+				buckets = buckets[:frameSize]
+				for i := range buckets {
+					buckets[i] = buckets[i][:0]
+				}
+			}
+			for _, t := range pop {
+				if t.Identified || t.Counter != g {
+					continue
+				}
+				t.Slot = t.Rng.Intn(frameSize)
+				buckets[t.Slot] = append(buckets[t.Slot], t)
+			}
+			s.Census.Frames++
+			for i := 0; i < frameSize; i++ {
+				o := air.RunSlot(det, buckets[i], now, tm.TauMicros)
+				now += float64(o.Bits) * tm.TauMicros
+				s.Record(o, now)
+				slots++
+				switch o.Truth {
+				case signal.Single:
+					roundSingles++
+				case signal.Collided:
+					roundCollided++
+				}
+				if o.Identified != nil {
+					remaining--
+				}
+			}
+		}
+		// Schoute backlog estimate for the next round.
+		estimate = 2.39 * float64(roundCollided)
+		if estimate < 1 {
+			estimate = 1
+		}
+	}
+	return s
+}

@@ -1,0 +1,105 @@
+package aloha
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/air"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/signal"
+	"repro/internal/tagmodel"
+	"repro/internal/timing"
+)
+
+// QConfig parameterises the EPC Class-1 Gen-2 "Q algorithm", the
+// slot-by-slot adaptive FSA the paper cites as Q-Adaptive: the reader
+// maintains a floating-point Q estimate, nudged up by C on collisions and
+// down by C on idles, and restarts the inventory round whenever the
+// rounded Q changes.
+type QConfig struct {
+	InitialQ float64 // Q_fp starting value (Gen-2 default 4.0)
+	C        float64 // adjustment step, Gen-2 allows 0.1–0.5
+	MaxQ     float64 // upper clamp (Gen-2: 15)
+}
+
+// DefaultQConfig returns the customary Gen-2 parameters.
+func DefaultQConfig() QConfig { return QConfig{InitialQ: 4.0, C: 0.3, MaxQ: 15} }
+
+func (c QConfig) validate() {
+	if c.C <= 0 || c.C > 1 {
+		panic(fmt.Sprintf("aloha: Q step C=%v out of (0,1]", c.C))
+	}
+	if c.InitialQ < 0 || c.MaxQ < c.InitialQ {
+		panic(fmt.Sprintf("aloha: invalid Q range [%v,%v]", c.InitialQ, c.MaxQ))
+	}
+}
+
+// RunQAdaptive identifies the population with the Gen-2 Q algorithm under
+// the given detector. Per the paper's methodology, reader-to-tag command
+// airtime is not charged (identical under both detection schemes); only
+// tag transmissions count. Frames in the returned census count Query
+// commands (round starts).
+func RunQAdaptive(pop tagmodel.Population, det detect.Detector, cfg QConfig, tm timing.Model) *metrics.Session {
+	cfg.validate()
+	s := &metrics.Session{}
+	now := 0.0
+	var slots int64
+	remaining := len(pop)
+	qfp := cfg.InitialQ
+
+	for remaining > 0 {
+		if slots > slotCap(len(pop)) {
+			panic(fmt.Sprintf("aloha: Q-adaptive exceeded slot cap identifying %d tags", len(pop)))
+		}
+		q := int(math.Round(qfp))
+		s.Census.Frames++
+		// Query: every unidentified tag draws a slot counter in [0, 2^q).
+		frameSlots := 1 << uint(q)
+		for _, t := range pop {
+			if !t.Identified {
+				t.Slot = t.Rng.Intn(frameSlots)
+			}
+		}
+		// Slots proceed via QueryRep until Q changes or the round drains.
+		for slot := 0; slot < frameSlots && remaining > 0; slot++ {
+			var responders []*tagmodel.Tag
+			for _, t := range pop {
+				if !t.Identified && t.Slot == 0 {
+					responders = append(responders, t)
+				}
+			}
+			o := air.RunSlot(det, responders, now, tm.TauMicros)
+			now += float64(o.Bits) * tm.TauMicros
+			s.Record(o, now)
+			slots++
+			if o.Identified != nil {
+				remaining--
+			}
+			// Unacknowledged responders enter the arbitrate state: they sit
+			// out the rest of this round and re-draw at the next Query.
+			for _, t := range responders {
+				if !t.Identified {
+					t.Slot = -1
+				}
+			}
+
+			switch o.Truth {
+			case signal.Collided:
+				qfp = math.Min(cfg.MaxQ, qfp+cfg.C)
+			case signal.Idle:
+				qfp = math.Max(0, qfp-cfg.C)
+			}
+			if int(math.Round(qfp)) != q {
+				break // QueryAdjust: restart the round with the new Q
+			}
+			// QueryRep: surviving tags decrement their counters.
+			for _, t := range pop {
+				if !t.Identified && t.Slot > 0 {
+					t.Slot--
+				}
+			}
+		}
+	}
+	return s
+}

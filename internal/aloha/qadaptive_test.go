@@ -1,0 +1,89 @@
+package aloha
+
+import (
+	"testing"
+
+	"repro/internal/crc"
+	"repro/internal/detect"
+)
+
+func TestQAdaptiveIdentifiesEveryone(t *testing.T) {
+	for _, det := range []detect.Detector{
+		detect.NewQCD(8, 64),
+		detect.NewCRCCD(crc.CRC32IEEE, 64),
+	} {
+		p := pop(300, 21)
+		s := RunQAdaptive(p, det, DefaultQConfig(), tm)
+		if !p.AllIdentified() {
+			t.Fatalf("%s: Q-adaptive left tags unidentified", det.Name())
+		}
+		if s.TagsIdentified != 300 {
+			t.Errorf("%s: identified %d", det.Name(), s.TagsIdentified)
+		}
+	}
+}
+
+func TestQAdaptiveBeatsBadFixedFrame(t *testing.T) {
+	// Against 100 tags, the Q algorithm grows from Q=4 toward the right
+	// frame size and must finish in far fewer slots than a grossly
+	// oversized fixed frame (2000 slots/frame, almost all idle). A grossly
+	// undersized fixed frame is not a fair comparison target: with
+	// n ≫ F every slot collides and fixed FSA essentially never finishes,
+	// which is exactly the failure mode adaptation exists to avoid.
+	p := pop(100, 22)
+	adaptive := RunQAdaptive(p, detect.NewQCD(8, 64), DefaultQConfig(), tm)
+	p2 := pop(100, 22)
+	fixed := Run(p2, detect.NewQCD(8, 64), NewFixed(2000), tm)
+	if adaptive.Census.Slots() >= fixed.Census.Slots() {
+		t.Errorf("Q-adaptive %d slots, fixed-2000 %d slots", adaptive.Census.Slots(), fixed.Census.Slots())
+	}
+	if adaptive.Census.Slots() > 1000 {
+		t.Errorf("Q-adaptive took %d slots for 100 tags", adaptive.Census.Slots())
+	}
+}
+
+func TestQAdaptiveSmallPopulation(t *testing.T) {
+	p := pop(3, 23)
+	s := RunQAdaptive(p, detect.NewQCD(8, 64), DefaultQConfig(), tm)
+	if !p.AllIdentified() || s.TagsIdentified != 3 {
+		t.Fatal("small population failed")
+	}
+}
+
+func TestQAdaptiveSingleTag(t *testing.T) {
+	p := pop(1, 24)
+	s := RunQAdaptive(p, detect.NewQCD(8, 64), DefaultQConfig(), tm)
+	if !p.AllIdentified() {
+		t.Fatal("single tag not identified")
+	}
+	if s.Census.Single != 1 {
+		t.Errorf("census = %+v", s.Census)
+	}
+}
+
+func TestQConfigValidation(t *testing.T) {
+	bad := []QConfig{
+		{InitialQ: 4, C: 0, MaxQ: 15},
+		{InitialQ: 4, C: 1.5, MaxQ: 15},
+		{InitialQ: -1, C: 0.3, MaxQ: 15},
+		{InitialQ: 8, C: 0.3, MaxQ: 4},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d accepted: %+v", i, cfg)
+				}
+			}()
+			RunQAdaptive(pop(2, 25), detect.NewQCD(8, 64), cfg, tm)
+		}()
+	}
+}
+
+func TestQAdaptiveFrameCountsQueries(t *testing.T) {
+	p := pop(100, 26)
+	s := RunQAdaptive(p, detect.NewQCD(8, 64), DefaultQConfig(), tm)
+	if s.Census.Frames < 1 {
+		t.Error("no Query commands counted")
+	}
+}

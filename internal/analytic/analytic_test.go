@@ -1,0 +1,162 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestLemma1MaxThroughput(t *testing.T) {
+	if !almost(FSAMaxThroughput(), 0.3679, 0.0001) {
+		t.Errorf("λ_max = %v, want 1/e ≈ 0.37 (Lemma 1)", FSAMaxThroughput())
+	}
+	// The maximum is attained at F = n.
+	n := 1000.0
+	best := FSAThroughput(n, n)
+	for _, f := range []float64{n / 4, n / 2, n * 0.9, n * 1.1, 2 * n, 4 * n} {
+		if FSAThroughput(n, f) > best+1e-12 {
+			t.Errorf("throughput at F=%v exceeds F=n", f)
+		}
+	}
+	if !almost(best, 1/math.E, 1e-9) {
+		t.Errorf("λ(F=n) = %v", best)
+	}
+}
+
+func TestFSAThroughputEdge(t *testing.T) {
+	if FSAThroughput(10, 0) != 0 {
+		t.Error("zero frame should yield zero throughput")
+	}
+}
+
+func TestFSAExpectedCensusSumsToFrame(t *testing.T) {
+	for _, c := range []struct{ n, f float64 }{{50, 30}, {500, 300}, {1000, 1000}} {
+		idle, single, collided := FSAExpectedCensus(c.n, c.f)
+		if !almost(idle+single+collided, c.f, 1e-9) {
+			t.Errorf("census of (n=%v,F=%v) does not sum to F", c.n, c.f)
+		}
+		if idle < 0 || single < 0 || collided < 0 {
+			t.Errorf("negative census component at (n=%v,F=%v)", c.n, c.f)
+		}
+	}
+	// At F = n, single fraction ≈ 1/e.
+	_, single, _ := FSAExpectedCensus(10000, 10000)
+	if !almost(single/10000, 1/math.E, 0.001) {
+		t.Errorf("single fraction at F=n: %v", single/10000)
+	}
+}
+
+func TestLemma2(t *testing.T) {
+	total, collided, idle, single := BTExpectedSlots(1000)
+	if total != 2885 || collided != 1443 || idle != 442 || single != 1000 {
+		t.Errorf("Lemma 2 slots = %v/%v/%v/%v", total, collided, idle, single)
+	}
+	if !almost(BTAvgThroughput(), 0.35, 0.004) {
+		t.Errorf("BT λ_avg = %v, want ≈0.35", BTAvgThroughput())
+	}
+}
+
+func TestTable2FSAEI(t *testing.T) {
+	// Table II: minimum EI on FSA for QCD strengths 4/8/16.
+	cases := []struct {
+		strength int
+		want     float64
+	}{
+		{4, 0.6698}, {8, 0.5864}, {16, 0.4198},
+	}
+	for _, c := range cases {
+		got := FSAEI(PaperLengths(c.strength))
+		if !almost(got, c.want, 0.0002) {
+			t.Errorf("strength %d: FSA EI = %.4f, want %.4f (Table II)", c.strength, got, c.want)
+		}
+	}
+}
+
+func TestTable3BTEI(t *testing.T) {
+	// Table III: average EI on BT for QCD strengths 4/8/16.
+	cases := []struct {
+		strength int
+		want     float64
+	}{
+		{4, 0.6856}, {8, 0.6023}, {16, 0.4356},
+	}
+	for _, c := range cases {
+		got := BTEI(PaperLengths(c.strength))
+		if !almost(got, c.want, 0.0002) {
+			t.Errorf("strength %d: BT EI = %.4f, want %.4f (Table III)", c.strength, got, c.want)
+		}
+	}
+}
+
+func TestEIFromTimes(t *testing.T) {
+	// The EI closed forms must agree with (t_crc - t_qcd)/t_crc.
+	for _, s := range []int{4, 8, 16} {
+		l := PaperLengths(s)
+		n, tau := 1234.0, 1.0
+		eiF := (FSATimeCRC(n, l, tau) - FSATimeQCD(n, l, tau)) / FSATimeCRC(n, l, tau)
+		if !almost(eiF, FSAEI(l), 1e-9) {
+			t.Errorf("strength %d: FSA EI mismatch %v vs %v", s, eiF, FSAEI(l))
+		}
+		eiB := (BTTimeCRC(n, l, tau) - BTTimeQCD(n, l, tau)) / BTTimeCRC(n, l, tau)
+		if !almost(eiB, BTEI(l), 1e-9) {
+			t.Errorf("strength %d: BT EI mismatch %v vs %v", s, eiB, BTEI(l))
+		}
+	}
+}
+
+func TestEIDecreasesWithStrength(t *testing.T) {
+	// Figure 8's trend: larger preambles reduce EI.
+	if !(FSAEI(PaperLengths(4)) > FSAEI(PaperLengths(8)) && FSAEI(PaperLengths(8)) > FSAEI(PaperLengths(16))) {
+		t.Error("FSA EI not decreasing with strength")
+	}
+	if !(BTEI(PaperLengths(4)) > BTEI(PaperLengths(8)) && BTEI(PaperLengths(8)) > BTEI(PaperLengths(16))) {
+		t.Error("BT EI not decreasing with strength")
+	}
+}
+
+func TestMissProbabilities(t *testing.T) {
+	if QCDMissProbability(8, 1) != 0 {
+		t.Error("m=1 miss != 0")
+	}
+	if !almost(QCDMissProbability(8, 2), 1.0/256, 1e-12) {
+		t.Error("strength-8 pair miss wrong")
+	}
+	if !almost(CRCMissProbability(32), math.Pow(2, -32), 1e-20) {
+		t.Error("CRC-32 miss wrong")
+	}
+	// Longer strength is strictly better.
+	if QCDMissProbability(16, 2) >= QCDMissProbability(8, 2) {
+		t.Error("strength 16 not better than 8")
+	}
+}
+
+func TestExpectedQCDAccuracy(t *testing.T) {
+	// Figure 5 shape: accuracy grows with strength; 8-bit is ~100%.
+	a4 := ExpectedQCDAccuracy(4, 50, 30)
+	a8 := ExpectedQCDAccuracy(8, 50, 30)
+	a16 := ExpectedQCDAccuracy(16, 50, 30)
+	if !(a4 < a8 && a8 < a16) {
+		t.Errorf("accuracy not increasing with strength: %v %v %v", a4, a8, a16)
+	}
+	if a8 < 0.99 {
+		t.Errorf("8-bit accuracy = %v, paper reports ≈100%%", a8)
+	}
+	if a16 < 0.9999 {
+		t.Errorf("16-bit accuracy = %v", a16)
+	}
+	if a4 > 0.99 || a4 < 0.8 {
+		t.Errorf("4-bit accuracy = %v, expected visible error around 1/16 of pairwise misses", a4)
+	}
+	// Degenerate inputs.
+	if ExpectedQCDAccuracy(8, 1, 30) != 1 || ExpectedQCDAccuracy(8, 50, 0) != 1 {
+		t.Error("degenerate accuracy not 1")
+	}
+}
+
+func TestPaperLengths(t *testing.T) {
+	l := PaperLengths(8)
+	if l.ID != 64 || l.CRC != 32 || l.Preamble != 16 {
+		t.Errorf("PaperLengths(8) = %+v", l)
+	}
+}

@@ -1,0 +1,173 @@
+// Package bitstr implements fixed-length bit strings and the bit-level
+// operations the RFID signal model is built on: bitwise Boolean sum
+// (overlap of concurrent transmissions), bitwise complement (the QCD
+// collision function), concatenation (preamble framing) and slicing.
+//
+// Bits are addressed MSB-first: bit index 0 is the first bit on the air,
+// stored in the most significant position of the first byte. A BitString
+// of length 0 is valid and represents the empty signal.
+package bitstr
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// BitString is an immutable-by-convention sequence of bits. The zero value
+// is the empty bit string. Functions in this package never mutate their
+// receivers or arguments unless the name says so (e.g. OrInPlace, SetBit).
+type BitString struct {
+	b []byte // ceil(n/8) bytes; trailing pad bits in the last byte are zero
+	n int    // length in bits
+}
+
+// New returns an all-zero bit string of length n bits.
+// It panics if n is negative.
+func New(n int) BitString {
+	if n < 0 {
+		panic(fmt.Sprintf("bitstr: negative length %d", n))
+	}
+	return BitString{b: make([]byte, (n+7)/8), n: n}
+}
+
+// FromBytes returns a bit string of length n whose content is the first n
+// bits of data (MSB-first). It panics if data holds fewer than n bits.
+func FromBytes(data []byte, n int) BitString {
+	if n < 0 || len(data)*8 < n {
+		panic(fmt.Sprintf("bitstr: %d bytes cannot hold %d bits", len(data), n))
+	}
+	s := New(n)
+	copy(s.b, data[:(n+7)/8])
+	s.clearPad()
+	return s
+}
+
+// FromUint64 returns an n-bit string holding the low n bits of v,
+// most significant of those n bits first. It panics unless 0 <= n <= 64.
+func FromUint64(v uint64, n int) BitString {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitstr: FromUint64 length %d out of range", n))
+	}
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if v>>(uint(n-1-i))&1 == 1 {
+			s.setBit(i)
+		}
+	}
+	return s
+}
+
+// Parse builds a bit string from a textual form of '0' and '1' runes.
+// Any other rune is an error.
+func Parse(text string) (BitString, error) {
+	s := New(len(text))
+	for i, r := range text {
+		switch r {
+		case '1':
+			s.setBit(i)
+		case '0':
+		default:
+			return BitString{}, fmt.Errorf("bitstr: invalid rune %q at %d", r, i)
+		}
+	}
+	return s, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and constants.
+func MustParse(text string) BitString {
+	s, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the length in bits.
+func (s BitString) Len() int { return s.n }
+
+// IsEmpty reports whether the string has zero length.
+func (s BitString) IsEmpty() bool { return s.n == 0 }
+
+// Bit returns bit i (0 or 1), MSB-first. It panics if i is out of range.
+func (s BitString) Bit(i int) byte {
+	s.check(i)
+	return (s.b[i>>3] >> (7 - uint(i&7))) & 1
+}
+
+// SetBit returns a copy of s with bit i set to v (0 or 1).
+func (s BitString) SetBit(i int, v byte) BitString {
+	s.check(i)
+	out := s.Clone()
+	if v == 0 {
+		out.b[i>>3] &^= 1 << (7 - uint(i&7))
+	} else {
+		out.setBit(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy of s.
+func (s BitString) Clone() BitString {
+	out := BitString{b: make([]byte, len(s.b)), n: s.n}
+	copy(out.b, s.b)
+	return out
+}
+
+// Bytes returns a copy of the underlying bytes (MSB-first packing); the
+// final byte's unused low bits are zero.
+func (s BitString) Bytes() []byte {
+	out := make([]byte, len(s.b))
+	copy(out, s.b)
+	return out
+}
+
+// Uint64 returns the value of the bits interpreted as a big-endian unsigned
+// integer. It panics if the string is longer than 64 bits.
+func (s BitString) Uint64() uint64 {
+	if s.n > 64 {
+		panic(fmt.Sprintf("bitstr: Uint64 on %d-bit string", s.n))
+	}
+	var v uint64
+	for i := 0; i < s.n; i++ {
+		v = v<<1 | uint64(s.Bit(i))
+	}
+	return v
+}
+
+// IsZero reports whether every bit is zero. The empty string is zero.
+func (s BitString) IsZero() bool {
+	return zeroBytes(s.b)
+}
+
+// OnesCount returns the number of one bits.
+func (s BitString) OnesCount() int {
+	c := 0
+	for _, x := range s.b {
+		c += bits.OnesCount8(x)
+	}
+	return c
+}
+
+// Equal reports whether s and t have the same length and the same bits.
+func (s BitString) Equal(t BitString) bool {
+	if s.n != t.n {
+		return false
+	}
+	return equalBytes(s.b, t.b)
+}
+
+func (s BitString) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitstr: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+func (s *BitString) setBit(i int) { s.b[i>>3] |= 1 << (7 - uint(i&7)) }
+
+// clearPad zeroes the unused low bits of the final byte so that Equal and
+// IsZero can compare bytes directly.
+func (s *BitString) clearPad() {
+	if s.n%8 != 0 && len(s.b) > 0 {
+		s.b[len(s.b)-1] &= ^byte(0) << (8 - uint(s.n%8))
+	}
+}

@@ -1,0 +1,174 @@
+package bitstr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewZero(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 96} {
+		s := New(n)
+		if s.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, s.Len())
+		}
+		if !s.IsZero() {
+			t.Errorf("New(%d) not zero", n)
+		}
+		if s.OnesCount() != 0 {
+			t.Errorf("New(%d).OnesCount() = %d", n, s.OnesCount())
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestFromUint64(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		n    int
+		want string
+	}{
+		{0, 0, ""},
+		{1, 1, "1"},
+		{0, 1, "0"},
+		{0b1011, 4, "1011"},
+		{0b1011, 6, "001011"},
+		{0xff, 8, "11111111"},
+		{0x8000000000000000, 64, "1" + strings.Repeat("0", 63)},
+	}
+	for _, c := range cases {
+		s := FromUint64(c.v, c.n)
+		if s.String() != c.want {
+			t.Errorf("FromUint64(%#x,%d) = %q, want %q", c.v, c.n, s, c.want)
+		}
+		if got := s.Uint64(); got != c.v&mask(c.n) {
+			t.Errorf("roundtrip FromUint64(%#x,%d).Uint64() = %#x", c.v, c.n, got)
+		}
+	}
+}
+
+func mask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+func TestFromUint64RangePanics(t *testing.T) {
+	for _, n := range []int{-1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FromUint64(0,%d) did not panic", n)
+				}
+			}()
+			FromUint64(0, n)
+		}()
+	}
+}
+
+func TestParse(t *testing.T) {
+	s, err := Parse("011001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 6 || s.Uint64() != 0b011001 {
+		t.Fatalf("Parse = %v", s)
+	}
+	if _, err := Parse("01x"); err == nil {
+		t.Fatal("Parse accepted invalid rune")
+	}
+}
+
+func TestBitAndSetBit(t *testing.T) {
+	s := MustParse("10010110")
+	want := []byte{1, 0, 0, 1, 0, 1, 1, 0}
+	for i, w := range want {
+		if s.Bit(i) != w {
+			t.Errorf("Bit(%d) = %d, want %d", i, s.Bit(i), w)
+		}
+	}
+	u := s.SetBit(1, 1)
+	if u.String() != "11010110" {
+		t.Errorf("SetBit(1,1) = %s", u)
+	}
+	if s.String() != "10010110" {
+		t.Error("SetBit mutated the receiver")
+	}
+	u = u.SetBit(0, 0)
+	if u.String() != "01010110" {
+		t.Errorf("SetBit(0,0) = %s", u)
+	}
+}
+
+func TestBitOutOfRangePanics(t *testing.T) {
+	s := New(8)
+	for _, i := range []int{-1, 8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit(%d) did not panic", i)
+				}
+			}()
+			s.Bit(i)
+		}()
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	s := FromBytes([]byte{0xA5, 0xF0}, 12)
+	if s.String() != "101001011111" {
+		t.Errorf("FromBytes = %s", s)
+	}
+	// Pad bits must be cleared so Equal/IsZero can compare bytes.
+	if got := s.Bytes()[1]; got != 0xF0 {
+		t.Errorf("pad bits not cleared: %#x", got)
+	}
+}
+
+func TestUint64PanicsOver64(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64 on 65-bit string did not panic")
+		}
+	}()
+	New(65).Uint64()
+}
+
+func TestEqual(t *testing.T) {
+	a := MustParse("0110")
+	b := MustParse("0110")
+	c := MustParse("0111")
+	d := MustParse("01100")
+	if !a.Equal(b) {
+		t.Error("equal strings reported unequal")
+	}
+	if a.Equal(c) {
+		t.Error("unequal strings reported equal")
+	}
+	if a.Equal(d) {
+		t.Error("different lengths reported equal")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := MustParse("1111")
+	b := a.Clone()
+	b.b[0] = 0
+	if a.String() != "1111" {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestOnesCount(t *testing.T) {
+	if got := MustParse("1011001110001111").OnesCount(); got != 10 {
+		t.Errorf("OnesCount = %d, want 10", got)
+	}
+}

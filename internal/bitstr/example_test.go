@@ -1,0 +1,42 @@
+package bitstr_test
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+)
+
+// The paper's Section I example: two tags' ID signals overlap on the air
+// as a bitwise Boolean sum.
+func ExampleOr() {
+	a := bitstr.MustParse("011001")
+	b := bitstr.MustParse("010010")
+	fmt.Println(bitstr.Or(a, b))
+	// Output: 011011
+}
+
+// Theorem 1 in one picture: complement does not distribute over the
+// Boolean sum, which is exactly what makes f(r) = r̄ detect collisions.
+func ExampleNot() {
+	r1 := bitstr.MustParse("1010")
+	r2 := bitstr.MustParse("0110")
+	fOfSum := bitstr.Not(bitstr.Or(r1, r2))
+	sumOfF := bitstr.Or(bitstr.Not(r1), bitstr.Not(r2))
+	fmt.Println(fOfSum, sumOfF, fOfSum.Equal(sumOfF))
+	// Output: 0001 1101 false
+}
+
+// A QCD collision preamble is the random integer concatenated with its
+// complement.
+func ExampleConcat() {
+	r := bitstr.MustParse("10110100")
+	preamble := bitstr.Concat(r, bitstr.Not(r))
+	fmt.Println(preamble)
+	// Output: 1011010001001011
+}
+
+func ExampleBitString_Slice() {
+	s := bitstr.MustParse("1011010001001011")
+	fmt.Println(s.Slice(0, 8), s.Slice(8, 16))
+	// Output: 10110100 01001011
+}

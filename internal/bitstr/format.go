@@ -1,0 +1,52 @@
+package bitstr
+
+import "strings"
+
+// String renders the bits as a run of '0' and '1' characters, MSB first.
+func (s BitString) String() string {
+	var sb strings.Builder
+	sb.Grow(s.n)
+	for i := 0; i < s.n; i++ {
+		sb.WriteByte('0' + s.Bit(i))
+	}
+	return sb.String()
+}
+
+// Hex renders the packed bytes in lowercase hexadecimal. Lengths that are
+// not byte multiples are zero-padded on the right, matching Bytes().
+func (s BitString) Hex() string {
+	const digits = "0123456789abcdef"
+	var sb strings.Builder
+	sb.Grow(2 * len(s.b))
+	for _, x := range s.b {
+		sb.WriteByte(digits[x>>4])
+		sb.WriteByte(digits[x&0xf])
+	}
+	return sb.String()
+}
+
+// GoString implements fmt.GoStringer for diagnostic %#v output.
+func (s BitString) GoString() string {
+	return "bitstr.MustParse(\"" + s.String() + "\")"
+}
+
+// Key returns a compact string usable as a map key; distinct bit strings
+// (including by length) map to distinct keys.
+func (s BitString) Key() string {
+	// Prefix the hex with the bit length to disambiguate pad bits.
+	return itoa(s.n) + ":" + s.Hex()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

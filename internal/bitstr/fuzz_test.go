@@ -1,0 +1,53 @@
+package bitstr
+
+import "testing"
+
+// FuzzParse checks Parse/String round-tripping and that invalid input is
+// rejected rather than mis-parsed.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("0")
+	f.Add("1")
+	f.Add("011001")
+	f.Add("xyz")
+	f.Add("01a10")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(in)
+		if err != nil {
+			// Must contain a non-binary rune.
+			for _, r := range in {
+				if r != '0' && r != '1' {
+					return
+				}
+			}
+			t.Fatalf("Parse(%q) rejected a binary string: %v", in, err)
+		}
+		if s.String() != in {
+			t.Fatalf("roundtrip %q -> %q", in, s.String())
+		}
+		if s.Len() != len(in) {
+			t.Fatalf("length %d for %q", s.Len(), in)
+		}
+	})
+}
+
+// FuzzSliceConcat checks that cutting a string anywhere and re-joining it
+// reproduces the original.
+func FuzzSliceConcat(f *testing.F) {
+	f.Add("1011001", 3)
+	f.Add("", 0)
+	f.Add("1", 1)
+	f.Fuzz(func(t *testing.T, in string, cut int) {
+		s, err := Parse(in)
+		if err != nil {
+			return
+		}
+		if cut < 0 || cut > s.Len() {
+			return
+		}
+		re := Concat(s.Slice(0, cut), s.Slice(cut, s.Len()))
+		if !re.Equal(s) {
+			t.Fatalf("slice/concat at %d broke %q -> %q", cut, in, re.String())
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package bitstr
+
+import "fmt"
+
+// Or returns the bitwise Boolean sum of s and t. This is the paper's ∨
+// operator: the signal a reader receives when two tags transmit
+// concurrently is the bitwise OR of the transmitted bit strings.
+// Both operands must have the same length.
+func Or(s, t BitString) BitString {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitstr: Or length mismatch %d vs %d", s.n, t.n))
+	}
+	out := s.Clone()
+	orBytes(out.b, t.b)
+	return out
+}
+
+// OrAll folds Or over all operands. It panics if the slice is empty or the
+// lengths differ.
+func OrAll(ss ...BitString) BitString {
+	if len(ss) == 0 {
+		panic("bitstr: OrAll of no operands")
+	}
+	out := ss[0].Clone()
+	for _, t := range ss[1:] {
+		if t.n != out.n {
+			panic(fmt.Sprintf("bitstr: OrAll length mismatch %d vs %d", out.n, t.n))
+		}
+		orBytes(out.b, t.b)
+	}
+	return out
+}
+
+// OrInPlace accumulates t into s (s |= t) and returns s. It is the hot-path
+// form used by the channel model; s must have been created by this package.
+func (s *BitString) OrInPlace(t BitString) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitstr: OrInPlace length mismatch %d vs %d", s.n, t.n))
+	}
+	orBytes(s.b, t.b)
+}
+
+// And returns the bitwise AND of s and t.
+func And(s, t BitString) BitString {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitstr: And length mismatch %d vs %d", s.n, t.n))
+	}
+	out := s.Clone()
+	andBytes(out.b, t.b)
+	return out
+}
+
+// Xor returns the bitwise exclusive OR of s and t.
+func Xor(s, t BitString) BitString {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitstr: Xor length mismatch %d vs %d", s.n, t.n))
+	}
+	out := s.Clone()
+	xorBytes(out.b, t.b)
+	out.clearPad()
+	return out
+}
+
+// Not returns the bitwise complement of s. This is the QCD collision
+// function f(r) = ~r (Theorem 1 of the paper).
+func Not(s BitString) BitString {
+	out := s.Clone()
+	notBytes(out.b)
+	out.clearPad()
+	return out
+}
+
+// Concat returns the concatenation s ⊕ t (s's bits first).
+func Concat(s, t BitString) BitString {
+	out := New(s.n + t.n)
+	copy(out.b, s.b)
+	if s.n%8 == 0 {
+		copy(out.b[s.n/8:], t.b)
+	} else {
+		for i := 0; i < t.n; i++ {
+			if t.Bit(i) == 1 {
+				out.setBit(s.n + i)
+			}
+		}
+	}
+	return out
+}
+
+// Slice returns the sub-string of bits [lo, hi). It panics if the range is
+// invalid.
+func (s BitString) Slice(lo, hi int) BitString {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic(fmt.Sprintf("bitstr: slice [%d,%d) of %d-bit string", lo, hi, s.n))
+	}
+	out := New(hi - lo)
+	if lo%8 == 0 {
+		copy(out.b, s.b[lo/8:])
+		out.clearPad()
+		return out
+	}
+	for i := lo; i < hi; i++ {
+		if s.Bit(i) == 1 {
+			out.setBit(i - lo)
+		}
+	}
+	return out
+}
+
+// HasPrefix reports whether s begins with prefix p.
+func (s BitString) HasPrefix(p BitString) bool {
+	if p.n > s.n {
+		return false
+	}
+	for i := 0; i < p.n; i++ {
+		if s.Bit(i) != p.Bit(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Append returns s with a single bit appended.
+func (s BitString) Append(bit byte) BitString {
+	out := New(s.n + 1)
+	copy(out.b, s.b)
+	if bit != 0 {
+		out.setBit(s.n)
+	}
+	return out
+}
+
+// HammingDistance returns the number of differing bit positions.
+// It panics if the lengths differ.
+func HammingDistance(s, t BitString) int {
+	return Xor(s, t).OnesCount()
+}
+
+// Compare orders bit strings first by length, then lexicographically by
+// bits; it returns -1, 0 or +1 in the manner of bytes.Compare.
+func Compare(s, t BitString) int {
+	switch {
+	case s.n < t.n:
+		return -1
+	case s.n > t.n:
+		return 1
+	}
+	for i := range s.b {
+		switch {
+		case s.b[i] < t.b[i]:
+			return -1
+		case s.b[i] > t.b[i]:
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,221 @@
+package bitstr
+
+import "testing"
+
+func TestOrPaperExample(t *testing.T) {
+	// The overlap example from Section I of the paper:
+	// (011001) ∨ (010010) = (011011).
+	a := MustParse("011001")
+	b := MustParse("010010")
+	if got := Or(a, b); got.String() != "011011" {
+		t.Errorf("Or = %s, want 011011", got)
+	}
+}
+
+func TestOrAll(t *testing.T) {
+	got := OrAll(MustParse("0001"), MustParse("0010"), MustParse("0100"))
+	if got.String() != "0111" {
+		t.Errorf("OrAll = %s", got)
+	}
+	// Single operand is identity.
+	if got := OrAll(MustParse("1010")); got.String() != "1010" {
+		t.Errorf("OrAll single = %s", got)
+	}
+}
+
+func TestOrAllEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OrAll() did not panic")
+		}
+	}()
+	OrAll()
+}
+
+func TestOrLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or on mismatched lengths did not panic")
+		}
+	}()
+	Or(New(4), New(5))
+}
+
+func TestOrInPlace(t *testing.T) {
+	s := MustParse("0101")
+	s.OrInPlace(MustParse("0011"))
+	if s.String() != "0111" {
+		t.Errorf("OrInPlace = %s", s)
+	}
+}
+
+func TestNot(t *testing.T) {
+	s := MustParse("10110")
+	if got := Not(s); got.String() != "01001" {
+		t.Errorf("Not = %s", got)
+	}
+	// Pad bits must stay clear after complement.
+	if got := Not(New(3)); got.Bytes()[0] != 0xE0 {
+		t.Errorf("Not pad bits leaked: %#x", got.Bytes()[0])
+	}
+}
+
+func TestNotInvolution(t *testing.T) {
+	s := MustParse("110010111")
+	if !Not(Not(s)).Equal(s) {
+		t.Error("Not is not an involution")
+	}
+}
+
+func TestXorAnd(t *testing.T) {
+	a := MustParse("1100")
+	b := MustParse("1010")
+	if got := Xor(a, b); got.String() != "0110" {
+		t.Errorf("Xor = %s", got)
+	}
+	if got := And(a, b); got.String() != "1000" {
+		t.Errorf("And = %s", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	cases := []struct{ a, b, want string }{
+		{"", "", ""},
+		{"1", "", "1"},
+		{"", "0110", "0110"},
+		{"101", "11", "10111"},
+		{"10100101", "1111", "101001011111"}, // byte-aligned fast path
+		{"1010010", "1111", "10100101111"},   // unaligned slow path
+	}
+	for _, c := range cases {
+		got := Concat(MustParse(c.a), MustParse(c.b))
+		if got.String() != c.want {
+			t.Errorf("Concat(%q,%q) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := MustParse("101001011111")
+	cases := []struct {
+		lo, hi int
+		want   string
+	}{
+		{0, 0, ""},
+		{0, 12, "101001011111"},
+		{0, 5, "10100"},
+		{8, 12, "1111"}, // byte-aligned fast path
+		{3, 9, "001011"},
+	}
+	for _, c := range cases {
+		if got := s.Slice(c.lo, c.hi); got.String() != c.want {
+			t.Errorf("Slice(%d,%d) = %s, want %s", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestSliceRangePanics(t *testing.T) {
+	s := New(8)
+	for _, c := range [][2]int{{-1, 4}, {0, 9}, {5, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Slice(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			s.Slice(c[0], c[1])
+		}()
+	}
+}
+
+func TestConcatSliceRoundtrip(t *testing.T) {
+	a := MustParse("11010")
+	b := MustParse("0011101")
+	cat := Concat(a, b)
+	if !cat.Slice(0, a.Len()).Equal(a) {
+		t.Error("prefix slice != a")
+	}
+	if !cat.Slice(a.Len(), cat.Len()).Equal(b) {
+		t.Error("suffix slice != b")
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	s := MustParse("110100")
+	for p, want := range map[string]bool{
+		"":        true,
+		"1":       true,
+		"11":      true,
+		"1101":    true,
+		"110100":  true,
+		"0":       false,
+		"111":     false,
+		"1101000": false, // longer than s
+	} {
+		if got := s.HasPrefix(MustParse(p)); got != want {
+			t.Errorf("HasPrefix(%q) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestAppend(t *testing.T) {
+	s := MustParse("101")
+	if got := s.Append(1); got.String() != "1011" {
+		t.Errorf("Append(1) = %s", got)
+	}
+	if got := s.Append(0); got.String() != "1010" {
+		t.Errorf("Append(0) = %s", got)
+	}
+	if s.String() != "101" {
+		t.Error("Append mutated receiver")
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	if got := HammingDistance(MustParse("1010"), MustParse("0110")); got != 2 {
+		t.Errorf("HammingDistance = %d, want 2", got)
+	}
+	if got := HammingDistance(MustParse("1111"), MustParse("1111")); got != 0 {
+		t.Errorf("HammingDistance identical = %d", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"0", "1", -1},
+		{"1", "0", 1},
+		{"01", "01", 0},
+		{"0", "00", -1}, // shorter sorts first
+		{"111", "1", 1},
+	}
+	for _, c := range cases {
+		if got := Compare(MustParse(c.a), MustParse(c.b)); got != c.want {
+			t.Errorf("Compare(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestKeyDistinguishesLengths(t *testing.T) {
+	a := MustParse("1") // packs to 0x80
+	b := MustParse("10")
+	if a.Key() == b.Key() {
+		t.Error("Key collides across lengths")
+	}
+	if a.Hex() != b.Hex() {
+		t.Error("expected identical hex packing for this pair (test premise)")
+	}
+}
+
+func TestStringAndHex(t *testing.T) {
+	s := MustParse("10100101")
+	if s.Hex() != "a5" {
+		t.Errorf("Hex = %s", s.Hex())
+	}
+	if s.GoString() != `bitstr.MustParse("10100101")` {
+		t.Errorf("GoString = %s", s.GoString())
+	}
+}

@@ -1,0 +1,198 @@
+package bitstr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomBits draws a bit string of length 0..96 from the generator rand
+// supplies to testing/quick.
+func randomBits(r *rand.Rand) BitString {
+	n := r.Intn(97)
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			s.setBit(i)
+		}
+	}
+	return s
+}
+
+// pair draws two equal-length random bit strings.
+func randomPair(r *rand.Rand) (BitString, BitString) {
+	a := randomBits(r)
+	b := New(a.Len())
+	for i := 0; i < b.Len(); i++ {
+		if r.Intn(2) == 1 {
+			b.setBit(i)
+		}
+	}
+	return a, b
+}
+
+func TestQuickOrCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomPair(r)
+		return Or(a, b).Equal(Or(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOrAssociativeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomPair(r)
+		c := New(a.Len())
+		for i := 0; i < c.Len(); i++ {
+			if r.Intn(2) == 1 {
+				c.setBit(i)
+			}
+		}
+		assoc := Or(Or(a, b), c).Equal(Or(a, Or(b, c)))
+		idem := Or(a, a).Equal(a)
+		return assoc && idem
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeMorgan checks ~(a|b) == ~a & ~b — the algebraic fact behind
+// Theorem 1: complement does NOT distribute over Boolean sum, it lands on
+// AND instead, which is why f(r)=~r detects collisions.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomPair(r)
+		return Not(Or(a, b)).Equal(And(Not(a), Not(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTheorem1 is the paper's Theorem 1 as a property: for a set of
+// random integers with at least two distinct values,
+// f(∨ r_i) != ∨ f(r_i); and with all values equal (m=1 logically),
+// equality holds.
+func TestQuickTheorem1(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(32) // strength 1..32 bits
+		m := 2 + r.Intn(8)
+		rs := make([]BitString, m)
+		distinct := false
+		for i := range rs {
+			rs[i] = FromUint64(uint64(r.Int63()), n)
+			if i > 0 && !rs[i].Equal(rs[0]) {
+				distinct = true
+			}
+		}
+		or := OrAll(rs...)
+		comps := make([]BitString, m)
+		for i := range rs {
+			comps[i] = Not(rs[i])
+		}
+		orComp := OrAll(comps...)
+		if distinct {
+			// Theorem 1 claim 1: a real collision is always flagged.
+			return !Not(or).Equal(orComp)
+		}
+		// All equal: indistinguishable from a single responder (claim 2
+		// converse); the scheme must NOT flag it.
+		return Not(or).Equal(orComp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConcatSliceInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomBits(r)
+		b := randomBits(r)
+		cat := Concat(a, b)
+		return cat.Len() == a.Len()+b.Len() &&
+			cat.Slice(0, a.Len()).Equal(a) &&
+			cat.Slice(a.Len(), cat.Len()).Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickXorSelfIsZero(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomBits(r)
+		return Xor(a, a).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOnesCountUnderOr(t *testing.T) {
+	// |a|b| >= max(|a|,|b|) and <= |a|+|b| in popcount.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomPair(r)
+		o := Or(a, b).OnesCount()
+		ca, cb := a.OnesCount(), b.OnesCount()
+		hi := ca + cb
+		lo := ca
+		if cb > lo {
+			lo = cb
+		}
+		return o >= lo && o <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareIsOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomPair(r)
+		ab, ba := Compare(a, b), Compare(b, a)
+		if ab != -ba {
+			return false
+		}
+		return (ab == 0) == a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSetBitReadback(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomBits(r)
+		if s.Len() == 0 {
+			return true
+		}
+		i := r.Intn(s.Len())
+		v := byte(r.Intn(2))
+		u := s.SetBit(i, v)
+		if u.Bit(i) != v {
+			return false
+		}
+		// All other bits unchanged.
+		for j := 0; j < s.Len(); j++ {
+			if j != i && u.Bit(j) != s.Bit(j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

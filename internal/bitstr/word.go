@@ -1,0 +1,81 @@
+package bitstr
+
+import "encoding/binary"
+
+// Word-chunked kernels for the byte-parallel operations. The simulator's
+// hot loop ORs thousands of 96-bit payloads per frame; processing eight
+// bytes per iteration instead of one keeps that loop in registers.
+// Lengths below a word fall through to the byte loop.
+
+func orBytes(dst, src []byte) {
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])|binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < len(dst); i++ {
+		dst[i] |= src[i]
+	}
+}
+
+func andBytes(dst, src []byte) {
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])&binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < len(dst); i++ {
+		dst[i] &= src[i]
+	}
+}
+
+func xorBytes(dst, src []byte) {
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < len(dst); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+func notBytes(dst []byte) {
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], ^binary.LittleEndian.Uint64(dst[i:]))
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = ^dst[i]
+	}
+}
+
+func equalBytes(a, b []byte) bool {
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		if binary.LittleEndian.Uint64(a[i:]) != binary.LittleEndian.Uint64(b[i:]) {
+			return false
+		}
+	}
+	for ; i < len(a); i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func zeroBytes(a []byte) bool {
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		if binary.LittleEndian.Uint64(a[i:]) != 0 {
+			return false
+		}
+	}
+	for ; i < len(a); i++ {
+		if a[i] != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,124 @@
+package bitstr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickWordKernelsMatchNaive cross-checks the word-chunked kernels
+// against reference byte loops on random lengths straddling the 8-byte
+// boundary.
+func TestQuickWordKernelsMatchNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(40) // 0..39 bytes: covers <1 word, exact words, tails
+		a := make([]byte, n)
+		b := make([]byte, n)
+		r.Read(a)
+		r.Read(b)
+
+		ref := func(op func(x, y byte) byte) []byte {
+			out := make([]byte, n)
+			for i := range out {
+				out[i] = op(a[i], b[i])
+			}
+			return out
+		}
+		check := func(kernel func(dst, src []byte), op func(x, y byte) byte) bool {
+			dst := append([]byte(nil), a...)
+			kernel(dst, b)
+			want := ref(op)
+			for i := range dst {
+				if dst[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if !check(orBytes, func(x, y byte) byte { return x | y }) {
+			return false
+		}
+		if !check(andBytes, func(x, y byte) byte { return x & y }) {
+			return false
+		}
+		if !check(xorBytes, func(x, y byte) byte { return x ^ y }) {
+			return false
+		}
+		dst := append([]byte(nil), a...)
+		notBytes(dst)
+		for i := range dst {
+			if dst[i] != ^a[i] {
+				return false
+			}
+		}
+		// equal/zero agree with naive.
+		if equalBytes(a, a) != true {
+			return false
+		}
+		if n > 0 {
+			mut := append([]byte(nil), a...)
+			mut[n-1] ^= 0x01
+			if equalBytes(a, mut) {
+				return false
+			}
+		}
+		allZero := true
+		for _, x := range a {
+			if x != 0 {
+				allZero = false
+			}
+		}
+		return zeroBytes(a) == allZero
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func benchPayload(bits int) (BitString, BitString) {
+	r := rand.New(rand.NewSource(1))
+	mk := func() BitString {
+		s := New(bits)
+		for i := 0; i < bits; i++ {
+			if r.Intn(2) == 1 {
+				s.setBit(i)
+			}
+		}
+		return s
+	}
+	return mk(), mk()
+}
+
+func BenchmarkOr96(b *testing.B) {
+	x, y := benchPayload(96)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.OrInPlace(y)
+	}
+}
+
+func BenchmarkOr960(b *testing.B) {
+	x, y := benchPayload(960)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.OrInPlace(y)
+	}
+}
+
+func BenchmarkNot96(b *testing.B) {
+	x, _ := benchPayload(96)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Not(x)
+	}
+}
+
+func BenchmarkEqual96(b *testing.B) {
+	x, _ := benchPayload(96)
+	y := x.Clone()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Equal(y)
+	}
+}

@@ -1,0 +1,37 @@
+package btree
+
+import (
+	"testing"
+
+	"repro/internal/crc"
+	"repro/internal/detect"
+	"repro/internal/prng"
+	"repro/internal/tagmodel"
+)
+
+func benchRun(b *testing.B, n int, det detect.Detector) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pop := tagmodel.NewPopulation(n, 64, prng.New(uint64(i)+1))
+		Run(pop, det, tm)
+	}
+}
+
+func BenchmarkBT500QCD(b *testing.B)   { benchRun(b, 500, detect.NewQCD(8, 64)) }
+func BenchmarkBT500CRCCD(b *testing.B) { benchRun(b, 500, detect.NewCRCCD(crc.CRC32IEEE, 64)) }
+func BenchmarkBT5000QCD(b *testing.B)  { benchRun(b, 5000, detect.NewQCD(8, 64)) }
+
+// BenchmarkABSSteadyState measures the re-read cost of a stable
+// population: n single slots, no collisions.
+func BenchmarkABSSteadyState(b *testing.B) {
+	det := detect.NewQCD(8, 64)
+	pop := tagmodel.NewPopulation(500, 64, prng.New(1))
+	PrepareABS(pop)
+	RunABS(pop, det, tm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunABS(pop, det, tm)
+	}
+}

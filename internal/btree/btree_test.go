@@ -1,0 +1,201 @@
+package btree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/crc"
+	"repro/internal/detect"
+	"repro/internal/prng"
+	"repro/internal/tagmodel"
+	"repro/internal/timing"
+)
+
+var tm = timing.Model{TauMicros: 1}
+
+func pop(n int, seed uint64) tagmodel.Population {
+	return tagmodel.NewPopulation(n, 64, prng.New(seed))
+}
+
+func TestRunIdentifiesEveryone(t *testing.T) {
+	for _, det := range []detect.Detector{
+		detect.NewQCD(8, 64),
+		detect.NewCRCCD(crc.CRC32IEEE, 64),
+		detect.NewOracle(1, 64),
+	} {
+		p := pop(200, 1)
+		s := Run(p, det, tm)
+		if !p.AllIdentified() {
+			t.Fatalf("%s: tags left unidentified", det.Name())
+		}
+		if s.TagsIdentified != 200 || s.Census.Single != 200 {
+			t.Errorf("%s: identified %d, single %d", det.Name(), s.TagsIdentified, s.Census.Single)
+		}
+	}
+}
+
+func TestSingleTagOneSlot(t *testing.T) {
+	p := pop(1, 2)
+	s := Run(p, detect.NewQCD(8, 64), tm)
+	if s.Census.Slots() != 1 || s.Census.Single != 1 {
+		t.Errorf("census = %+v", s.Census)
+	}
+}
+
+func TestLemma2SlotCounts(t *testing.T) {
+	// Lemma 2 / Table VIII: ~2.885n total slots, 1.443n collided, 0.442n
+	// idle, λ ≈ 0.34–0.36.
+	var total, collided, idle float64
+	const n, rounds = 1000, 10
+	for r := uint64(0); r < rounds; r++ {
+		p := pop(n, 10+r)
+		s := Run(p, detect.NewOracle(1, 64), tm)
+		total += float64(s.Census.Slots())
+		collided += float64(s.Census.Collided)
+		idle += float64(s.Census.Idle)
+	}
+	total /= rounds * n
+	collided /= rounds * n
+	idle /= rounds * n
+	if math.Abs(total-2.885) > 0.15 {
+		t.Errorf("slots/tag = %.3f, Lemma 2 gives 2.885", total)
+	}
+	if math.Abs(collided-1.443) > 0.1 {
+		t.Errorf("collided/tag = %.3f, Lemma 2 gives 1.443", collided)
+	}
+	if math.Abs(idle-0.442) > 0.07 {
+		t.Errorf("idle/tag = %.3f, Lemma 2 gives 0.442", idle)
+	}
+	throughput := 1 / total
+	if throughput < 0.32 || throughput > 0.38 {
+		t.Errorf("λ = %.3f, paper reports ≈0.35", throughput)
+	}
+}
+
+func TestFramesEqualSlotsForBT(t *testing.T) {
+	// Table VIII's "#of frame" column equals the slot count for BT.
+	p := pop(50, 3)
+	s := Run(p, detect.NewQCD(8, 64), tm)
+	if s.Census.Frames != s.Census.Slots() {
+		t.Errorf("frames %d != slots %d", s.Census.Frames, s.Census.Slots())
+	}
+}
+
+func TestQCDFasterThanCRCCDOnBT(t *testing.T) {
+	// Table III / Figure 8b: EI ≈ 0.60 at strength 8.
+	var tQCD, tCRC float64
+	const rounds = 10
+	for r := uint64(0); r < rounds; r++ {
+		p1 := pop(500, 100+r)
+		tQCD += Run(p1, detect.NewQCD(8, 64), tm).TimeMicros
+		p2 := pop(500, 100+r)
+		tCRC += Run(p2, detect.NewCRCCD(crc.CRC32IEEE, 64), tm).TimeMicros
+	}
+	ei := (tCRC - tQCD) / tCRC
+	if math.Abs(ei-0.60) > 0.06 {
+		t.Errorf("BT EI at strength 8 = %.3f, Table III gives ≈0.602", ei)
+	}
+}
+
+func TestLowStrengthStillTerminates(t *testing.T) {
+	// Strength 1 misses half of all pairwise collisions; the merge path
+	// must still converge.
+	p := pop(100, 4)
+	s := Run(p, detect.NewQCD(1, 64), tm)
+	if !p.AllIdentified() {
+		t.Fatal("strength-1 QCD failed to terminate")
+	}
+	if s.Detection.FalseSingle == 0 {
+		t.Error("strength-1 QCD reported no misses over a 100-tag run (implausible)")
+	}
+}
+
+func TestDelaysWithinSession(t *testing.T) {
+	p := pop(64, 5)
+	s := Run(p, detect.NewQCD(8, 64), tm)
+	for _, d := range s.DelaysMicros {
+		if d <= 0 || d > s.TimeMicros {
+			t.Fatalf("delay %v outside (0, %v]", d, s.TimeMicros)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() int64 {
+		p := pop(128, 6)
+		return Run(p, detect.NewQCD(8, 64), tm).Census.Slots()
+	}
+	if run() != run() {
+		t.Error("BT run not deterministic")
+	}
+}
+
+// --- ABS ---
+
+func TestABSFirstRoundLikeBT(t *testing.T) {
+	p := pop(100, 7)
+	PrepareABS(p)
+	s := RunABS(p, detect.NewQCD(8, 64), tm)
+	if !p.AllIdentified() || s.TagsIdentified != 100 {
+		t.Fatal("ABS round 1 failed")
+	}
+	// Orders must be a permutation of 0..n-1.
+	seen := make([]bool, 100)
+	for _, tag := range p {
+		if tag.Slot < 0 || tag.Slot >= 100 || seen[tag.Slot] {
+			t.Fatalf("bad ABS order %d", tag.Slot)
+		}
+		seen[tag.Slot] = true
+	}
+}
+
+func TestABSSteadyStateIsCollisionFree(t *testing.T) {
+	// Myung & Lee's key property: re-reading a stable population reuses
+	// the previous order, giving exactly n single slots, zero collisions.
+	p := pop(100, 8)
+	PrepareABS(p)
+	RunABS(p, detect.NewQCD(8, 64), tm)
+	s2 := RunABS(p, detect.NewQCD(8, 64), tm)
+	if s2.Census.Collided != 0 {
+		t.Errorf("steady-state round had %d collisions", s2.Census.Collided)
+	}
+	if s2.Census.Slots() != 100 || s2.Census.Single != 100 {
+		t.Errorf("steady-state census = %+v", s2.Census)
+	}
+}
+
+func TestABSNewcomerCausesLocalSplit(t *testing.T) {
+	p := pop(50, 9)
+	PrepareABS(p)
+	RunABS(p, detect.NewQCD(8, 64), tm)
+
+	// A newcomer joins; the next round should cost only a few extra slots.
+	newcomer := tagmodel.NewPopulation(1, 64, prng.New(999))[0]
+	newcomer.Index = 50
+	p = append(p, newcomer)
+	PrepareABSNewcomers(p[50:])
+	s := RunABS(p, detect.NewQCD(8, 64), tm)
+	if !p.AllIdentified() {
+		t.Fatal("round with newcomer failed")
+	}
+	if s.Census.Slots() > 60 {
+		t.Errorf("newcomer round took %d slots for 51 tags", s.Census.Slots())
+	}
+	if s.Census.Collided > 5 {
+		t.Errorf("newcomer caused %d collisions, expected a local split", s.Census.Collided)
+	}
+}
+
+func TestResetOrderForgets(t *testing.T) {
+	p := pop(30, 11)
+	PrepareABS(p)
+	RunABS(p, detect.NewQCD(8, 64), tm)
+	ResetOrder(p)
+	s := RunABS(p, detect.NewQCD(8, 64), tm)
+	if s.Census.Collided == 0 {
+		t.Error("after ResetOrder the round should split from scratch")
+	}
+	if !p.AllIdentified() {
+		t.Fatal("cold round failed")
+	}
+}

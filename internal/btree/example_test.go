@@ -1,0 +1,32 @@
+package btree_test
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/detect"
+	"repro/internal/prng"
+	"repro/internal/tagmodel"
+	"repro/internal/timing"
+)
+
+// Binary-tree identification: the slot census follows Lemma 2's
+// 2.885n expectation, with exactly n single slots.
+func ExampleRun() {
+	pop := tagmodel.NewPopulation(200, 64, prng.New(7))
+	s := btree.Run(pop, detect.NewOracle(1, 64), timing.Default)
+	fmt.Println(s.Census.Single, pop.AllIdentified(), s.Census.Slots() > 450 && s.Census.Slots() < 700)
+	// Output: 200 true true
+}
+
+// ABS re-reads a stable population with zero collisions: each tag keeps
+// the slot order the previous round assigned.
+func ExampleRunABS() {
+	pop := tagmodel.NewPopulation(50, 64, prng.New(8))
+	det := detect.NewQCD(8, 64)
+	btree.PrepareABS(pop)
+	btree.RunABS(pop, det, timing.Default) // cold round: splits from scratch
+	second := btree.RunABS(pop, det, timing.Default)
+	fmt.Println(second.Census.Collided, second.Census.Slots())
+	// Output: 0 50
+}

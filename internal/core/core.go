@@ -1,0 +1,33 @@
+// Package core is the canonical home of the paper's primary contribution:
+// the Quick Collision Detection (QCD) scheme and the collision-detector
+// abstraction it plugs into. The implementation lives in
+// repro/internal/detect; this package re-exports it so the repository's
+// mandated layout (internal/core = the contribution) holds.
+package core
+
+import (
+	"repro/internal/crc"
+	"repro/internal/detect"
+)
+
+// Detector is the collision-detection scheme interface; see
+// repro/internal/detect.Detector.
+type Detector = detect.Detector
+
+// QCD is the paper's Quick Collision Detection scheme.
+type QCD = detect.QCD
+
+// CRCCD is the CRC-based baseline scheme.
+type CRCCD = detect.CRCCD
+
+// Oracle is the idealised ablation detector.
+type Oracle = detect.Oracle
+
+// NewQCD returns a QCD detector of the given strength over idBits-bit IDs.
+func NewQCD(strength, idBits int) *QCD { return detect.NewQCD(strength, idBits) }
+
+// NewCRCCD returns a CRC-CD detector with the given CRC parameters.
+func NewCRCCD(params crc.Params, idBits int) *CRCCD { return detect.NewCRCCD(params, idBits) }
+
+// NewOracle returns the idealised detector.
+func NewOracle(contentionBits, idBits int) *Oracle { return detect.NewOracle(contentionBits, idBits) }

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/crc"
+	"repro/internal/signal"
+)
+
+// The core package is a re-export surface; these tests pin that the
+// canonical constructors build the same schemes as internal/detect.
+func TestConstructors(t *testing.T) {
+	var d Detector = NewQCD(8, 64)
+	if d.Name() != "QCD-8" || d.ContentionBits() != 16 {
+		t.Errorf("QCD via core = %s/%d", d.Name(), d.ContentionBits())
+	}
+	d = NewCRCCD(crc.CRC16EPC, 64)
+	if d.ContentionBits() != 80 {
+		t.Errorf("CRC-CD via core = %d bits", d.ContentionBits())
+	}
+	d = NewOracle(1, 64)
+	if d.Classify(signal.Reception{Responders: 3}) != signal.Collided {
+		t.Error("oracle via core misclassifies")
+	}
+}

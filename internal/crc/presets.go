@@ -1,0 +1,58 @@
+package crc
+
+// Presets for the CRCs the RFID standards in the paper use. Check values
+// are the CRC catalogue checksums of ASCII "123456789" and are verified by
+// SelfTest in the package tests.
+var (
+	// CRC5EPC is the 5-bit CRC EPCglobal Class-1 Gen-2 protects Query
+	// commands with (poly x^5+x^3+1, preset 01001).
+	CRC5EPC = Params{
+		Name: "CRC-5/EPC", Width: 5, Poly: 0x09, Init: 0x09,
+		RefIn: false, RefOut: false, XorOut: 0x00, Check: 0x00,
+	}
+
+	// CRC16EPC is the 16-bit CRC of EPC Gen-2 / ISO 18000-6 backscatter
+	// frames (ISO/IEC 13239: poly 0x1021, preset 0xFFFF, final complement).
+	// The catalogue calls this CRC-16/GENIBUS.
+	CRC16EPC = Params{
+		Name: "CRC-16/EPC", Width: 16, Poly: 0x1021, Init: 0xFFFF,
+		RefIn: false, RefOut: false, XorOut: 0xFFFF, Check: 0xD64E,
+	}
+
+	// CRC16CCITTFalse is the plain CCITT variant without the final
+	// complement, provided for completeness and cross-checking.
+	CRC16CCITTFalse = Params{
+		Name: "CRC-16/CCITT-FALSE", Width: 16, Poly: 0x1021, Init: 0xFFFF,
+		RefIn: false, RefOut: false, XorOut: 0x0000, Check: 0x29B1,
+	}
+
+	// CRC32IEEE is the ubiquitous reflected CRC-32. The paper quotes
+	// "ISO 18000-6 employs 32 bits CRC" and an error rate of 2^-32; this is
+	// the 32-bit code used for l_crc = 32 in the evaluation.
+	CRC32IEEE = Params{
+		Name: "CRC-32/IEEE", Width: 32, Poly: 0x04C11DB7, Init: 0xFFFFFFFF,
+		RefIn: true, RefOut: true, XorOut: 0xFFFFFFFF, Check: 0xCBF43926,
+	}
+
+	// CRC8ATM is a small non-reflected code used in tests to exercise the
+	// 8-bit boundary of the table engine.
+	CRC8ATM = Params{
+		Name: "CRC-8/ATM", Width: 8, Poly: 0x07, Init: 0x00,
+		RefIn: false, RefOut: false, XorOut: 0x00, Check: 0xF4,
+	}
+)
+
+// Presets lists every built-in parameter set.
+func Presets() []Params {
+	return []Params{CRC5EPC, CRC16EPC, CRC16CCITTFalse, CRC32IEEE, CRC8ATM}
+}
+
+// ByName returns the preset with the given name and whether it exists.
+func ByName(name string) (Params, bool) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Params{}, false
+}

@@ -1,0 +1,32 @@
+package deploy_test
+
+import (
+	"fmt"
+
+	"repro/internal/deploy"
+	"repro/internal/prng"
+	"repro/internal/tagmodel"
+)
+
+// The paper's Table V floor: 100 readers on a 10 m grid, 3 m read range.
+// A 3 m disc per reader covers π·9/100 ≈ 28% of each 10 m cell.
+func ExampleFloor_Coverage() {
+	rng := prng.New(1)
+	f := deploy.NewFloor(100)
+	f.PlaceReadersGrid(100, 3)
+	pop := tagmodel.NewPopulation(5000, 64, rng)
+	f.PlaceTags(pop, rng)
+	cov := f.Coverage()
+	fmt.Println(cov > 0.25 && cov < 0.32)
+	// Output: true
+}
+
+// Interference colouring: a 10 m grid with a 15 m interference radius
+// needs four colours (the diagonal neighbours join the graph).
+func ExampleColorReaders() {
+	f := deploy.NewFloor(100)
+	f.PlaceReadersGrid(100, 3)
+	_, count := deploy.ColorReaders(f.InterferenceGraph(15))
+	fmt.Println(count)
+	// Output: 4
+}

@@ -1,0 +1,46 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/crc"
+	"repro/internal/signal"
+)
+
+func BenchmarkQCDClassify(b *testing.B) {
+	q := NewQCD(8, 64)
+	tag := newTag(64, 1)
+	rx := signal.Overlap(q.ContentionPayload(tag))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = q.Classify(rx)
+	}
+}
+
+func BenchmarkCRCCDClassify(b *testing.B) {
+	d := NewCRCCD(crc.CRC32IEEE, 64)
+	tag := newTag(64, 1)
+	rx := signal.Overlap(d.ContentionPayload(tag))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = d.Classify(rx)
+	}
+}
+
+func BenchmarkQCDPayload(b *testing.B) {
+	q := NewQCD(8, 64)
+	tag := newTag(64, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = q.ContentionPayload(tag)
+	}
+}
+
+func BenchmarkCRCCDPayload(b *testing.B) {
+	d := NewCRCCD(crc.CRC32IEEE, 64)
+	tag := newTag(64, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = d.ContentionPayload(tag)
+	}
+}

@@ -1,0 +1,144 @@
+package detect
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+)
+
+// CollisionFunc is a candidate f for the paper's Definition 1: each tag
+// transmits r ‖ f(r); the reader declares a collision when
+// f(∨ r_i) ≠ ∨ f(r_i). f must be length-preserving.
+type CollisionFunc struct {
+	Name string
+	F    func(bitstr.BitString) bitstr.BitString
+}
+
+// Complement is the paper's choice, f(r) = r̄ (Theorem 1 proves it valid).
+func Complement() CollisionFunc {
+	return CollisionFunc{Name: "complement", F: bitstr.Not}
+}
+
+// Identity is the degenerate f(r) = r; it satisfies neither direction
+// (f(∨r) always equals ∨f(r)), so it never detects anything.
+func Identity() CollisionFunc {
+	return CollisionFunc{Name: "identity", F: func(r bitstr.BitString) bitstr.BitString { return r }}
+}
+
+// Reverse is f(r) = r with the bit order reversed — a plausible-looking
+// candidate that fails Definition 1: e.g. r1=01, r2=10 give
+// f(r1∨r2)=f(11)=11 = f(r1)∨f(r2)=10∨01, flagging nothing.
+func Reverse() CollisionFunc {
+	return CollisionFunc{Name: "reverse", F: func(r bitstr.BitString) bitstr.BitString {
+		out := bitstr.New(r.Len())
+		for i := 0; i < r.Len(); i++ {
+			out = out.SetBit(i, r.Bit(r.Len()-1-i))
+		}
+		return out
+	}}
+}
+
+// XorConst is f(r) = r ⊕ k for a constant pattern k; for k = all-ones it
+// coincides with the complement, for any other k it fails on the bit
+// positions where k is zero.
+func XorConst(k bitstr.BitString) CollisionFunc {
+	return CollisionFunc{
+		Name: fmt.Sprintf("xor-%s", k),
+		F: func(r bitstr.BitString) bitstr.BitString {
+			return bitstr.Xor(r, k)
+		},
+	}
+}
+
+// RotateOne is f(r) = r rotated left by one — fails Definition 1 (any
+// rotation-closed pair defeats it).
+func RotateOne() CollisionFunc {
+	return CollisionFunc{Name: "rotate1", F: func(r bitstr.BitString) bitstr.BitString {
+		if r.Len() == 0 {
+			return r
+		}
+		return bitstr.Concat(r.Slice(1, r.Len()), r.Slice(0, 1))
+	}}
+}
+
+// Counterexample is a witness that f violates Definition 1: a set of
+// integers with at least two distinct values whose overlap f fails to
+// flag, or a singleton f flags spuriously.
+type Counterexample struct {
+	Rs       []bitstr.BitString
+	Spurious bool // true: a singleton was flagged; false: a collision was missed
+}
+
+// String formats the witness.
+func (c Counterexample) String() string {
+	kind := "missed collision"
+	if c.Spurious {
+		kind = "spurious flag"
+	}
+	s := kind + " on {"
+	for i, r := range c.Rs {
+		if i > 0 {
+			s += ", "
+		}
+		s += r.String()
+	}
+	return s + "}"
+}
+
+// Verify exhaustively checks Definition 1 for all multisets of up to m
+// integers of the given bit width (width ≤ 12 keeps this tractable; pair
+// checking is width ≤ 16). It returns nil if f is a collision function on
+// that domain, or the first counterexample found.
+//
+// Definition 1 has two directions:
+//  1. m > 1 with at least two distinct values ⇒ f(∨r_i) ≠ ∨f(r_i);
+//  2. m = 1 (or all values equal, indistinguishable from m = 1 on the
+//     air) ⇒ equality.
+//
+// Direction 1 for arbitrary m reduces to pairs: the Boolean sum is
+// associative and monotone, but a pair-valid f can still fail on triples,
+// so Verify checks pairs and triples explicitly.
+func Verify(f CollisionFunc, width, m int) *Counterexample {
+	if width < 1 || width > 16 {
+		panic(fmt.Sprintf("detect: Verify width %d out of [1,16]", width))
+	}
+	n := uint64(1) << uint(width)
+
+	// Direction 2 (m = 1 or all values equal ⇒ equality) holds trivially
+	// for any deterministic f: f(∨ of one value) and the ∨ of one f-value
+	// are the same expression. Only direction 1 can fail.
+
+	// Direction 1: every distinct pair must be flagged.
+	for a := uint64(0); a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			ra := bitstr.FromUint64(a, width)
+			rb := bitstr.FromUint64(b, width)
+			or := bitstr.Or(ra, rb)
+			if f.F(or).Equal(bitstr.Or(f.F(ra), f.F(rb))) {
+				return &Counterexample{Rs: []bitstr.BitString{ra, rb}}
+			}
+		}
+	}
+	if m < 3 || width > 8 {
+		return nil
+	}
+	// Triples (distinctness needs only two differing elements).
+	for a := uint64(0); a < n; a++ {
+		for b := uint64(0); b < n; b++ {
+			for c := uint64(0); c < n; c++ {
+				if a == b && b == c {
+					continue
+				}
+				ra := bitstr.FromUint64(a, width)
+				rb := bitstr.FromUint64(b, width)
+				rc := bitstr.FromUint64(c, width)
+				or := bitstr.OrAll(ra, rb, rc)
+				fs := bitstr.OrAll(f.F(ra), f.F(rb), f.F(rc))
+				if f.F(or).Equal(fs) {
+					return &Counterexample{Rs: []bitstr.BitString{ra, rb, rc}}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitstr"
+)
+
+func TestComplementIsACollisionFunction(t *testing.T) {
+	// Theorem 1, verified exhaustively: pairs up to width 10, triples up
+	// to width 6.
+	for _, w := range []int{1, 2, 4, 8, 10} {
+		if ce := Verify(Complement(), w, 2); ce != nil {
+			t.Fatalf("width %d: complement failed Definition 1: %v", w, ce)
+		}
+	}
+	if ce := Verify(Complement(), 6, 3); ce != nil {
+		t.Fatalf("complement failed on triples: %v", ce)
+	}
+}
+
+func TestIdentityFails(t *testing.T) {
+	ce := Verify(Identity(), 4, 2)
+	if ce == nil {
+		t.Fatal("identity passed Definition 1 (impossible: OR is idempotent)")
+	}
+	if ce.Spurious {
+		t.Error("identity should fail by missing collisions, not flagging singles")
+	}
+}
+
+func TestReverseFails(t *testing.T) {
+	if ce := Verify(Reverse(), 2, 2); ce == nil {
+		t.Fatal("bit-reversal passed Definition 1")
+	}
+	// The documented witness: r1=01, r2=10.
+	r1 := bitstr.MustParse("01")
+	r2 := bitstr.MustParse("10")
+	f := Reverse().F
+	or := bitstr.Or(r1, r2)
+	if !f(or).Equal(bitstr.Or(f(r1), f(r2))) {
+		t.Error("documented witness no longer reproduces")
+	}
+}
+
+func TestRotateFails(t *testing.T) {
+	if ce := Verify(RotateOne(), 3, 2); ce == nil {
+		t.Fatal("rotation passed Definition 1")
+	}
+}
+
+func TestXorConstOnlyAllOnesWorks(t *testing.T) {
+	// f(r) = r ⊕ k equals the complement exactly when k is all ones; any
+	// zero bit in k leaves a position where OR distributes.
+	w := 4
+	allOnes := bitstr.Not(bitstr.New(w))
+	if ce := Verify(XorConst(allOnes), w, 2); ce != nil {
+		t.Fatalf("xor-1111 (the complement) failed: %v", ce)
+	}
+	for _, k := range []string{"0000", "0001", "1110", "1010"} {
+		if ce := Verify(XorConst(bitstr.MustParse(k)), w, 2); ce == nil {
+			t.Errorf("xor-%s passed Definition 1, should fail", k)
+		}
+	}
+}
+
+func TestCounterexampleString(t *testing.T) {
+	ce := Counterexample{Rs: []bitstr.BitString{bitstr.MustParse("01"), bitstr.MustParse("10")}}
+	if !strings.Contains(ce.String(), "missed collision") || !strings.Contains(ce.String(), "01") {
+		t.Errorf("String() = %s", ce.String())
+	}
+	ce.Spurious = true
+	if !strings.Contains(ce.String(), "spurious") {
+		t.Errorf("String() = %s", ce.String())
+	}
+}
+
+func TestVerifyWidthValidation(t *testing.T) {
+	for _, w := range []int{0, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d accepted", w)
+				}
+			}()
+			Verify(Complement(), w, 2)
+		}()
+	}
+}

@@ -1,0 +1,111 @@
+package epc
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/crc"
+)
+
+// Gen-2 command encodings at the bit level. The inventory engines only
+// need the lengths (QueryBits etc.), but encoding the real layouts keeps
+// those constants honest and exercises the CRC-5 engine on its actual
+// payload.
+
+// DivideRatio selects the TRcal divide ratio.
+type DivideRatio byte
+
+// Divide ratios.
+const (
+	DR8    DivideRatio = 0 // DR = 8
+	DR64_3 DivideRatio = 1 // DR = 64/3
+)
+
+// SessionID is the Gen-2 inventory session S0..S3.
+type SessionID byte
+
+// QueryCommand is the Gen-2 Query layout: 4-bit code (1000), DR, M(2),
+// TRext, Sel(2), Session(2), Target, Q(4), CRC-5 — 22 bits total.
+type QueryCommand struct {
+	DR      DivideRatio
+	M       byte // cycles/bit selector: 0=FM0, 1=M2, 2=M4, 3=M8
+	TRext   bool
+	Sel     byte // 2 bits
+	Session SessionID
+	Target  byte // 0=A, 1=B
+	Q       byte // 0..15
+}
+
+// Bits encodes the command with its CRC-5.
+func (q QueryCommand) Bits() (bitstr.BitString, error) {
+	if q.M > 3 || q.Sel > 3 || q.Session > 3 || q.Target > 1 || q.Q > 15 {
+		return bitstr.BitString{}, fmt.Errorf("epc: Query field out of range: %+v", q)
+	}
+	b := bitstr.MustParse("1000") // command code
+	b = bitstr.Concat(b, bitstr.FromUint64(uint64(q.DR)&1, 1))
+	b = bitstr.Concat(b, bitstr.FromUint64(uint64(q.M), 2))
+	tr := uint64(0)
+	if q.TRext {
+		tr = 1
+	}
+	b = bitstr.Concat(b, bitstr.FromUint64(tr, 1))
+	b = bitstr.Concat(b, bitstr.FromUint64(uint64(q.Sel), 2))
+	b = bitstr.Concat(b, bitstr.FromUint64(uint64(q.Session), 2))
+	b = bitstr.Concat(b, bitstr.FromUint64(uint64(q.Target), 1))
+	b = bitstr.Concat(b, bitstr.FromUint64(uint64(q.Q), 4))
+	// CRC-5 over the 17 payload bits.
+	sum := crc.ChecksumBits(crc.CRC5EPC, b)
+	return bitstr.Concat(b, bitstr.FromUint64(sum, 5)), nil
+}
+
+// VerifyQuery checks a received Query's CRC-5 and returns the Q field.
+func VerifyQuery(b bitstr.BitString) (qval byte, err error) {
+	if b.Len() != QueryBits {
+		return 0, fmt.Errorf("epc: Query is %d bits, want %d", b.Len(), QueryBits)
+	}
+	if !crc.VerifyBits(crc.CRC5EPC, b) {
+		return 0, fmt.Errorf("epc: Query CRC-5 failed")
+	}
+	return byte(b.Slice(13, 17).Uint64()), nil
+}
+
+// QueryRepCommand is the 4-bit QueryRep: code (00) + session (2).
+func QueryRepCommand(session SessionID) bitstr.BitString {
+	b := bitstr.MustParse("00")
+	return bitstr.Concat(b, bitstr.FromUint64(uint64(session)&3, 2))
+}
+
+// QueryAdjustCommand is the 9-bit QueryAdjust: code (1001) + session (2)
+// + UpDn (3): 110=Q+1, 000=Q, 011=Q−1.
+func QueryAdjustCommand(session SessionID, delta int) (bitstr.BitString, error) {
+	b := bitstr.MustParse("1001")
+	b = bitstr.Concat(b, bitstr.FromUint64(uint64(session)&3, 2))
+	var updn uint64
+	switch delta {
+	case +1:
+		updn = 0b110
+	case 0:
+		updn = 0b000
+	case -1:
+		updn = 0b011
+	default:
+		return bitstr.BitString{}, fmt.Errorf("epc: QueryAdjust delta %d not in {-1,0,1}", delta)
+	}
+	return bitstr.Concat(b, bitstr.FromUint64(updn, 3)), nil
+}
+
+// AckCommand is the 18-bit ACK: code (01) + the 16-bit RN16 echo.
+func AckCommand(rn16 uint16) bitstr.BitString {
+	return bitstr.Concat(bitstr.MustParse("01"), bitstr.FromUint64(uint64(rn16), 16))
+}
+
+// ParseAck inverts AckCommand.
+func ParseAck(b bitstr.BitString) (uint16, error) {
+	if b.Len() != AckBits {
+		return 0, fmt.Errorf("epc: ACK is %d bits, want %d", b.Len(), AckBits)
+	}
+	if b.Bit(0) != 0 || b.Bit(1) != 1 {
+		return 0, fmt.Errorf("epc: not an ACK code")
+	}
+	return uint16(b.Slice(2, 18).Uint64()), nil
+}

@@ -1,0 +1,99 @@
+package epc
+
+import (
+	"testing"
+
+	"repro/internal/crc"
+)
+
+func TestQueryEncodingLengthMatchesConstant(t *testing.T) {
+	q := QueryCommand{DR: DR8, M: 2, TRext: false, Sel: 0, Session: 1, Target: 0, Q: 4}
+	b, err := q.Bits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != QueryBits {
+		t.Fatalf("encoded Query = %d bits, constant says %d", b.Len(), QueryBits)
+	}
+	// It must verify and carry the Q field intact.
+	got, err := VerifyQuery(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("Q = %d", got)
+	}
+}
+
+func TestQueryCRCDetectsCorruption(t *testing.T) {
+	q := QueryCommand{Q: 9, M: 1}
+	b, err := q.Bits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b.Len(); i++ {
+		bad := b.SetBit(i, 1-b.Bit(i))
+		if _, err := VerifyQuery(bad); err == nil {
+			t.Fatalf("single-bit corruption at %d not caught by CRC-5", i)
+		}
+	}
+}
+
+func TestQueryFieldValidation(t *testing.T) {
+	for _, q := range []QueryCommand{
+		{Q: 16}, {M: 4}, {Sel: 4}, {Session: 4}, {Target: 2},
+	} {
+		if _, err := q.Bits(); err == nil {
+			t.Errorf("out-of-range Query accepted: %+v", q)
+		}
+	}
+}
+
+func TestQueryRepAndAdjustLengths(t *testing.T) {
+	if got := QueryRepCommand(2).Len(); got != QueryRepBits {
+		t.Errorf("QueryRep = %d bits, constant %d", got, QueryRepBits)
+	}
+	for _, d := range []int{-1, 0, 1} {
+		b, err := QueryAdjustCommand(1, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() != QueryAdjustBits {
+			t.Errorf("QueryAdjust = %d bits, constant %d", b.Len(), QueryAdjustBits)
+		}
+	}
+	if _, err := QueryAdjustCommand(1, 2); err == nil {
+		t.Error("delta 2 accepted")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	for _, rn := range []uint16{0, 1, 0xABCD, 0xFFFF} {
+		b := AckCommand(rn)
+		if b.Len() != AckBits {
+			t.Fatalf("ACK = %d bits", b.Len())
+		}
+		got, err := ParseAck(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != rn {
+			t.Errorf("RN16 = %#x, want %#x", got, rn)
+		}
+	}
+	if _, err := ParseAck(QueryRepCommand(0)); err == nil {
+		t.Error("short frame accepted as ACK")
+	}
+	// Wrong command code.
+	bad := AckCommand(1).SetBit(0, 1)
+	if _, err := ParseAck(bad); err == nil {
+		t.Error("non-ACK code accepted")
+	}
+}
+
+func TestCRC5PresetIsUsed(t *testing.T) {
+	// Guard: the Query encoder must really use CRC-5/EPC (width 5).
+	if crc.CRC5EPC.Width != 5 {
+		t.Fatal("CRC-5 preset width changed")
+	}
+}

@@ -1,0 +1,156 @@
+// Package epc grounds the simulator in the air standards the paper cites:
+// EPCglobal Class-1 Generation-2 (the "EPC Gen 2" of Section I) and
+// ISO 18000-6. It provides the protocol constants (command and reply
+// lengths, CRC assignments), structured EPC identifier generation, and
+// the paper's Table V/VI simulation setup values.
+package epc
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/prng"
+)
+
+// Air-interface constants (EPC C1G2 v1.0.9 / ISO 18000-6C).
+const (
+	// QueryBits is the length of the Gen-2 Query command (4-bit command
+	// code + DR/M/TRext/Sel/Session/Target + Q + CRC-5).
+	QueryBits = 22
+	// QueryRepBits advances the slot counter.
+	QueryRepBits = 4
+	// QueryAdjustBits retunes Q mid-round.
+	QueryAdjustBits = 9
+	// AckBits acknowledges an RN16.
+	AckBits = 18
+	// RN16Bits is the 16-bit random number a Gen-2 tag backscatters first.
+	RN16Bits = 16
+	// IDBits is the ID length the paper analyses (Section IV-A: "a tag
+	// transmits its EPC ID (64 bits)").
+	IDBits = 64
+	// CRCBits is the checksum length the paper pairs with it ("as well as
+	// a CRC code (32 bits)"), giving the 96-bit transmitted unit of
+	// Table V.
+	CRCBits = 32
+	// TransmittedUnitBits = IDBits + CRCBits, Table V's "96-bit ID".
+	TransmittedUnitBits = IDBits + CRCBits
+)
+
+// Setup is the paper's Table V simulation environment.
+type Setup struct {
+	AreaMeters     float64 // square side: 100 m
+	Readers        int     // 100
+	RangeMeters    float64 // identification range: 3 m
+	IDBits         int     // randomly selected IDs, 96-bit transmitted unit
+	Rounds         int     // each test repeated 100 rounds
+	TauMicros      float64 // per-bit airtime
+	StrengthValues []int   // QCD strengths evaluated: 4, 8, 16
+}
+
+// PaperSetup returns Table V's values.
+func PaperSetup() Setup {
+	return Setup{
+		AreaMeters:     100,
+		Readers:        100,
+		RangeMeters:    3,
+		IDBits:         IDBits,
+		Rounds:         100,
+		TauMicros:      1,
+		StrengthValues: []int{4, 8, 16},
+	}
+}
+
+// Case is one row of Table VI: a tag count and an FSA frame size.
+type Case struct {
+	Name  string
+	Tags  int
+	Slots int // FSA frame length
+}
+
+// PaperCases returns Table VI. (The printed table's Case IV "5000" tag
+// count is a typo: Tables VII–IX all evaluate 50000 tags for case IV.)
+func PaperCases() []Case {
+	return []Case{
+		{Name: "I", Tags: 50, Slots: 30},
+		{Name: "II", Tags: 500, Slots: 300},
+		{Name: "III", Tags: 5000, Slots: 3000},
+		{Name: "IV", Tags: 50000, Slots: 30000},
+	}
+}
+
+// CaseByName returns the named case.
+func CaseByName(name string) (Case, bool) {
+	for _, c := range PaperCases() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Case{}, false
+}
+
+// EPC96 is a structured 96-bit EPC (SGTIN-96-like layout) for generating
+// realistic identifier populations: a fixed header, a manager number, an
+// object class, and a serial number.
+type EPC96 struct {
+	Header  uint8  // 8 bits
+	Manager uint32 // 28 bits
+	Class   uint32 // 24 bits
+	Serial  uint64 // 36 bits
+}
+
+// Bits packs the EPC into a 96-bit string.
+func (e EPC96) Bits() bitstr.BitString {
+	out := bitstr.FromUint64(uint64(e.Header), 8)
+	out = bitstr.Concat(out, bitstr.FromUint64(uint64(e.Manager)&(1<<28-1), 28))
+	out = bitstr.Concat(out, bitstr.FromUint64(uint64(e.Class)&(1<<24-1), 24))
+	return bitstr.Concat(out, bitstr.FromUint64(e.Serial&(1<<36-1), 36))
+}
+
+// ParseEPC96 unpacks a 96-bit string into its fields.
+func ParseEPC96(b bitstr.BitString) (EPC96, error) {
+	if b.Len() != 96 {
+		return EPC96{}, fmt.Errorf("epc: EPC96 needs 96 bits, got %d", b.Len())
+	}
+	return EPC96{
+		Header:  uint8(b.Slice(0, 8).Uint64()),
+		Manager: uint32(b.Slice(8, 36).Uint64()),
+		Class:   uint32(b.Slice(36, 60).Uint64()),
+		Serial:  b.Slice(60, 96).Uint64(),
+	}, nil
+}
+
+// Generator draws EPC96 identifiers from a single manager/class (one
+// company's one product line), with unique sequential or random serials —
+// the realistic ID structure for the warehouse example, and an
+// adversarially clustered one for query trees (shared long prefixes).
+type Generator struct {
+	Header  uint8
+	Manager uint32
+	Class   uint32
+	rng     *prng.Source
+	next    uint64
+	random  bool
+}
+
+// NewSequentialGenerator yields serials 0,1,2,… under one manager/class.
+func NewSequentialGenerator(manager, class uint32) *Generator {
+	return &Generator{Header: 0x30, Manager: manager, Class: class}
+}
+
+// NewRandomGenerator yields uniformly random serials (collision-checked by
+// the caller) under one manager/class.
+func NewRandomGenerator(manager, class uint32, rng *prng.Source) *Generator {
+	return &Generator{Header: 0x30, Manager: manager, Class: class, rng: rng, random: true}
+}
+
+// Next returns the next identifier.
+func (g *Generator) Next() EPC96 {
+	e := EPC96{Header: g.Header, Manager: g.Manager, Class: g.Class}
+	if g.random {
+		e.Serial = g.rng.Bits(36)
+	} else {
+		e.Serial = g.next & (1<<36 - 1)
+		g.next++
+	}
+	return e
+}

@@ -1,0 +1,100 @@
+package epc
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestConstants(t *testing.T) {
+	if TransmittedUnitBits != 96 {
+		t.Errorf("transmitted unit = %d bits, want 96 (Table V)", TransmittedUnitBits)
+	}
+	if IDBits != 64 || CRCBits != 32 {
+		t.Error("paper's l_id/l_crc constants wrong")
+	}
+}
+
+func TestPaperSetup(t *testing.T) {
+	s := PaperSetup()
+	if s.AreaMeters != 100 || s.Readers != 100 || s.RangeMeters != 3 {
+		t.Errorf("setup = %+v, want Table V values", s)
+	}
+	if s.Rounds != 100 {
+		t.Errorf("rounds = %d, want 100", s.Rounds)
+	}
+	if len(s.StrengthValues) != 3 {
+		t.Error("strengths should be 4/8/16")
+	}
+}
+
+func TestPaperCases(t *testing.T) {
+	cases := PaperCases()
+	if len(cases) != 4 {
+		t.Fatalf("cases = %d", len(cases))
+	}
+	wantTags := []int{50, 500, 5000, 50000}
+	wantSlots := []int{30, 300, 3000, 30000}
+	for i, c := range cases {
+		if c.Tags != wantTags[i] || c.Slots != wantSlots[i] {
+			t.Errorf("case %s = %d/%d, want %d/%d", c.Name, c.Tags, c.Slots, wantTags[i], wantSlots[i])
+		}
+	}
+	if c, ok := CaseByName("II"); !ok || c.Tags != 500 {
+		t.Error("CaseByName II failed")
+	}
+	if _, ok := CaseByName("V"); ok {
+		t.Error("CaseByName found nonexistent case")
+	}
+}
+
+func TestEPC96RoundTrip(t *testing.T) {
+	e := EPC96{Header: 0x30, Manager: 0x0ABCDEF, Class: 0x123456, Serial: 0x9_8765_4321}
+	b := e.Bits()
+	if b.Len() != 96 {
+		t.Fatalf("EPC bits = %d", b.Len())
+	}
+	got, err := ParseEPC96(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Errorf("roundtrip = %+v, want %+v", got, e)
+	}
+}
+
+func TestParseEPC96WrongLength(t *testing.T) {
+	if _, err := ParseEPC96(EPC96{}.Bits().Slice(0, 64)); err == nil {
+		t.Error("64-bit input accepted")
+	}
+}
+
+func TestSequentialGenerator(t *testing.T) {
+	g := NewSequentialGenerator(7, 9)
+	a, b := g.Next(), g.Next()
+	if a.Serial != 0 || b.Serial != 1 {
+		t.Errorf("serials = %d,%d", a.Serial, b.Serial)
+	}
+	if a.Manager != 7 || a.Class != 9 || a.Header != 0x30 {
+		t.Errorf("fields = %+v", a)
+	}
+	// Sequential EPCs share a 60-bit prefix — the adversarial case for QT.
+	if !b.Bits().Slice(0, 60).Equal(a.Bits().Slice(0, 60)) {
+		t.Error("sequential EPCs do not share the manager/class prefix")
+	}
+}
+
+func TestRandomGenerator(t *testing.T) {
+	g := NewRandomGenerator(7, 9, prng.New(1))
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		e := g.Next()
+		if e.Serial>>36 != 0 {
+			t.Fatalf("serial %d exceeds 36 bits", e.Serial)
+		}
+		seen[e.Serial] = true
+	}
+	if len(seen) < 95 {
+		t.Errorf("only %d distinct serials in 100 draws", len(seen))
+	}
+}

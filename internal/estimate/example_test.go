@@ -1,0 +1,25 @@
+package estimate_test
+
+import (
+	"fmt"
+
+	"repro/internal/aloha"
+	"repro/internal/estimate"
+)
+
+// Estimate the backlog behind an observed frame census. The frame had 300
+// slots; Schoute charges 2.39 tags per collision.
+func ExampleSchoute_Estimate() {
+	census := aloha.FrameCensus{Size: 300, Idle: 56, Single: 95, Collided: 149}
+	fmt.Printf("%.1f\n", estimate.Schoute{}.Estimate(census))
+	// Output: 451.1
+}
+
+// An estimator becomes a frame policy: each frame is sized to the
+// estimated remaining backlog.
+func ExampleNewPolicy() {
+	p := estimate.NewPolicy(estimate.Schoute{}, 128)
+	next := p.NextFrame(aloha.FrameCensus{Size: 128, Single: 40, Collided: 30})
+	fmt.Println(p.Name(), next) // 40 + 2.39×30 − 40 identified ≈ 72
+	// Output: estimate-schoute 72
+}

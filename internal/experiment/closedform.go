@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/crc"
+	"repro/internal/epc"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Lemma1 validates λ_max = 1/e ≈ 0.37: analytically over an F/n sweep and
+// empirically with the clairvoyant optimal frame policy.
+func Lemma1(o Options) (Renderable, error) {
+	o = o.normalize()
+	s := report.NewSeries("Lemma 1: FSA throughput vs frame size (n = 1000)",
+		"F/n", "throughput λ", "analytic", "simulated")
+
+	const n = 1000
+	for _, ratio := range []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0} {
+		f := int(ratio * n)
+		ana := analytic.FSAThroughput(n, float64(f))
+		// Simulate a single frame's census (first frame only: Lemma 1 is a
+		// per-frame statement).
+		cfg := sim.Config{
+			Tags: n, Seed: o.Seed, Rounds: o.Rounds,
+			Algorithm: sim.AlgFSA, FrameSize: f,
+			Detector: sim.DetOracle, Workers: o.Workers,
+		}
+		agg, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// The analytic column is the single-frame λ of Lemma 1; the
+		// simulated column is the whole-session λ, which sits below it
+		// because frames after the first are sparsely occupied. Both peak
+		// around F = n.
+		s.Add(ratio, ana, agg.Throughput.Mean())
+	}
+
+	t := report.NewTable("Lemma 1 check", "quantity", "value", "paper")
+	t.AddRow("max analytic λ (at F=n)", report.F(analytic.FSAMaxThroughput(), 4), "≈0.37")
+	opt := sim.Config{
+		Tags: 1000, Seed: o.Seed, Rounds: o.Rounds,
+		Algorithm: sim.AlgFSA, FramePolicy: sim.PolicyOptimal,
+		Detector: sim.DetOracle, Workers: o.Workers,
+	}
+	agg, err := sim.Run(opt)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("simulated session λ (optimal policy)", report.F(agg.Throughput.Mean(), 4), "≤0.37")
+	t.AddNote("whole sessions run below the single-frame optimum because late frames are sparse")
+	return Multi{s, t}, nil
+}
+
+// Lemma2 validates the BT constants 2.885n / 1.443n / 0.442n.
+func Lemma2(o Options) (Renderable, error) {
+	o = o.normalize()
+	t := report.NewTable("Lemma 2: BT slot constants (per tag, simulated vs analytic)",
+		"n", "slots/n", "collided/n", "idle/n", "λ", "paper slots/n", "paper λ")
+	for _, c := range o.cases() {
+		agg, err := o.run(c, sim.AlgBT, sim.DetOracle, 8)
+		if err != nil {
+			return nil, err
+		}
+		n := float64(c.Tags)
+		t.AddRow(
+			fmt.Sprintf("%d", c.Tags),
+			report.F(agg.Slots.Mean()/n, 3),
+			report.F(agg.Collided.Mean()/n, 3),
+			report.F(agg.Idle.Mean()/n, 3),
+			report.F(agg.Throughput.Mean(), 3),
+			report.F(analytic.BTSlotsPerTag, 3),
+			report.F(analytic.BTAvgThroughput(), 2),
+		)
+	}
+	return t, nil
+}
+
+// Table2 regenerates Table II from the corrected closed form.
+func Table2(Options) (Renderable, error) {
+	t := report.NewTable("Table II: minimum EI on FSA (l_id=64, l_crc=32)",
+		"strength", "EI (this repo)", "EI (paper)")
+	paper := map[int]string{4: "≥0.6698", 8: "≥0.5864", 16: "≥0.4198"}
+	for _, s := range strengths() {
+		t.AddRow(fmt.Sprintf("%d-bit", s),
+			report.F(analytic.FSAEI(analytic.PaperLengths(s)), 4), paper[s])
+	}
+	t.AddNote("formula: EI = ((1.7/2.7)·l_id + l_crc − l_prm)/(l_id+l_crc); the paper's printed formula has sign typos")
+	return t, nil
+}
+
+// Table3 regenerates Table III.
+func Table3(Options) (Renderable, error) {
+	t := report.NewTable("Table III: average EI on BT (l_id=64, l_crc=32)",
+		"strength", "EI (this repo)", "EI (paper)")
+	paper := map[int]string{4: "≈0.6856", 8: "≈0.6023", 16: "≈0.4356"}
+	for _, s := range strengths() {
+		t.AddRow(fmt.Sprintf("%d-bit", s),
+			report.F(analytic.BTEI(analytic.PaperLengths(s)), 4), paper[s])
+	}
+	return t, nil
+}
+
+// Table4 regenerates the cost comparison from the instrumented engines.
+func Table4(Options) (Renderable, error) {
+	crcCost := crc.CRCCDCost(crc.CRC32IEEE, epc.IDBits)
+	qcdCost := crc.QCDCost(8)
+	t := report.NewTable("Table IV: CRC-CD vs QCD (tag-side cost, measured from the engines)",
+		"dimension", "CRC-CD (CRC-32, 64-bit ID)", "QCD (8-bit strength)", "paper")
+	t.AddRow("# of instructions",
+		fmt.Sprintf("%d", crcCost.Instructions),
+		fmt.Sprintf("%d", qcdCost.Instructions),
+		">100 vs 1")
+	t.AddRow("complexity", crcCost.Complexity, qcdCost.Complexity, "O(l) vs O(1)")
+	t.AddRow("memory",
+		fmt.Sprintf("%dB lookup table (reader) + %d-bit register", crcCost.LookupTableB, crc.CRC32IEEE.Width),
+		fmt.Sprintf("%d bits", qcdCost.MemoryBits),
+		"1KB vs 16 bits")
+	t.AddRow("transmission (idle/collided slot)",
+		fmt.Sprintf("%d bits", crcCost.TransmitBits),
+		fmt.Sprintf("%d bits", qcdCost.TransmitBits),
+		"96 bits vs 16 bits")
+	t.AddRow("gate estimate (tag IC)",
+		fmt.Sprintf("~%d", crcCost.GateEstimate),
+		fmt.Sprintf("~%d", qcdCost.GateEstimate),
+		"(not quantified)")
+	t.AddNote("instruction count measured by running the instrumented bit-serial CRC over a 64-bit ID")
+	t.AddNote("BenchmarkTable4 measures the same gap in real ns/op on this machine")
+	return t, nil
+}
+
+// Setup prints Tables V and VI.
+func Setup(Options) (Renderable, error) {
+	s := epc.PaperSetup()
+	tv := report.NewTable("Table V: simulation setup", "parameter", "value")
+	tv.AddRow("simulation area", fmt.Sprintf("%.0fm × %.0fm", s.AreaMeters, s.AreaMeters))
+	tv.AddRow("number of readers", fmt.Sprintf("%d", s.Readers))
+	tv.AddRow("identification range", fmt.Sprintf("%.0fm", s.RangeMeters))
+	tv.AddRow("tag ID", fmt.Sprintf("random %d-bit ID + %d-bit CRC (96-bit unit)", epc.IDBits, epc.CRCBits))
+	tv.AddRow("rounds per test", fmt.Sprintf("%d", s.Rounds))
+	tv.AddRow("τ (per bit)", fmt.Sprintf("%.0f μs", s.TauMicros))
+
+	tvi := report.NewTable("Table VI: simulation cases", "case", "# of tags", "# of slots (FSA frame)")
+	for _, c := range epc.PaperCases() {
+		tvi.AddRow(c.Name, fmt.Sprintf("%d", c.Tags), fmt.Sprintf("%d", c.Slots))
+	}
+	tvi.AddNote("the paper's printed case-IV tag count (5000) is a typo; Tables VII–IX use 50000")
+	return Multi{tv, tvi}, nil
+}

@@ -1,0 +1,193 @@
+// Package experiment contains one driver per table and figure of the
+// paper's evaluation (Section VI) plus the Section III/V analytical
+// results and the ablations DESIGN.md calls out. Every driver returns a
+// renderable result carrying the regenerated numbers alongside the
+// paper's reported values, so EXPERIMENTS.md can be produced mechanically.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/epc"
+	"repro/internal/sim"
+)
+
+// Renderable is anything the drivers can return (report.Table,
+// report.Series, or a composite).
+type Renderable interface {
+	Render() string
+}
+
+// Multi concatenates several renderables (e.g. Figure 7's two panels).
+type Multi []Renderable
+
+// Render implements Renderable.
+func (m Multi) Render() string {
+	out := ""
+	for i, r := range m {
+		if i > 0 {
+			out += "\n"
+		}
+		out += r.Render()
+	}
+	return out
+}
+
+// csver is satisfied by report.Table and report.Series.
+type csver interface{ CSV() string }
+
+// CSVOf extracts comma-separated data from a result: each table or series
+// becomes one CSV block (blocks separated by a blank line). It returns ""
+// when the result carries no tabular data.
+func CSVOf(r Renderable) string {
+	switch v := r.(type) {
+	case csver:
+		return v.CSV()
+	case Multi:
+		out := ""
+		for _, child := range v {
+			if c := CSVOf(child); c != "" {
+				if out != "" {
+					out += "\n"
+				}
+				out += c
+			}
+		}
+		return out
+	default:
+		return ""
+	}
+}
+
+// Options scales an experiment run.
+type Options struct {
+	// Rounds is the Monte-Carlo repetition count; 0 means the paper's 100.
+	Rounds int
+	// MaxCase limits the Table VI cases used (1..4); 0 means all four.
+	// Case IV has 50000 tags — full-fidelity runs take minutes.
+	MaxCase int
+	// Seed is the master seed (default 1).
+	Seed uint64
+	// Workers bounds parallel rounds (default GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) normalize() Options {
+	if o.Rounds <= 0 {
+		o.Rounds = epc.PaperSetup().Rounds
+	}
+	if o.MaxCase <= 0 || o.MaxCase > 4 {
+		o.MaxCase = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Quick returns options sized for tests and smoke benches: cases I–II,
+// a handful of rounds.
+func Quick() Options { return Options{Rounds: 5, MaxCase: 2, Seed: 1} }
+
+func (o Options) cases() []epc.Case {
+	return epc.PaperCases()[:o.MaxCase]
+}
+
+// strengths are the paper's evaluated QCD strengths.
+func strengths() []int { return epc.PaperSetup().StrengthValues }
+
+// baseConfig assembles a sim.Config for one (case, algorithm, detector).
+func (o Options) baseConfig(c epc.Case, alg, det string, strength int) sim.Config {
+	return sim.Config{
+		Tags:         c.Tags,
+		IDBits:       epc.IDBits,
+		Seed:         o.Seed,
+		Rounds:       o.Rounds,
+		Algorithm:    alg,
+		FrameSize:    c.Slots,
+		Detector:     det,
+		Strength:     strength,
+		Workers:      o.Workers,
+		ConfirmEmpty: alg == sim.AlgFSA,
+	}
+}
+
+// run executes one aggregate.
+func (o Options) run(c epc.Case, alg, det string, strength int) (*sim.Aggregate, error) {
+	return sim.Run(o.baseConfig(c, alg, det, strength))
+}
+
+// Runner is a named experiment.
+type Runner struct {
+	ID    string // e.g. "table7", "fig5", "lemma1"
+	Title string
+	Run   func(Options) (Renderable, error)
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Runner {
+	return []Runner{
+		{ID: "lemma1", Title: "Lemma 1: FSA throughput peaks at 1/e when F = n", Run: Lemma1},
+		{ID: "lemma2", Title: "Lemma 2: BT needs 2.885n slots (λ ≈ 0.35)", Run: Lemma2},
+		{ID: "table2", Title: "Table II: minimum EI of QCD on FSA", Run: Table2},
+		{ID: "table3", Title: "Table III: average EI of QCD on BT", Run: Table3},
+		{ID: "table4", Title: "Table IV: CRC-CD vs QCD cost comparison", Run: Table4},
+		{ID: "setup", Title: "Tables V & VI: simulation setup and cases", Run: Setup},
+		{ID: "fig5", Title: "Figure 5: QCD detection accuracy vs strength", Run: Figure5},
+		{ID: "table7", Title: "Table VII: FSA slot census per case", Run: Table7},
+		{ID: "table8", Title: "Table VIII: BT slot census per case", Run: Table8},
+		{ID: "table9", Title: "Table IX: utilisation rate vs strength", Run: Table9},
+		{ID: "fig6", Title: "Figure 6: identification delay, CRC-CD vs QCD", Run: Figure6},
+		{ID: "fig7", Title: "Figure 7: transmission time, CRC-CD vs QCD (FSA & BT)", Run: Figure7},
+		{ID: "fig8", Title: "Figure 8: measured EI per strength (FSA & BT)", Run: Figure8},
+		{ID: "ablation-detector", Title: "Ablation: oracle vs QCD vs CRC-CD", Run: AblationDetector},
+		{ID: "ablation-strength", Title: "Ablation: strength sweep 1..16", Run: AblationStrength},
+		{ID: "ablation-policy", Title: "Ablation: FSA frame policies under QCD and CRC-CD", Run: AblationFramePolicy},
+		{ID: "ablation-protocols", Title: "Ablation: QCD across FSA/BT/Q-adaptive/QT", Run: AblationProtocols},
+		{ID: "ablation-estimate", Title: "Ablation: cardinality-estimating frame policies", Run: AblationEstimate},
+		{ID: "ablation-energy", Title: "Ablation: per-tag transmitted bits (tag energy)", Run: AblationEnergy},
+		{ID: "ablation-overhead", Title: "Ablation: EI with Gen-2 command overhead charged", Run: AblationOverhead},
+		{ID: "mobility", Title: "Mobility: miss rate of a flowing population (Sec. VI-D)", Run: Mobility},
+		{ID: "floor", Title: "Multi-reader floor (Table V environment)", Run: Floor},
+		{ID: "gen2", Title: "Gen-2 command-level inventory: RN16 vs CRC-CD vs QCD", Run: Gen2},
+		{ID: "noise", Title: "Channel noise: identification time vs BER", Run: Noise},
+		{ID: "capture", Title: "Capture effect: slots/time vs capture probability", Run: Capture},
+		{ID: "schedule", Title: "Reader-interference scheduling on the Table V floor", Run: Schedule},
+		{ID: "edfsa", Title: "EDFSA grouping vs capped fixed frames", Run: EDFSAExperiment},
+		{ID: "workloads", Title: "ID-structure sensitivity: QT vs FSA on EPC-shaped populations", Run: Workloads},
+		{ID: "phy", Title: "EI under real Gen-2 PHY link budgets (PIE/FM0/Miller)", Run: Phy},
+		{ID: "privacy", Title: "Backward-channel protection: pseudo-ID mixing & same-bit leakage", Run: Privacy},
+	}
+}
+
+// ByID returns the named experiment.
+func ByID(id string) (Runner, bool) {
+	for _, r := range Registry() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	var out []string
+	for _, r := range Registry() {
+		out = append(out, r.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fmtMicros(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gs", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.4gms", v/1e3)
+	default:
+		return fmt.Sprintf("%.4gμs", v)
+	}
+}

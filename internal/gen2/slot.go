@@ -1,0 +1,166 @@
+package gen2
+
+import (
+	"math"
+
+	"repro/internal/air"
+	"repro/internal/bitstr"
+	"repro/internal/crc"
+	"repro/internal/epc"
+	"repro/internal/prng"
+	"repro/internal/signal"
+	"repro/internal/timing"
+)
+
+// epcReplyBits is the acknowledged-tag reply in stock Gen-2: EPC plus its
+// CRC-16.
+var epcReplyBits = epc.IDBits + crc.CRC16EPC.Width
+
+// runGen2Slot executes one inventoried slot under the configured reply
+// scheme, charging tag airtime into the outcome and reader command
+// airtime into res/now.
+func runGen2Slot(cfg Config, res *Result, responders []*tagCtx, rng *prng.Source, now *float64, tm timing.Model) air.Outcome {
+	switch cfg.Scheme {
+	case ReplyRN16:
+		return runRN16Slot(cfg, res, responders, now, tm)
+	default:
+		return runDetectorSlot(cfg, res, responders, now, tm)
+	}
+}
+
+// runRN16Slot models stock Gen-2: the slot opens with a bare RN16, which
+// carries no integrity check, so the reader must spend an ACK exchange to
+// discover whether the slot was clean.
+func runRN16Slot(cfg Config, res *Result, responders []*tagCtx, now *float64, tm timing.Model) air.Outcome {
+	out := air.Outcome{Truth: signal.Classify(len(responders))}
+	if len(responders) == 0 {
+		out.Declared = signal.Idle
+		return out
+	}
+
+	// Slot-opening replies: every responder backscatters a fresh RN16.
+	var ch signal.Channel
+	for _, c := range responders {
+		c.rn16 = uint16(c.tag.Rng.Bits(16))
+		payload := bitstr.FromUint64(uint64(c.rn16), 16)
+		c.tag.BitsSent += 16
+		ch.Transmit(payload)
+	}
+	rx := ch.Receive()
+	out.Bits = 16
+	*now += 16 * tm.TauMicros
+
+	// The reader has no way to classify the reply; it optimistically ACKs
+	// whatever it received.
+	out.Declared = signal.Single
+	res.ACKs++
+	if cfg.ChargeCommands {
+		res.CommandBits += epc.AckBits
+		*now += float64(epc.AckBits) * tm.TauMicros
+	}
+	acked := uint16(rx.Signal.Uint64())
+
+	// Tags whose RN16 matches the echo reply with EPC ‖ CRC-16.
+	var epcCh signal.Channel
+	matched := 0
+	for _, c := range responders {
+		if c.rn16 == acked {
+			frame := crc.AppendBits(crc.CRC16EPC, c.tag.ID)
+			c.tag.BitsSent += int64(frame.Len())
+			epcCh.Transmit(frame)
+			matched++
+		}
+	}
+	if matched > 0 {
+		out.Bits += epcReplyBits
+		*now += float64(epcReplyBits) * tm.TauMicros
+		reply := epcCh.Receive()
+		if crc.VerifyBits(crc.CRC16EPC, reply.Signal) {
+			id := reply.Signal.Slice(0, epc.IDBits)
+			for _, c := range responders {
+				if c.tag.ID.Equal(id) {
+					c.tag.Identified = true
+					c.tag.IdentifiedAtMicros = *now
+					out.Identified = c.tag
+					break
+				}
+			}
+		}
+	}
+	if out.Identified == nil {
+		// Garbled RN16 (nobody matched) or overlapped EPCs (CRC failed):
+		// the ACK was wasted and the reader NAKs. A lone responder always
+		// matches its own echo, so this branch implies a true collision.
+		out.Declared = signal.Collided
+		res.WastedACKs++
+	}
+	return out
+}
+
+// runDetectorSlot runs the CRC-CD or QCD reply format inside the Gen-2
+// exchange: the detector classifies the slot-opening reply, and only a
+// declared single earns the ACK (and, for QCD, the deferred ID).
+func runDetectorSlot(cfg Config, res *Result, responders []*tagCtx, now *float64, tm timing.Model) air.Outcome {
+	det := cfg.Detector
+	out := air.Outcome{Truth: signal.Classify(len(responders))}
+
+	var ch signal.Channel
+	for _, c := range responders {
+		payload := det.ContentionPayload(c.tag)
+		c.tag.BitsSent += int64(payload.Len())
+		ch.Transmit(payload)
+	}
+	rx := ch.Receive()
+	out.Declared = det.Classify(rx)
+	out.Bits = det.ContentionBits()
+	*now += float64(det.ContentionBits()) * tm.TauMicros
+	if out.Declared != signal.Single {
+		return out
+	}
+
+	res.ACKs++
+	if cfg.ChargeCommands {
+		res.CommandBits += epc.AckBits
+		*now += float64(epc.AckBits) * tm.TauMicros
+	}
+	var idPhase signal.Reception
+	if det.NeedsIDPhase() {
+		out.Bits += det.IDPhaseBits()
+		*now += float64(det.IDPhaseBits()) * tm.TauMicros
+		var idCh signal.Channel
+		for _, c := range responders {
+			c.tag.BitsSent += int64(c.tag.ID.Len())
+			idCh.Transmit(c.tag.ID)
+		}
+		idPhase = idCh.Receive()
+	}
+	if acked, ok := det.ExtractID(rx, idPhase); ok {
+		for _, c := range responders {
+			if c.tag.ID.Equal(acked) {
+				c.tag.Identified = true
+				c.tag.IdentifiedAtMicros = *now
+				out.Identified = c.tag
+				break
+			}
+		}
+	}
+	if out.Identified == nil {
+		out.Phantom = true
+		res.WastedACKs++
+	}
+	return out
+}
+
+func qRound(q float64) float64 { return math.Round(q) }
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+// Package metrics accumulates and derives the paper's evaluation
+// quantities: slot censuses and throughput λ (Lemmas 1–2, Tables VII and
+// VIII), collision-detection accuracy (Figure 5), utilisation rate UR
+// (Table IX), per-tag identification delay (Figure 6), transmission time
+// (Figure 7), and efficiency improvement EI (Tables II–III, Figure 8).
+package metrics
+
+import (
+	"repro/internal/air"
+	"repro/internal/signal"
+)
+
+// Census counts slots by ground-truth type plus the frame count; these are
+// the columns of Tables VII and VIII.
+type Census struct {
+	Idle     int64 // N0
+	Single   int64 // N1
+	Collided int64 // Nc
+	Frames   int64
+}
+
+// Slots returns the total slot count N0+N1+Nc.
+func (c Census) Slots() int64 { return c.Idle + c.Single + c.Collided }
+
+// Throughput returns λ = N1 / (N0+N1+Nc), zero for an empty census.
+func (c Census) Throughput() float64 {
+	if s := c.Slots(); s > 0 {
+		return float64(c.Single) / float64(s)
+	}
+	return 0
+}
+
+// Add accumulates another census (used when averaging rounds or merging
+// per-reader sessions).
+func (c *Census) Add(o Census) {
+	c.Idle += o.Idle
+	c.Single += o.Single
+	c.Collided += o.Collided
+	c.Frames += o.Frames
+}
+
+// Detection tallies the detector's classification quality (Figure 5).
+type Detection struct {
+	TrueCollided     int64 // slots whose ground truth was collided
+	DetectedCollided int64 // of those, slots the detector also declared collided
+	FalseSingle      int64 // collided slots declared single (QCD same-r miss, CRC aliasing)
+	Phantom          int64 // declared-single slots where no tag matched the ACK
+}
+
+// Accuracy is the paper's Figure-5 metric: correctly detected collided
+// slots over all collided slots (n'_c / n_c). With no collisions observed
+// it is 1 by convention.
+func (d Detection) Accuracy() float64 {
+	if d.TrueCollided == 0 {
+		return 1
+	}
+	return float64(d.DetectedCollided) / float64(d.TrueCollided)
+}
+
+// Add accumulates another detection tally.
+func (d *Detection) Add(o Detection) {
+	d.TrueCollided += o.TrueCollided
+	d.DetectedCollided += o.DetectedCollided
+	d.FalseSingle += o.FalseSingle
+	d.Phantom += o.Phantom
+}
+
+// Session aggregates one complete identification run: every tag of a
+// population identified by one reader under one algorithm + detector.
+type Session struct {
+	Census    Census
+	Detection Detection
+
+	// Bits is total airtime in bits as actually spent (contention phases
+	// plus ID phases that the declared classification triggered).
+	Bits int64
+
+	// TimeMicros is Bits scaled by the τ of the timing model in effect.
+	TimeMicros float64
+
+	// DelaysMicros holds each identified tag's identification delay, the
+	// Figure-6 metric: time from session start to the tag's ACK.
+	DelaysMicros []float64
+
+	// TagsIdentified counts acknowledged tags (equals the population size
+	// when the session ran to completion).
+	TagsIdentified int64
+
+	keepLog bool
+	slotLog []SlotRecord
+}
+
+// Record folds one slot outcome into the session.
+func (s *Session) Record(o air.Outcome, endMicros float64) {
+	switch o.Truth {
+	case signal.Idle:
+		s.Census.Idle++
+	case signal.Single:
+		s.Census.Single++
+	case signal.Collided:
+		s.Census.Collided++
+		s.Detection.TrueCollided++
+		if o.Declared == signal.Collided {
+			s.Detection.DetectedCollided++
+		} else if o.Declared == signal.Single {
+			s.Detection.FalseSingle++
+		}
+	}
+	if o.Phantom {
+		s.Detection.Phantom++
+	}
+	s.Bits += int64(o.Bits)
+	s.TimeMicros = endMicros
+	if o.Identified != nil {
+		s.TagsIdentified++
+		s.DelaysMicros = append(s.DelaysMicros, o.Identified.IdentifiedAtMicros)
+	}
+	if s.keepLog {
+		s.slotLog = append(s.slotLog, SlotRecord{
+			Truth: o.Truth, Declared: o.Declared,
+			Bits: int32(o.Bits), Identified: o.Identified != nil,
+		})
+	}
+}
+
+// UR is the utilisation rate of Table IX: the fraction of airtime spent on
+// successfully transmitted IDs,
+//
+//	UR = N1·l_id / (N1·(l_prm+l_id) + (Nc+N0)·l_prm)
+//
+// generalised here to measured airtime: identified-ID bits over all bits.
+func (s Session) UR(idBits int) float64 {
+	if s.Bits == 0 {
+		return 0
+	}
+	return float64(s.TagsIdentified*int64(idBits)) / float64(s.Bits)
+}
+
+// EI returns the efficiency improvement of this session over a baseline
+// session on the same workload: (t_base − t_this) / t_base (Section V).
+func EI(baseline, improved Session) float64 {
+	if baseline.TimeMicros == 0 {
+		return 0
+	}
+	return (baseline.TimeMicros - improved.TimeMicros) / baseline.TimeMicros
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/air"
+	"repro/internal/bitstr"
+	"repro/internal/prng"
+	"repro/internal/signal"
+	"repro/internal/tagmodel"
+)
+
+func TestCensus(t *testing.T) {
+	c := Census{Idle: 39, Single: 50, Collided: 110, Frames: 6}
+	if c.Slots() != 199 {
+		t.Errorf("Slots = %d", c.Slots())
+	}
+	// Paper Table VII case I reports throughput 0.25.
+	if got := c.Throughput(); math.Abs(got-0.2512) > 0.001 {
+		t.Errorf("Throughput = %v", got)
+	}
+	var zero Census
+	if zero.Throughput() != 0 {
+		t.Error("empty census throughput != 0")
+	}
+}
+
+func TestCensusAdd(t *testing.T) {
+	a := Census{Idle: 1, Single: 2, Collided: 3, Frames: 1}
+	a.Add(Census{Idle: 10, Single: 20, Collided: 30, Frames: 2})
+	if a.Idle != 11 || a.Single != 22 || a.Collided != 33 || a.Frames != 3 {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestDetectionAccuracy(t *testing.T) {
+	d := Detection{TrueCollided: 100, DetectedCollided: 99, FalseSingle: 1}
+	if got := d.Accuracy(); got != 0.99 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	var none Detection
+	if none.Accuracy() != 1 {
+		t.Error("no collisions should give accuracy 1")
+	}
+}
+
+func TestSessionRecord(t *testing.T) {
+	var s Session
+	s.Record(air.Outcome{Truth: signal.Idle, Declared: signal.Idle, Bits: 16}, 16)
+	s.Record(air.Outcome{Truth: signal.Collided, Declared: signal.Collided, Bits: 16}, 32)
+	s.Record(air.Outcome{Truth: signal.Collided, Declared: signal.Single, Bits: 80, Phantom: true}, 112)
+
+	if s.Census.Idle != 1 || s.Census.Collided != 2 || s.Census.Single != 0 {
+		t.Errorf("census = %+v", s.Census)
+	}
+	if s.Detection.TrueCollided != 2 || s.Detection.DetectedCollided != 1 ||
+		s.Detection.FalseSingle != 1 || s.Detection.Phantom != 1 {
+		t.Errorf("detection = %+v", s.Detection)
+	}
+	if s.Bits != 112 || s.TimeMicros != 112 {
+		t.Errorf("bits/time = %d/%v", s.Bits, s.TimeMicros)
+	}
+	if s.TagsIdentified != 0 || len(s.DelaysMicros) != 0 {
+		t.Error("phantom slot must not identify")
+	}
+}
+
+func TestURMatchesPaperTable9(t *testing.T) {
+	// Table IX row "50": Table VII census (39 idle, 50 single, 110
+	// collided) under QCD strengths 4/8/16 gives UR 66.78%, 50.13%, 33.44%.
+	census := Census{Idle: 39, Single: 50, Collided: 110}
+	const idBits = 64
+	for _, tc := range []struct {
+		strength int
+		want     float64
+	}{
+		{4, 0.6678}, {8, 0.5013}, {16, 0.3344},
+	} {
+		prm := 2 * tc.strength
+		bits := census.Single*int64(prm+idBits) + (census.Idle+census.Collided)*int64(prm)
+		s := Session{Bits: bits, TagsIdentified: census.Single}
+		if got := s.UR(idBits); math.Abs(got-tc.want) > 0.0005 {
+			t.Errorf("strength %d: UR = %.4f, want %.4f", tc.strength, got, tc.want)
+		}
+	}
+}
+
+func TestURZeroBits(t *testing.T) {
+	var s Session
+	if s.UR(64) != 0 {
+		t.Error("UR of empty session != 0")
+	}
+}
+
+func TestEI(t *testing.T) {
+	base := Session{TimeMicros: 19104} // 199 slots × 96 bits (case I, CRC-CD)
+	qcd := Session{TimeMicros: 6384}   // 50×80 + 149×16 (case I, QCD-8)
+	if got := EI(base, qcd); math.Abs(got-0.6658) > 0.001 {
+		t.Errorf("EI = %v, want ~0.666 (Figure 8a case I)", got)
+	}
+	if EI(Session{}, qcd) != 0 {
+		t.Error("EI with zero baseline should be 0")
+	}
+}
+
+func TestRecordIdentification(t *testing.T) {
+	var s Session
+	tag := tagmodel.New(0, bitstr.MustParse("1010"), prng.New(1))
+	tag.Identified = true
+	tag.IdentifiedAtMicros = 80
+	o := air.Outcome{Truth: signal.Single, Declared: signal.Single, Bits: 80, Identified: tag}
+	s.Record(o, 80)
+	if s.Census.Single != 1 {
+		t.Error("single slot not counted")
+	}
+	if s.TagsIdentified != 1 || len(s.DelaysMicros) != 1 || s.DelaysMicros[0] != 80 {
+		t.Errorf("identification bookkeeping: %d tags, delays %v", s.TagsIdentified, s.DelaysMicros)
+	}
+}

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/signal"
+)
+
+// SlotRecord is one slot of a session's event log: enough to re-time the
+// whole session under a different clock without re-simulating.
+type SlotRecord struct {
+	Truth      signal.SlotType
+	Declared   signal.SlotType
+	Bits       int32
+	Identified bool // a tag was acknowledged in this slot
+}
+
+// EnableSlotLog turns on per-slot recording for a session (opt-in: a
+// 50000-tag case logs a few hundred thousand records).
+func (s *Session) EnableSlotLog() { s.keepLog = true }
+
+// SlotLog returns the recorded slots (nil unless EnableSlotLog was called
+// before the run).
+func (s *Session) SlotLog() []SlotRecord { return s.slotLog }
+
+// SlotCost maps a declared slot type to its airtime in bits under some
+// scheme/clock (the re-timing key).
+type SlotCost func(declared signal.SlotType, identified bool) float64
+
+// Retime replays a slot log under a different cost model and returns the
+// total session time and the identification delays (one per identified
+// slot, in the same order identifications occurred). This is how the
+// evaluation re-clocks a simulated census-and-order under real PHY
+// profiles without re-running the protocol.
+func Retime(log []SlotRecord, cost SlotCost) (totalMicros float64, delays []float64) {
+	if cost == nil {
+		panic("metrics: Retime needs a cost function")
+	}
+	now := 0.0
+	for _, r := range log {
+		now += cost(r.Declared, r.Identified)
+		if r.Identified {
+			delays = append(delays, now)
+		}
+	}
+	return now, delays
+}
+
+// ProportionalCost builds a SlotCost that charges the given μs per bit
+// for each declared type's bit count, matching the original accounting
+// under a scaled clock.
+func ProportionalCost(bitsOf func(signal.SlotType) int, tauMicros float64) SlotCost {
+	if bitsOf == nil {
+		panic("metrics: ProportionalCost needs a bit model")
+	}
+	return func(declared signal.SlotType, _ bool) float64 {
+		return float64(bitsOf(declared)) * tauMicros
+	}
+}
+
+// Validate checks the internal consistency of a slot log against a census
+// (used by tests and the replay tooling).
+func ValidateLog(log []SlotRecord, c Census) error {
+	var idle, single, collided int64
+	for _, r := range log {
+		switch r.Truth {
+		case signal.Idle:
+			idle++
+		case signal.Single:
+			single++
+		case signal.Collided:
+			collided++
+		}
+	}
+	if idle != c.Idle || single != c.Single || collided != c.Collided {
+		return fmt.Errorf("metrics: log census %d/%d/%d != session census %d/%d/%d",
+			idle, single, collided, c.Idle, c.Single, c.Collided)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/air"
+	"repro/internal/signal"
+)
+
+func loggedSession() *Session {
+	var s Session
+	s.EnableSlotLog()
+	s.Record(air.Outcome{Truth: signal.Idle, Declared: signal.Idle, Bits: 16}, 16)
+	s.Record(air.Outcome{Truth: signal.Collided, Declared: signal.Collided, Bits: 16}, 32)
+	// An identified single (fake tag not needed for the log fields).
+	o := air.Outcome{Truth: signal.Single, Declared: signal.Single, Bits: 80}
+	s.Record(o, 112)
+	s.slotLog[len(s.slotLog)-1].Identified = true // the outcome had no tag pointer
+	return &s
+}
+
+func TestSlotLogRecords(t *testing.T) {
+	s := loggedSession()
+	log := s.SlotLog()
+	if len(log) != 3 {
+		t.Fatalf("log has %d records", len(log))
+	}
+	if log[0].Truth != signal.Idle || log[1].Declared != signal.Collided || log[2].Bits != 80 {
+		t.Errorf("log contents: %+v", log)
+	}
+	// Disabled by default.
+	var off Session
+	off.Record(air.Outcome{Truth: signal.Idle}, 0)
+	if off.SlotLog() != nil {
+		t.Error("log recorded without EnableSlotLog")
+	}
+}
+
+func TestValidateLog(t *testing.T) {
+	s := loggedSession()
+	if err := ValidateLog(s.SlotLog(), s.Census); err != nil {
+		t.Fatal(err)
+	}
+	bad := Census{Idle: 9}
+	if err := ValidateLog(s.SlotLog(), bad); err == nil {
+		t.Error("mismatched census accepted")
+	}
+}
+
+func TestRetime(t *testing.T) {
+	s := loggedSession()
+	// Re-clock: idle/collided cost 1 μs, singles cost 10 μs.
+	total, delays := Retime(s.SlotLog(), func(d signal.SlotType, _ bool) float64 {
+		if d == signal.Single {
+			return 10
+		}
+		return 1
+	})
+	if total != 12 {
+		t.Errorf("retimed total = %v", total)
+	}
+	if len(delays) != 1 || delays[0] != 12 {
+		t.Errorf("retimed delays = %v", delays)
+	}
+}
+
+func TestRetimeProportionalRecoversOriginal(t *testing.T) {
+	s := loggedSession()
+	bitsOf := func(d signal.SlotType) int {
+		if d == signal.Single {
+			return 80
+		}
+		return 16
+	}
+	total, _ := Retime(s.SlotLog(), ProportionalCost(bitsOf, 1))
+	if math.Abs(total-float64(s.Bits)) > 1e-9 {
+		t.Errorf("proportional retime %v != original bits %d", total, s.Bits)
+	}
+}
+
+func TestRetimeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil cost accepted")
+		}
+	}()
+	Retime(nil, nil)
+}

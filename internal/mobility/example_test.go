@@ -1,0 +1,18 @@
+package mobility_test
+
+import (
+	"fmt"
+
+	"repro/internal/detect"
+	"repro/internal/mobility"
+)
+
+// A flowing population: tags arrive at 100/s, dwell 200 ms, and the
+// reader runs back-to-back BT inventory rounds. The miss rate is the
+// fraction that left the field unread.
+func ExampleRun() {
+	arr := mobility.Arrivals{RatePerSecond: 100, DwellMicros: 200_000}
+	res := mobility.Run(mobility.ProtoBT, detect.NewQCD(8, 64), arr, 1e6, 1)
+	fmt.Println(res.Read+res.Missed == res.Arrived, res.MissRate() < 0.05)
+	// Output: true true
+}

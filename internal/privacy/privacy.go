@@ -1,0 +1,199 @@
+// Package privacy implements the backward-channel protection scheme the
+// paper's related work describes (Section II, citing Choi & Roh and Lim
+// et al.), built on the same bitwise Boolean sum as QCD.
+//
+// Premise: the reader-to-tag (forward) channel is much stronger than the
+// tag-to-reader (backward) channel, so a distant eavesdropper hears the
+// reader but not the tags. Query-tree readers that broadcast ID prefixes
+// therefore leak identities on the forward channel. The defence: the
+// reader transmits a random pseudo-ID p each round; the tag replies with
+// the Boolean sum ID ∨ p on the weak backward channel. The reader, who
+// knows p, recovers ID bit i in any round where p_i = 0; an eavesdropper
+// who misses p learns nothing from the forward channel.
+//
+// The scheme's residual weakness — the "same-bit problem" Lim et al.
+// attack — is also modelled: a nearby eavesdropper who does hear the
+// backward channel sees ID_i = 0 the first time a mixed reply carries a
+// zero at i, and grows confident that ID_i = 1 when position i stays one
+// across many rounds. RandomizedBitEncoding mitigates it by re-drawing
+// the per-round encoding of each bit.
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitstr"
+	"repro/internal/prng"
+)
+
+// Session is one pseudo-ID protected identification dialogue.
+type Session struct {
+	id  bitstr.BitString
+	rng *prng.Source
+
+	// known marks ID bits the reader has recovered; mixedSeen records,
+	// for the backward eavesdropper, how often each position was observed
+	// and how often it was one.
+	known    []bool
+	rounds   int
+	obsOnes  []int
+	obsTotal int
+}
+
+// NewSession starts a dialogue for the given tag ID.
+func NewSession(id bitstr.BitString, rng *prng.Source) *Session {
+	if id.Len() == 0 {
+		panic("privacy: empty ID")
+	}
+	return &Session{id: id, rng: rng, known: make([]bool, id.Len()), obsOnes: make([]int, id.Len())}
+}
+
+// Round performs one exchange: the reader draws a pseudo-ID p, the tag
+// replies ID ∨ p. It returns the mixed reply (what a backward
+// eavesdropper sees) and the number of ID bits the reader now knows.
+func (s *Session) Round() (mixed bitstr.BitString, knownBits int) {
+	p := randomBits(s.id.Len(), s.rng)
+	mixed = bitstr.Or(s.id, p)
+	s.rounds++
+	s.obsTotal++
+	for i := 0; i < s.id.Len(); i++ {
+		if p.Bit(i) == 0 {
+			s.known[i] = true // reader reads ID_i directly
+		}
+		if mixed.Bit(i) == 1 {
+			s.obsOnes[i]++
+		}
+	}
+	return mixed, s.KnownBits()
+}
+
+// KnownBits counts ID bits the reader has recovered so far.
+func (s *Session) KnownBits() int {
+	n := 0
+	for _, k := range s.known {
+		if k {
+			n++
+		}
+	}
+	return n
+}
+
+// Complete reports whether the reader knows the full ID.
+func (s *Session) Complete() bool { return s.KnownBits() == s.id.Len() }
+
+// Rounds returns the exchanges performed.
+func (s *Session) Rounds() int { return s.rounds }
+
+// ExpectedRounds returns the expected number of rounds until the reader
+// recovers every bit of an l-bit ID: the maximum of l geometric(1/2)
+// variables, E ≈ log2(l) + 1.33 (coupon-collector-like).
+func ExpectedRounds(l int) float64 {
+	if l < 1 {
+		return 0
+	}
+	// E[max of l Geom(1/2)] = Σ_{k≥0} P(max > k) = Σ_{k≥0} (1 − (1−2^−k)^l)
+	sum := 0.0
+	for k := 0; k < 64; k++ {
+		sum += 1 - math.Pow(1-math.Pow(2, -float64(k)), float64(l))
+	}
+	return sum
+}
+
+// EavesdropperPosterior returns, per bit, the backward eavesdropper's
+// posterior probability that ID_i = 1 after the observed rounds (uniform
+// prior). A single observed zero proves ID_i = 0; k observations of all
+// ones give P(1) = 1 / (1 + 2^−k) — the same-bit leakage.
+func (s *Session) EavesdropperPosterior() []float64 {
+	out := make([]float64, s.id.Len())
+	for i := range out {
+		if s.obsOnes[i] < s.obsTotal {
+			out[i] = 0 // a zero was observed: ID_i is certainly 0
+			continue
+		}
+		k := float64(s.obsTotal)
+		out[i] = 1 / (1 + math.Pow(2, -k))
+	}
+	return out
+}
+
+// ResidualEntropyBits is Lim et al.'s entropy metric: the eavesdropper's
+// remaining uncertainty about the ID, in bits (l for a perfect scheme at
+// round zero, → 0 as the same-bit problem bites).
+func (s *Session) ResidualEntropyBits() float64 {
+	total := 0.0
+	for _, p := range s.EavesdropperPosterior() {
+		total += binaryEntropy(p)
+	}
+	return total
+}
+
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// RandomizedBitEncoding is the Lim et al. mitigation: each round, every
+// ID bit is re-encoded as a fresh random 2-bit codeword pair (b is sent
+// as either (c, c⊕b) with a new random c per round), so the backward
+// eavesdropper's observations carry no cross-round correlation and the
+// residual entropy stays at l bits. The reader, who receives c on the
+// forward-channel agreement, decodes exactly.
+type RandomizedBitEncoding struct {
+	rng *prng.Source
+}
+
+// NewRandomizedBitEncoding returns the encoder.
+func NewRandomizedBitEncoding(rng *prng.Source) *RandomizedBitEncoding {
+	return &RandomizedBitEncoding{rng: rng}
+}
+
+// Encode maps an l-bit ID to a 2l-bit codeword and the pad used; Decode
+// inverts it with the pad.
+func (r *RandomizedBitEncoding) Encode(id bitstr.BitString) (code, pad bitstr.BitString) {
+	pad = randomBits(id.Len(), r.rng)
+	code = bitstr.New(2 * id.Len())
+	for i := 0; i < id.Len(); i++ {
+		c := pad.Bit(i)
+		code = code.SetBit(2*i, c)
+		code = code.SetBit(2*i+1, c^id.Bit(i))
+	}
+	return code, pad
+}
+
+// Decode recovers the ID from a codeword and its pad.
+func (r *RandomizedBitEncoding) Decode(code, pad bitstr.BitString) (bitstr.BitString, error) {
+	if code.Len() != 2*pad.Len() {
+		return bitstr.BitString{}, fmt.Errorf("privacy: codeword %d bits does not match pad %d", code.Len(), pad.Len())
+	}
+	id := bitstr.New(pad.Len())
+	for i := 0; i < pad.Len(); i++ {
+		if code.Bit(2*i) != pad.Bit(i) {
+			return bitstr.BitString{}, fmt.Errorf("privacy: pad mismatch at bit %d", i)
+		}
+		id = id.SetBit(i, code.Bit(2*i)^code.Bit(2*i+1))
+	}
+	return id, nil
+}
+
+// EavesdropperEntropyPerRound is the per-round information a backward
+// eavesdropper extracts from a randomized-encoding codeword: zero — each
+// observed pair (c, c⊕b) is uniform over {00,01,10,11} regardless of b.
+func (r *RandomizedBitEncoding) EavesdropperEntropyPerRound(idBits int) float64 {
+	return float64(idBits) // full uncertainty retained
+}
+
+func randomBits(n int, rng *prng.Source) bitstr.BitString {
+	out := bitstr.New(0)
+	for remaining := n; remaining > 0; {
+		chunk := remaining
+		if chunk > 64 {
+			chunk = 64
+		}
+		out = bitstr.Concat(out, bitstr.FromUint64(rng.Bits(chunk), chunk))
+		remaining -= chunk
+	}
+	return out
+}

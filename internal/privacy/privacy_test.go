@@ -1,0 +1,188 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/prng"
+)
+
+func id64(seed uint64) bitstr.BitString {
+	return bitstr.FromUint64(prng.New(seed).Bits(64), 64)
+}
+
+func TestReaderRecoversID(t *testing.T) {
+	s := NewSession(id64(1), prng.New(2))
+	rounds := 0
+	for !s.Complete() {
+		s.Round()
+		rounds++
+		if rounds > 200 {
+			t.Fatal("reader failed to recover the ID in 200 rounds")
+		}
+	}
+	if s.KnownBits() != 64 {
+		t.Errorf("known = %d", s.KnownBits())
+	}
+	// Expected ≈ log2(64)+1.33 ≈ 7.3; allow generous slack per run.
+	if rounds > 30 {
+		t.Errorf("recovery took %d rounds (expected ≈7)", rounds)
+	}
+}
+
+func TestExpectedRounds(t *testing.T) {
+	// E[max of 64 Geom(1/2)] ≈ 7.3.
+	got := ExpectedRounds(64)
+	if got < 6.5 || got > 8.0 {
+		t.Errorf("ExpectedRounds(64) = %v", got)
+	}
+	if ExpectedRounds(1) < 1.9 || ExpectedRounds(1) > 2.1 {
+		t.Errorf("ExpectedRounds(1) = %v, want 2 (geometric mean)", ExpectedRounds(1))
+	}
+	if ExpectedRounds(0) != 0 {
+		t.Error("ExpectedRounds(0) != 0")
+	}
+	// Empirical check: average recovery rounds over trials ≈ analytic.
+	trials, sum := 200, 0
+	for i := 0; i < trials; i++ {
+		s := NewSession(id64(uint64(i)+10), prng.New(uint64(i)+500))
+		for !s.Complete() {
+			s.Round()
+		}
+		sum += s.Rounds()
+	}
+	mean := float64(sum) / float64(trials)
+	if math.Abs(mean-ExpectedRounds(64)) > 0.8 {
+		t.Errorf("empirical rounds %v vs analytic %v", mean, ExpectedRounds(64))
+	}
+}
+
+func TestMixedReplyHidesFromForwardEavesdropper(t *testing.T) {
+	// The mixed reply must not equal the raw ID in general (p ≠ 0).
+	id := id64(3)
+	s := NewSession(id, prng.New(4))
+	different := 0
+	for i := 0; i < 20; i++ {
+		mixed, _ := s.Round()
+		if !mixed.Equal(id) {
+			different++
+		}
+		// OR-mixing never clears a one bit of the ID.
+		if !bitstr.And(mixed, id).Equal(id) {
+			t.Fatal("mixing cleared an ID bit")
+		}
+	}
+	if different == 0 {
+		t.Error("mixed replies always equalled the ID")
+	}
+}
+
+func TestSameBitLeakage(t *testing.T) {
+	// After many rounds the backward eavesdropper pins every bit: zeros
+	// are proven the first time a zero shows; ones become near-certain.
+	id := id64(5)
+	s := NewSession(id, prng.New(6))
+	for i := 0; i < 30; i++ {
+		s.Round()
+	}
+	post := s.EavesdropperPosterior()
+	for i, p := range post {
+		if id.Bit(i) == 0 && p != 0 {
+			t.Fatalf("bit %d is 0 but posterior %v", i, p)
+		}
+		if id.Bit(i) == 1 && p < 0.999 {
+			t.Fatalf("bit %d is 1 but posterior only %v after 30 rounds", i, p)
+		}
+	}
+	if h := s.ResidualEntropyBits(); h > 0.1 {
+		t.Errorf("residual entropy %v bits after 30 rounds; same-bit problem should have bitten", h)
+	}
+}
+
+func TestResidualEntropyStartsHighAndDecays(t *testing.T) {
+	s := NewSession(id64(7), prng.New(8))
+	s.Round()
+	h1 := s.ResidualEntropyBits()
+	for i := 0; i < 10; i++ {
+		s.Round()
+	}
+	h11 := s.ResidualEntropyBits()
+	if !(h1 > h11) {
+		t.Errorf("entropy did not decay: %v -> %v", h1, h11)
+	}
+	if h1 <= 0 {
+		t.Errorf("first-round entropy %v, want positive", h1)
+	}
+}
+
+func TestRandomizedBitEncodingRoundTrip(t *testing.T) {
+	enc := NewRandomizedBitEncoding(prng.New(9))
+	for i := 0; i < 50; i++ {
+		id := id64(uint64(i) + 100)
+		code, pad := enc.Encode(id)
+		if code.Len() != 128 {
+			t.Fatalf("code length %d", code.Len())
+		}
+		got, err := enc.Decode(code, pad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(id) {
+			t.Fatal("round-trip failed")
+		}
+	}
+}
+
+func TestRandomizedBitEncodingHidesBits(t *testing.T) {
+	// Codewords of the SAME ID must differ across rounds (fresh pads), and
+	// each pair position must take all four values over many rounds.
+	enc := NewRandomizedBitEncoding(prng.New(10))
+	id := id64(11)
+	seen := map[string]bool{}
+	pairValues := map[int]map[string]bool{}
+	for r := 0; r < 64; r++ {
+		code, _ := enc.Encode(id)
+		seen[code.Key()] = true
+		for i := 0; i < 4; i++ { // inspect the first 4 bit pairs
+			pv := code.Slice(2*i, 2*i+2).String()
+			if pairValues[i] == nil {
+				pairValues[i] = map[string]bool{}
+			}
+			pairValues[i][pv] = true
+		}
+	}
+	if len(seen) < 60 {
+		t.Errorf("only %d distinct codewords in 64 rounds", len(seen))
+	}
+	for i, vals := range pairValues {
+		// For a fixed bit b, the pair (c, c⊕b) takes exactly two values
+		// as c varies — but WHICH two depends on b, and both occur.
+		if len(vals) != 2 {
+			t.Errorf("pair %d took %d values, want 2 (both pads)", i, len(vals))
+		}
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	enc := NewRandomizedBitEncoding(prng.New(12))
+	id := id64(13)
+	code, pad := enc.Encode(id)
+	if _, err := enc.Decode(code.Slice(0, 10), pad); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Corrupt a pad-position bit: decode must detect it.
+	bad := code.SetBit(0, 1-code.Bit(0))
+	if _, err := enc.Decode(bad, pad); err == nil {
+		t.Error("pad mismatch accepted")
+	}
+}
+
+func TestEmptyIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty ID accepted")
+		}
+	}()
+	NewSession(bitstr.BitString{}, prng.New(1))
+}

@@ -1,0 +1,215 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 1 and 2 agreed on %d of 100 draws", same)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	s := New(0)
+	if s.Uint64() == 0 && s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Error("zero seed produced a degenerate stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("sibling streams agreed on %d of 1000 draws", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(9).Split()
+	b := New(9).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 2, 3, 7, 30, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			New(1).Intn(n)
+		}()
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square against uniform over 10 buckets; threshold is the 0.999
+	// quantile for 9 degrees of freedom, so a false failure is rare and
+	// the test is deterministic given the fixed seed.
+	s := New(12345)
+	const buckets, draws = 10, 100000
+	var count [buckets]int
+	for i := 0; i < draws; i++ {
+		count[s.Intn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range count {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 27.88 {
+		t.Errorf("chi-square = %.2f exceeds 0.999 quantile (27.88): %v", chi2, count)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBits(t *testing.T) {
+	s := New(11)
+	for _, n := range []int{0, 1, 4, 8, 16, 63, 64} {
+		for i := 0; i < 100; i++ {
+			v := s.Bits(n)
+			if n < 64 && v >= 1<<uint(n) {
+				t.Fatalf("Bits(%d) = %#x out of range", n, v)
+			}
+		}
+	}
+	if New(1).Bits(0) != 0 {
+		t.Error("Bits(0) != 0")
+	}
+}
+
+func TestBitsPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{-1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bits(%d) did not panic", n)
+				}
+			}()
+			New(1).Bits(n)
+		}()
+	}
+}
+
+func TestCoinBalance(t *testing.T) {
+	s := New(77)
+	ones := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		c := s.Coin()
+		if c != 0 && c != 1 {
+			t.Fatalf("Coin = %d", c)
+		}
+		ones += c
+	}
+	if ratio := float64(ones) / n; math.Abs(ratio-0.5) > 0.01 {
+		t.Errorf("Coin ones ratio = %v", ratio)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		n := 1 + int(seed%64)
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := New(seed).Uint64n(n)
+		return v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Intn(3000)
+	}
+}

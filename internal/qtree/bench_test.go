@@ -1,0 +1,37 @@
+package qtree
+
+import (
+	"testing"
+
+	"repro/internal/crc"
+	"repro/internal/detect"
+	"repro/internal/prng"
+	"repro/internal/tagmodel"
+)
+
+func benchRun(b *testing.B, n int, det detect.Detector) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pop := tagmodel.NewPopulation(n, 64, prng.New(uint64(i)+1))
+		Run(pop, det, tm, Options{})
+	}
+}
+
+func BenchmarkQT256QCD(b *testing.B)   { benchRun(b, 256, detect.NewQCD(8, 64)) }
+func BenchmarkQT256CRCCD(b *testing.B) { benchRun(b, 256, detect.NewCRCCD(crc.CRC32IEEE, 64)) }
+
+// BenchmarkAQSSteadyState measures re-reading a stable population from
+// the remembered leaf queries.
+func BenchmarkAQSSteadyState(b *testing.B) {
+	det := detect.NewQCD(8, 64)
+	pop := tagmodel.NewPopulation(256, 64, prng.New(1))
+	first := Run(pop, det, tm, Options{})
+	leaves := first.LeafQueries
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := RunAQS(pop, det, tm, leaves)
+		leaves = res.LeafQueries
+	}
+}

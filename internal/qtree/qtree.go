@@ -1,0 +1,291 @@
+// Package qtree implements Query Tree (QT) anti-collision and its
+// adaptive variant AQS (Section II of the paper): the reader broadcasts a
+// bit-string prefix; exactly the tags whose ID starts with that prefix
+// respond. On a collision the reader splits the prefix into prefix·0 and
+// prefix·1; a tag is identified when it answers alone. QT is
+// deterministic in the IDs, which resolves the starvation problem of
+// FSA/BT — and makes it vulnerable to a "blocker tag" that answers every
+// query (Juels et al.), modelled in this package as an adversary.
+package qtree
+
+import (
+	"fmt"
+
+	"repro/internal/air"
+	"repro/internal/bitstr"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/signal"
+	"repro/internal/tagmodel"
+	"repro/internal/timing"
+)
+
+func slotCap(n int) int64 { return int64(n)*1000 + 1_000_000 }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Blocker simulates a malicious (or privacy-protecting) blocker tag: for
+// every query whose prefix falls inside its protected subtree it responds
+// with garbage, forcing the reader to perceive a collision and recurse.
+type Blocker struct {
+	// Protected is the subtree prefix the blocker defends; a zero-length
+	// prefix blocks the full ID space.
+	Protected bitstr.BitString
+	// Rng drives the garbage payloads.
+	Rng interface{ Bits(int) uint64 }
+}
+
+// blocks reports whether the blocker answers a query for the prefix.
+func (b *Blocker) blocks(prefix bitstr.BitString) bool {
+	if b == nil {
+		return false
+	}
+	// The blocker responds if the queried subtree intersects the
+	// protected subtree: one prefix is a prefix of the other.
+	return prefix.HasPrefix(b.Protected) || b.Protected.HasPrefix(prefix)
+}
+
+// garbage returns an n-bit random burst.
+func (b *Blocker) garbage(n int) bitstr.BitString {
+	out := bitstr.New(0)
+	for remaining := n; remaining > 0; {
+		chunk := remaining
+		if chunk > 64 {
+			chunk = 64
+		}
+		out = bitstr.Concat(out, bitstr.FromUint64(b.Rng.Bits(chunk), chunk))
+		remaining -= chunk
+	}
+	return out
+}
+
+// Options configures a QT session.
+type Options struct {
+	// Blocker, if non-nil, injects adversarial responses.
+	Blocker *Blocker
+	// MaxSlots overrides the default livelock guard (0 = default). A
+	// blocker makes the full tree walk Θ(2^depth), so demos set this.
+	MaxSlots int64
+	// StartQueries seeds the query queue (AQS); nil means the root split.
+	StartQueries []bitstr.BitString
+	// FanoutBits is how many bits a collision appends to the prefix:
+	// 1 = the paper's binary query tree, 2 = a 4-ary tree (fewer collided
+	// levels through shared prefixes, more idle probes). Default 1.
+	FanoutBits int
+}
+
+func (o Options) fanoutBits() int {
+	if o.FanoutBits <= 0 {
+		return 1
+	}
+	if o.FanoutBits > 4 {
+		panic(fmt.Sprintf("qtree: fanout of %d bits (%d-ary) is unreasonable", o.FanoutBits, 1<<uint(o.FanoutBits)))
+	}
+	return o.FanoutBits
+}
+
+// children returns the prefix extensions a collision provokes, clamped to
+// the ID length.
+func children(prefix bitstr.BitString, fanoutBits, idBits int) []bitstr.BitString {
+	b := fanoutBits
+	if prefix.Len()+b > idBits {
+		b = idBits - prefix.Len()
+	}
+	if b <= 0 {
+		return nil
+	}
+	out := make([]bitstr.BitString, 0, 1<<uint(b))
+	for v := uint64(0); v < 1<<uint(b); v++ {
+		out = append(out, bitstr.Concat(prefix, bitstr.FromUint64(v, b)))
+	}
+	return out
+}
+
+// Result bundles the session metrics with the QT-specific outputs.
+type Result struct {
+	Session *metrics.Session
+	// LeafQueries are the queries that ended in idle or single slots; AQS
+	// feeds them back as the next round's starting queue.
+	LeafQueries []bitstr.BitString
+	// Truncated is true when the slot budget expired before every tag was
+	// identified (expected under a blocker).
+	Truncated bool
+}
+
+// Run identifies the population with the query-tree protocol under the
+// given detector. Identified tags keep silent in later queries. When a
+// declared-single slot yields no acknowledged tag (a phantom read), the
+// reader re-arbitrates by splitting the prefix, so detection errors cost
+// extra slots but never starve a tag.
+func Run(pop tagmodel.Population, det detect.Detector, tm timing.Model, opt Options) *Result {
+	idBits := 0
+	if len(pop) > 0 {
+		idBits = pop[0].ID.Len()
+	}
+	maxSlots := opt.MaxSlots
+	if maxSlots == 0 {
+		maxSlots = slotCap(len(pop))
+	}
+
+	fanout := opt.fanoutBits()
+	queue := opt.StartQueries
+	if queue == nil {
+		queue = children(bitstr.BitString{}, fanout, maxInt(idBits, 1))
+	}
+	res := &Result{Session: &metrics.Session{}}
+	s := res.Session
+	now := 0.0
+	var slots int64
+	remaining := 0
+	for _, t := range pop {
+		if !t.Identified {
+			remaining++
+		}
+	}
+
+	for len(queue) > 0 && remaining > 0 {
+		if slots >= maxSlots {
+			res.Truncated = true
+			break
+		}
+		prefix := queue[0]
+		queue = queue[1:]
+
+		var responders []*tagmodel.Tag
+		for _, t := range pop {
+			if !t.Identified && t.ID.HasPrefix(prefix) {
+				responders = append(responders, t)
+			}
+		}
+
+		o := runQuerySlot(det, responders, opt.Blocker, prefix, now, tm.TauMicros)
+		now += float64(o.Bits) * tm.TauMicros
+		s.Record(o, now)
+		slots++
+		if o.Identified != nil {
+			remaining--
+		}
+
+		declaredCollided := o.Declared == signal.Collided
+		phantom := o.Declared == signal.Single && o.Identified == nil
+		kids := children(prefix, fanout, idBits)
+		switch {
+		case (declaredCollided || phantom) && len(kids) > 0:
+			queue = append(queue, kids...)
+		default:
+			res.LeafQueries = append(res.LeafQueries, prefix)
+		}
+	}
+	s.Census.Frames = 1
+	if remaining > 0 && !res.Truncated {
+		// The tree was exhausted with tags left (only possible after an
+		// unlucky phantom at full depth); rerun from the root on the
+		// survivors — this is the reader starting a new inventory round.
+		next := Run(pop, det, tm, Options{
+			Blocker: opt.Blocker, MaxSlots: maxSlots - slots, FanoutBits: opt.FanoutBits,
+		})
+		mergeInto(s, next.Session)
+		res.LeafQueries = append(res.LeafQueries, next.LeafQueries...)
+		res.Truncated = next.Truncated
+	}
+	return res
+}
+
+// runQuerySlot is air.RunSlot plus the optional blocker transmission.
+func runQuerySlot(det detect.Detector, responders []*tagmodel.Tag, blocker *Blocker, prefix bitstr.BitString, now, tau float64) air.Outcome {
+	if blocker == nil || !blocker.blocks(prefix) {
+		return air.RunSlot(det, responders, now, tau)
+	}
+	// Rebuild the slot with the blocker's garbage overlapped onto the
+	// contention (and ID) phases. The blocker counts as a responder for
+	// ground truth: its goal is to make every slot look collided.
+	out := air.Outcome{}
+	var ch signal.Channel
+	for _, t := range responders {
+		p := det.ContentionPayload(t)
+		t.BitsSent += int64(p.Len())
+		ch.Transmit(p)
+	}
+	ch.Transmit(blocker.garbage(det.ContentionBits()))
+	rx := ch.Receive()
+	out.Truth = signal.Classify(rx.Responders)
+	out.Declared = det.Classify(rx)
+	out.Bits = det.ContentionBits()
+	if out.Declared != signal.Single {
+		return out
+	}
+	var idPhase signal.Reception
+	if det.NeedsIDPhase() {
+		out.Bits += det.IDPhaseBits()
+		var idCh signal.Channel
+		for _, t := range responders {
+			t.BitsSent += int64(t.ID.Len())
+			idCh.Transmit(t.ID)
+		}
+		idCh.Transmit(blocker.garbage(det.IDPhaseBits()))
+		idPhase = idCh.Receive()
+	}
+	if acked, ok := det.ExtractID(rx, idPhase); ok {
+		for _, t := range responders {
+			if t.ID.Equal(acked) {
+				t.Identified = true
+				t.IdentifiedAtMicros = now + float64(out.Bits)*tau
+				out.Identified = t
+				break
+			}
+		}
+	}
+	if out.Identified == nil {
+		out.Phantom = true
+	}
+	return out
+}
+
+// mergeInto appends a follow-up round's session after dst in time: the
+// child's clock started at zero, so its delays shift by dst's end time.
+func mergeInto(dst, src *metrics.Session) {
+	base := dst.TimeMicros
+	dst.Census.Add(src.Census)
+	dst.Detection.Add(src.Detection)
+	dst.Bits += src.Bits
+	dst.TimeMicros += src.TimeMicros
+	for _, d := range src.DelaysMicros {
+		dst.DelaysMicros = append(dst.DelaysMicros, base+d)
+	}
+	dst.TagsIdentified += src.TagsIdentified
+}
+
+// RunAQS performs an AQS round: it replays the leaf queries a previous
+// round discovered (plus the root when none are given), so a stable
+// population is re-read without re-deriving the tree. It returns the new
+// leaf set for the next round.
+func RunAQS(pop tagmodel.Population, det detect.Detector, tm timing.Model, leaves []bitstr.BitString) *Result {
+	for _, t := range pop {
+		t.Identified = false
+		t.IdentifiedAtMicros = 0
+	}
+	opt := Options{}
+	if len(leaves) > 0 {
+		opt.StartQueries = pruneLeaves(leaves)
+	}
+	return Run(pop, det, tm, opt)
+}
+
+// pruneLeaves deduplicates and sorts a leaf set into a valid query queue.
+func pruneLeaves(leaves []bitstr.BitString) []bitstr.BitString {
+	seen := make(map[string]bool, len(leaves))
+	var out []bitstr.BitString
+	for _, l := range leaves {
+		k := l.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package qtree
+
+import (
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/crc"
+	"repro/internal/detect"
+	"repro/internal/prng"
+	"repro/internal/tagmodel"
+	"repro/internal/timing"
+)
+
+var tm = timing.Model{TauMicros: 1}
+
+func pop(n int, seed uint64) tagmodel.Population {
+	return tagmodel.NewPopulation(n, 64, prng.New(seed))
+}
+
+func TestRunIdentifiesEveryone(t *testing.T) {
+	for _, det := range []detect.Detector{
+		detect.NewQCD(8, 64),
+		detect.NewCRCCD(crc.CRC32IEEE, 64),
+		detect.NewOracle(1, 64),
+	} {
+		p := pop(100, 1)
+		res := Run(p, det, tm, Options{})
+		if !p.AllIdentified() {
+			t.Fatalf("%s: tags left unidentified", det.Name())
+		}
+		if res.Truncated {
+			t.Fatalf("%s: run truncated", det.Name())
+		}
+		if res.Session.TagsIdentified != 100 {
+			t.Errorf("%s: identified %d", det.Name(), res.Session.TagsIdentified)
+		}
+	}
+}
+
+func TestQTIsDeterministicInIDs(t *testing.T) {
+	// QT resolves the same ID set in the same slot census regardless of
+	// tag randomness (the oracle detector uses no tag randomness at all).
+	p1 := pop(64, 2)
+	r1 := Run(p1, detect.NewOracle(1, 64), tm, Options{})
+	p2 := pop(64, 2) // same IDs, fresh state
+	r2 := Run(p2, detect.NewOracle(1, 64), tm, Options{})
+	if r1.Session.Census != r2.Session.Census {
+		t.Errorf("census differs: %+v vs %+v", r1.Session.Census, r2.Session.Census)
+	}
+}
+
+func TestQTSlotCountScalesLikeTree(t *testing.T) {
+	// For random IDs, QT visits ~2.9n–3n nodes; grossly more means the
+	// queue logic is wrong.
+	p := pop(256, 3)
+	res := Run(p, detect.NewOracle(1, 64), tm, Options{})
+	slots := res.Session.Census.Slots()
+	if slots < 256 || slots > 4*256 {
+		t.Errorf("QT used %d slots for 256 tags", slots)
+	}
+}
+
+func TestQTNoStarvationUnderWeakDetector(t *testing.T) {
+	// Even with a 1-bit QCD (50% missed pairwise collisions → phantoms),
+	// re-arbitration must identify everyone.
+	p := pop(100, 4)
+	res := Run(p, detect.NewQCD(1, 64), tm, Options{})
+	if !p.AllIdentified() {
+		t.Fatal("weak detector starved tags")
+	}
+	if res.Session.Detection.Phantom == 0 {
+		t.Error("expected phantom reads at strength 1")
+	}
+}
+
+func TestClusteredIDs(t *testing.T) {
+	// Sequential EPC-like IDs share a long prefix; the tree must walk
+	// through it and still resolve everyone.
+	rng := prng.New(5)
+	var p tagmodel.Population
+	for i := 0; i < 64; i++ {
+		id := bitstr.Concat(bitstr.FromUint64(0xDEADBEEF, 32), bitstr.FromUint64(uint64(i), 32))
+		p = append(p, tagmodel.New(i, id, rng.Split()))
+	}
+	res := Run(p, detect.NewQCD(8, 64), tm, Options{})
+	if !p.AllIdentified() {
+		t.Fatal("clustered IDs not resolved")
+	}
+	// The shared 32-bit prefix costs one collided slot per level on the
+	// path, then the subtree resolves.
+	if res.Session.Census.Collided < 32 {
+		t.Errorf("expected ≥32 collided slots for the shared prefix, got %d", res.Session.Census.Collided)
+	}
+}
+
+func TestBlockerStarvesQT(t *testing.T) {
+	// Section II: a malicious tag that keeps responding makes QT fail to
+	// identify anything inside the blocked subtree.
+	rng := prng.New(6)
+	p := pop(32, 7)
+	blocker := &Blocker{Protected: bitstr.New(0), Rng: rng} // blocks everything
+	res := Run(p, detect.NewQCD(8, 64), tm, Options{Blocker: blocker, MaxSlots: 5000})
+	if !res.Truncated {
+		t.Fatal("full-space blocker did not exhaust the slot budget")
+	}
+	if res.Session.TagsIdentified != 0 {
+		t.Errorf("blocker leaked %d identifications", res.Session.TagsIdentified)
+	}
+}
+
+func TestBlockerProtectsOnlyItsSubtree(t *testing.T) {
+	// A blocker guarding the '1...' half must not prevent identifying
+	// tags in the '0...' half.
+	rng := prng.New(8)
+	var p tagmodel.Population
+	for i := 0; i < 16; i++ {
+		// Tags in the 0-subtree.
+		id := bitstr.Concat(bitstr.MustParse("0"), bitstr.FromUint64(rng.Bits(63), 63))
+		p = append(p, tagmodel.New(i, id, rng.Split()))
+	}
+	for i := 16; i < 32; i++ {
+		id := bitstr.Concat(bitstr.MustParse("1"), bitstr.FromUint64(rng.Bits(63), 63))
+		p = append(p, tagmodel.New(i, id, rng.Split()))
+	}
+	blocker := &Blocker{Protected: bitstr.MustParse("1"), Rng: rng}
+	Run(p, detect.NewQCD(8, 64), tm, Options{Blocker: blocker, MaxSlots: 20000})
+	zeroIdentified := 0
+	oneIdentified := 0
+	for _, tag := range p {
+		if tag.Identified {
+			if tag.ID.Bit(0) == 0 {
+				zeroIdentified++
+			} else {
+				oneIdentified++
+			}
+		}
+	}
+	if zeroIdentified != 16 {
+		t.Errorf("only %d/16 unprotected tags identified", zeroIdentified)
+	}
+	if oneIdentified != 0 {
+		t.Errorf("%d protected tags leaked", oneIdentified)
+	}
+}
+
+func TestQuaternaryFanout(t *testing.T) {
+	// A 4-ary tree on a shared-prefix population burns half as many
+	// collided levels through the prefix as the binary tree.
+	rng := prng.New(40)
+	mk := func() tagmodel.Population {
+		var p tagmodel.Population
+		for i := 0; i < 64; i++ {
+			id := bitstr.Concat(bitstr.FromUint64(0xFEEDFACE, 32), bitstr.FromUint64(uint64(i), 32))
+			p = append(p, tagmodel.New(i, id, rng.Split()))
+		}
+		return p
+	}
+	bin := Run(mk(), detect.NewOracle(1, 64), tm, Options{FanoutBits: 1})
+	quad := Run(mk(), detect.NewOracle(1, 64), tm, Options{FanoutBits: 2})
+	if quad.Session.Census.Collided >= bin.Session.Census.Collided {
+		t.Errorf("4-ary collided %d not below binary %d",
+			quad.Session.Census.Collided, bin.Session.Census.Collided)
+	}
+	if quad.Session.TagsIdentified != 64 || bin.Session.TagsIdentified != 64 {
+		t.Fatal("fanout variant failed to identify everyone")
+	}
+	// And it pays in idle probes.
+	if quad.Session.Census.Idle <= bin.Session.Census.Idle {
+		t.Errorf("4-ary idle %d not above binary %d (no free lunch expected)",
+			quad.Session.Census.Idle, bin.Session.Census.Idle)
+	}
+}
+
+func TestFanoutValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fanout 5 bits accepted")
+		}
+	}()
+	Run(pop(4, 41), detect.NewQCD(8, 64), tm, Options{FanoutBits: 5})
+}
+
+func TestFanoutClampsAtFullDepth(t *testing.T) {
+	// 3-bit IDs with 2-bit fanout: the last level extends by only 1 bit.
+	rng := prng.New(42)
+	var p tagmodel.Population
+	for i := 0; i < 8; i++ {
+		p = append(p, tagmodel.New(i, bitstr.FromUint64(uint64(i), 3), rng.Split()))
+	}
+	res := Run(p, detect.NewOracle(1, 3), tm, Options{FanoutBits: 2})
+	if !p.AllIdentified() {
+		t.Fatal("full-depth fanout clamping broken")
+	}
+	if res.Truncated {
+		t.Fatal("truncated on a tiny tree")
+	}
+}
+
+func TestAQSReplaysLeaves(t *testing.T) {
+	p := pop(64, 9)
+	first := Run(p, detect.NewOracle(1, 64), tm, Options{})
+	// Second round over the same (stable) population reusing the leaves:
+	// no collisions at all, because every leaf already isolates ≤1 tag.
+	second := RunAQS(p, detect.NewOracle(1, 64), tm, first.LeafQueries)
+	if !p.AllIdentified() {
+		t.Fatal("AQS round failed")
+	}
+	if second.Session.Census.Collided != 0 {
+		t.Errorf("AQS steady state had %d collisions", second.Session.Census.Collided)
+	}
+	if second.Session.Census.Slots() >= first.Session.Census.Slots() {
+		t.Errorf("AQS round (%d slots) not cheaper than cold QT (%d)",
+			second.Session.Census.Slots(), first.Session.Census.Slots())
+	}
+}
+
+func TestAQSWithNoLeavesIsColdStart(t *testing.T) {
+	p := pop(16, 10)
+	res := RunAQS(p, detect.NewOracle(1, 64), tm, nil)
+	if !p.AllIdentified() {
+		t.Fatal("cold AQS failed")
+	}
+	if res.Session.Census.Collided == 0 && len(p) > 2 {
+		t.Error("cold start should have collisions")
+	}
+}
+
+func TestEmptyPopulation(t *testing.T) {
+	res := Run(nil, detect.NewQCD(8, 64), tm, Options{})
+	if res.Session.Census.Slots() != 0 {
+		t.Errorf("empty population used %d slots", res.Session.Census.Slots())
+	}
+}
+
+func TestPruneLeavesDeduplicates(t *testing.T) {
+	leaves := []bitstr.BitString{
+		bitstr.MustParse("01"),
+		bitstr.MustParse("01"),
+		bitstr.MustParse("10"),
+	}
+	out := pruneLeaves(leaves)
+	if len(out) != 2 {
+		t.Errorf("pruneLeaves kept %d", len(out))
+	}
+}

@@ -1,0 +1,130 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders the series as horizontal ASCII bar groups — a terminal
+// stand-in for the paper's figures. Each x position becomes a group with
+// one bar per named series, scaled to the global maximum.
+func (s *Series) Chart(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxY := 0.0
+	for _, row := range s.Y {
+		for _, y := range row {
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", s.Title)
+	if maxY == 0 {
+		sb.WriteString("(all values zero)\n")
+		return sb.String()
+	}
+	nameW := 0
+	for _, n := range s.Names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	for i, x := range s.X {
+		fmt.Fprintf(&sb, "%s = %g\n", s.XLabel, x)
+		for j, name := range s.Names {
+			y := s.Y[i][j]
+			bars := int(math.Round(y / maxY * float64(width)))
+			if y > 0 && bars == 0 {
+				bars = 1
+			}
+			fmt.Fprintf(&sb, "  %-*s |%s %.4g\n", nameW, name, strings.Repeat("█", bars), y)
+		}
+	}
+	return sb.String()
+}
+
+// HistogramChart renders bucket counts as a vertical profile of
+// horizontal bars — the terminal rendition of a distribution figure
+// (e.g. the Figure 6 delay histograms).
+func HistogramChart(title string, lo, hi float64, buckets []int64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var max int64
+	for _, b := range buckets {
+		if b > max {
+			max = b
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	if max == 0 {
+		sb.WriteString("(empty histogram)\n")
+		return sb.String()
+	}
+	step := (hi - lo) / float64(len(buckets))
+	for i, b := range buckets {
+		bars := int(math.Round(float64(b) / float64(max) * float64(width)))
+		if b > 0 && bars == 0 {
+			bars = 1
+		}
+		fmt.Fprintf(&sb, "%10.3g–%-10.3g |%s %d\n",
+			lo+float64(i)*step, lo+float64(i+1)*step, strings.Repeat("█", bars), b)
+	}
+	return sb.String()
+}
+
+// LogChart is Chart with bars scaled to log10(y), for series spanning
+// orders of magnitude (Figure 7's 1e4…1e7 μs range).
+func (s *Series) LogChart(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxL, minL := math.Inf(-1), math.Inf(1)
+	for _, row := range s.Y {
+		for _, y := range row {
+			if y > 0 {
+				l := math.Log10(y)
+				if l > maxL {
+					maxL = l
+				}
+				if l < minL {
+					minL = l
+				}
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (log scale)\n", s.Title)
+	if math.IsInf(maxL, -1) {
+		sb.WriteString("(no positive values)\n")
+		return sb.String()
+	}
+	span := maxL - minL
+	if span == 0 {
+		span = 1
+	}
+	nameW := 0
+	for _, n := range s.Names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	for i, x := range s.X {
+		fmt.Fprintf(&sb, "%s = %g\n", s.XLabel, x)
+		for j, name := range s.Names {
+			y := s.Y[i][j]
+			bars := 0
+			if y > 0 {
+				bars = 1 + int(math.Round((math.Log10(y)-minL)/span*float64(width-1)))
+			}
+			fmt.Fprintf(&sb, "  %-*s |%s %.4g\n", nameW, name, strings.Repeat("█", bars), y)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func fig7Series() *Series {
+	s := NewSeries("Figure 7 (FSA)", "tags", "μs", "CRC-CD", "QCD")
+	s.Add(50, 19670, 6384)
+	s.Add(50000, 2.43e7, 7.22e6)
+	return s
+}
+
+func TestChart(t *testing.T) {
+	out := fig7Series().Chart(40)
+	if !strings.Contains(out, "CRC-CD") || !strings.Contains(out, "█") {
+		t.Errorf("chart:\n%s", out)
+	}
+	// The largest value must render the longest bar.
+	lines := strings.Split(out, "\n")
+	longest, longestLine := 0, ""
+	for _, l := range lines {
+		if n := strings.Count(l, "█"); n > longest {
+			longest = n
+			longestLine = l
+		}
+	}
+	if !strings.Contains(longestLine, "2.43e+07") {
+		t.Errorf("longest bar is not the maximum:\n%s", out)
+	}
+	if longest != 40 {
+		t.Errorf("max bar = %d, want full width 40", longest)
+	}
+}
+
+func TestChartTinyValuesStillVisible(t *testing.T) {
+	s := NewSeries("t", "x", "y", "a")
+	s.Add(1, 1)
+	s.Add(2, 1e6)
+	out := s.Chart(30)
+	// The tiny positive value renders at least one block.
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, " 1\n") && !strings.Contains(l, "█") {
+			t.Errorf("tiny value invisible:\n%s", out)
+		}
+	}
+}
+
+func TestChartAllZero(t *testing.T) {
+	s := NewSeries("t", "x", "y", "a")
+	s.Add(1, 0)
+	if !strings.Contains(s.Chart(20), "all values zero") {
+		t.Error("zero chart not handled")
+	}
+}
+
+func TestLogChartCompressesMagnitudes(t *testing.T) {
+	out := fig7Series().LogChart(40)
+	if !strings.Contains(out, "log scale") {
+		t.Error("missing log-scale banner")
+	}
+	// On a log scale the smallest positive value has a short but nonzero
+	// bar, and bars differ between 6.4e3 and 2.4e7.
+	counts := map[string]int{}
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "|") {
+			counts[l] = strings.Count(l, "█")
+		}
+	}
+	min, max := 1<<30, 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min < 1 || max <= min {
+		t.Errorf("log chart bars degenerate (min=%d max=%d):\n%s", min, max, out)
+	}
+}
+
+func TestHistogramChart(t *testing.T) {
+	out := HistogramChart("delays", 0, 100, []int64{5, 20, 10, 0, 1}, 20)
+	if !strings.Contains(out, "delays") || !strings.Contains(out, "█") {
+		t.Errorf("histogram chart:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title + 5 buckets
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// The max bucket gets the full width; nonzero buckets get ≥1 block.
+	maxBars := 0
+	for _, l := range lines {
+		if n := strings.Count(l, "█"); n > maxBars {
+			maxBars = n
+		}
+	}
+	if maxBars != 20 {
+		t.Errorf("max bar = %d", maxBars)
+	}
+	if !strings.Contains(HistogramChart("e", 0, 1, []int64{0, 0}, 10), "empty") {
+		t.Error("empty histogram not handled")
+	}
+}
+
+func TestLogChartNoPositive(t *testing.T) {
+	s := NewSeries("t", "x", "y", "a")
+	s.Add(1, 0)
+	if !strings.Contains(s.LogChart(20), "no positive values") {
+		t.Error("all-zero log chart not handled")
+	}
+}

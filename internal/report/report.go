@@ -1,0 +1,224 @@
+// Package report renders experiment results as aligned text tables and
+// gnuplot-style data series, in the shape the paper reports them.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of string cells with named columns.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable returns an empty table with the given title and columns.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; it panics if the cell count mismatches the columns.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row of %d cells in a %d-column table", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(t.Title)))
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(cell, widths[i]))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: ")
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// CSV renders the table as RFC-4180-ish comma-separated values (cells
+// containing commas or quotes are quoted).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeCSVRow(&sb, t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(&sb, row)
+	}
+	return sb.String()
+}
+
+func writeCSVRow(sb *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			sb.WriteByte('"')
+			sb.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+			sb.WriteByte('"')
+		} else {
+			sb.WriteString(c)
+		}
+	}
+	sb.WriteByte('\n')
+}
+
+// Series is an x → multiple-y dataset for figure regeneration.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Names  []string // one per y column
+	X      []float64
+	Y      [][]float64 // Y[i] has one value per name, for X[i]
+}
+
+// NewSeries returns an empty series with named y columns.
+func NewSeries(title, xlabel, ylabel string, names ...string) *Series {
+	return &Series{Title: title, XLabel: xlabel, YLabel: ylabel, Names: names}
+}
+
+// Add appends one x position with its y values.
+func (s *Series) Add(x float64, ys ...float64) {
+	if len(ys) != len(s.Names) {
+		panic(fmt.Sprintf("report: %d y-values for %d series", len(ys), len(s.Names)))
+	}
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, ys)
+}
+
+// CSV renders the series as comma-separated values with an x column
+// followed by one column per named series.
+func (s *Series) CSV() string {
+	var sb strings.Builder
+	writeCSVRow(&sb, append([]string{"x"}, s.Names...))
+	for i, x := range s.X {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, y := range s.Y[i] {
+			row = append(row, fmt.Sprintf("%g", y))
+		}
+		writeCSVRow(&sb, row)
+	}
+	return sb.String()
+}
+
+// Render emits a plot-ready whitespace-separated block with a comment
+// header, one row per x.
+func (s *Series) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s\n# x=%s y=%s\n# %-12s", s.Title, s.XLabel, s.YLabel, "x")
+	for _, n := range s.Names {
+		fmt.Fprintf(&sb, " %-14s", n)
+	}
+	sb.WriteByte('\n')
+	for i, x := range s.X {
+		fmt.Fprintf(&sb, "%-14.6g", x)
+		for _, y := range s.Y[i] {
+			fmt.Fprintf(&sb, " %-14.6g", y)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ParseSeries parses a block previously produced by Series.Render back
+// into a Series (round-tripping the figure data for re-rendering, e.g. as
+// an ASCII chart).
+func ParseSeries(text string) (*Series, error) {
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) < 4 {
+		return nil, fmt.Errorf("report: series block too short (%d lines)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "# ") || !strings.HasPrefix(lines[1], "# x=") {
+		return nil, fmt.Errorf("report: missing series header")
+	}
+	title := strings.TrimPrefix(lines[0], "# ")
+	meta := strings.TrimPrefix(lines[1], "# x=")
+	xy := strings.SplitN(meta, " y=", 2)
+	if len(xy) != 2 {
+		return nil, fmt.Errorf("report: malformed x/y labels %q", lines[1])
+	}
+	header := strings.Fields(strings.TrimPrefix(lines[2], "#"))
+	if len(header) < 2 || header[0] != "x" {
+		return nil, fmt.Errorf("report: malformed column header %q", lines[2])
+	}
+	s := NewSeries(title, xy[0], xy[1], header[1:]...)
+	for _, l := range lines[3:] {
+		fields := strings.Fields(l)
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("report: row %q has %d fields, want %d", l, len(fields), len(header))
+		}
+		vals := make([]float64, len(fields))
+		for i, f := range fields {
+			if _, err := fmt.Sscanf(f, "%g", &vals[i]); err != nil {
+				return nil, fmt.Errorf("report: bad number %q: %v", f, err)
+			}
+		}
+		s.Add(vals[0], vals[1:]...)
+	}
+	return s, nil
+}
+
+// Fmt helpers for consistent cell formatting.
+
+// F formats a float with the given decimals.
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// Pct formats a ratio as a percentage with two decimals.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// I formats an integer-valued float.
+func I(v float64) string { return fmt.Sprintf("%.0f", v) }

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "case", "value")
+	tb.AddRow("I", "0.25")
+	tb.AddRow("II", "0.22")
+	tb.AddNote("a footnote %d", 42)
+	out := tb.Render()
+	for _, want := range []string{"Demo", "case", "value", "I", "0.25", "note: a footnote 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line has the header's prefix width.
+	// title + rule + header + separator + 2 rows + note = 7 lines.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 {
+		t.Errorf("render has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("row of wrong arity accepted")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := NewSeries("T", "n", "μs", "crc", "qcd")
+	s.Add(50, 19104, 6384)
+	s.Add(500, 217920, 68320)
+	out := s.Render()
+	for _, want := range []string{"# T", "crc", "qcd", "19104", "68320"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesArityPanics(t *testing.T) {
+	s := NewSeries("T", "x", "y", "one")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong y arity accepted")
+		}
+	}()
+	s.Add(1, 2, 3)
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("1", "plain")
+	tb.AddRow("2", `has "quotes", and comma`)
+	got := tb.CSV()
+	want := "a,b\n1,plain\n2,\"has \"\"quotes\"\", and comma\"\n"
+	if got != want {
+		t.Errorf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := NewSeries("t", "x", "y", "a", "b")
+	s.Add(1, 10, 20)
+	s.Add(2, 30, 40)
+	want := "x,a,b\n1,10,20\n2,30,40\n"
+	if got := s.CSV(); got != want {
+		t.Errorf("Series.CSV = %q, want %q", got, want)
+	}
+}
+
+func TestParseSeriesRoundTrip(t *testing.T) {
+	s := NewSeries("Fig 7", "tags", "μs", "CRC-CD", "QCD")
+	s.Add(50, 19670, 6384)
+	s.Add(500, 216576, 68352)
+	got, err := ParseSeries(s.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "Fig 7" || got.XLabel != "tags" || got.YLabel != "μs" {
+		t.Errorf("labels = %q/%q/%q", got.Title, got.XLabel, got.YLabel)
+	}
+	if len(got.X) != 2 || got.X[1] != 500 || got.Y[1][0] != 216576 {
+		t.Errorf("data = %v %v", got.X, got.Y)
+	}
+	if len(got.Names) != 2 || got.Names[1] != "QCD" {
+		t.Errorf("names = %v", got.Names)
+	}
+}
+
+func TestParseSeriesRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"not a series\nat all\nreally\nnope",
+		"# title only\n# x=a y=b\n# x col\nbad row here",
+	} {
+		if _, err := ParseSeries(in); err == nil {
+			t.Errorf("ParseSeries accepted %q", in)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0.58637, 4) != "0.5864" {
+		t.Errorf("F = %s", F(0.58637, 4))
+	}
+	if Pct(0.5013) != "50.13%" {
+		t.Errorf("Pct = %s", Pct(0.5013))
+	}
+	if I(199.7) != "200" {
+		t.Errorf("I = %s", I(199.7))
+	}
+}

@@ -1,0 +1,25 @@
+package signal_test
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/signal"
+)
+
+// A slot's channel accumulates concurrent transmissions as a Boolean sum;
+// the reader observes the overlap and the (physical) carrier presence.
+func ExampleChannel() {
+	var ch signal.Channel
+	ch.Transmit(bitstr.MustParse("011001"))
+	ch.Transmit(bitstr.MustParse("010010"))
+	rx := ch.Receive()
+	fmt.Println(rx.Signal, rx.Energy, rx.Responders)
+	// Output: 011011 true 2
+}
+
+// Ground-truth slot classification by responder count.
+func ExampleClassify() {
+	fmt.Println(signal.Classify(0), signal.Classify(1), signal.Classify(7))
+	// Output: idle single collided
+}

@@ -1,0 +1,108 @@
+// Package signal models the tag-to-reader RF channel at the bit level.
+//
+// Following Section IV-A of the paper, the physical overlap of concurrent
+// backscatter transmissions is abstracted as a bitwise Boolean sum: when m
+// tags transmit s_1 … s_m in the same slot, the reader receives
+// s = s_1 ∨ s_2 ∨ … ∨ s_m with |s| = |s_i|. An idle slot delivers no
+// signal at all (no carrier energy), which the reader can observe.
+package signal
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+)
+
+// SlotType classifies a slot from the reader's point of view.
+type SlotType int
+
+const (
+	// Idle: no tag responded.
+	Idle SlotType = iota
+	// Single: exactly one tag responded and its payload is readable.
+	Single
+	// Collided: two or more tags responded; the signals overlapped.
+	Collided
+)
+
+// String implements fmt.Stringer.
+func (t SlotType) String() string {
+	switch t {
+	case Idle:
+		return "idle"
+	case Single:
+		return "single"
+	case Collided:
+		return "collided"
+	default:
+		return fmt.Sprintf("SlotType(%d)", int(t))
+	}
+}
+
+// Classify returns the ground-truth slot type for m responders.
+func Classify(m int) SlotType {
+	switch {
+	case m == 0:
+		return Idle
+	case m == 1:
+		return Single
+	default:
+		return Collided
+	}
+}
+
+// Reception is what the reader's radio hands to the collision detector
+// after a transmission phase.
+//
+// Energy (carrier presence) is physically observable by any receiver, so
+// detectors may branch on it; Responders is ground truth that only the
+// oracle detector and the metrics layer may consult.
+type Reception struct {
+	Signal     bitstr.BitString // bitwise Boolean sum of all transmissions
+	Energy     bool             // true iff at least one tag transmitted
+	Responders int              // ground truth count (oracle/metrics only)
+}
+
+// Channel accumulates the transmissions of one phase of one slot.
+// The zero value is an empty channel. Channel is not safe for concurrent
+// use; the simulator runs each reader's slots sequentially and
+// parallelises across Monte-Carlo rounds instead.
+type Channel struct {
+	sig   bitstr.BitString
+	count int
+}
+
+// Reset clears the channel for the next phase.
+func (c *Channel) Reset() {
+	c.sig = bitstr.BitString{}
+	c.count = 0
+}
+
+// Transmit overlaps b onto the channel. All transmissions within a phase
+// must have equal length; the air interface enforces equal slot formats.
+func (c *Channel) Transmit(b bitstr.BitString) {
+	if c.count == 0 {
+		c.sig = b.Clone()
+		c.count = 1
+		return
+	}
+	if b.Len() != c.sig.Len() {
+		panic(fmt.Sprintf("signal: transmission of %d bits into a %d-bit phase", b.Len(), c.sig.Len()))
+	}
+	c.sig.OrInPlace(b)
+	c.count++
+}
+
+// Receive returns the overlapped signal observed by the reader.
+func (c *Channel) Receive() Reception {
+	return Reception{Signal: c.sig, Energy: c.count > 0, Responders: c.count}
+}
+
+// Overlap is a convenience that overlaps a set of transmissions directly.
+func Overlap(tx ...bitstr.BitString) Reception {
+	var c Channel
+	for _, b := range tx {
+		c.Transmit(b)
+	}
+	return c.Receive()
+}

@@ -1,0 +1,118 @@
+package signal
+
+import (
+	"testing"
+
+	"repro/internal/bitstr"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		m    int
+		want SlotType
+	}{
+		{0, Idle}, {1, Single}, {2, Collided}, {10, Collided},
+	}
+	for _, c := range cases {
+		if got := Classify(c.m); got != c.want {
+			t.Errorf("Classify(%d) = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestSlotTypeString(t *testing.T) {
+	if Idle.String() != "idle" || Single.String() != "single" || Collided.String() != "collided" {
+		t.Error("SlotType strings wrong")
+	}
+	if SlotType(99).String() != "SlotType(99)" {
+		t.Error("unknown SlotType string wrong")
+	}
+}
+
+func TestEmptyChannel(t *testing.T) {
+	var ch Channel
+	rx := ch.Receive()
+	if rx.Energy {
+		t.Error("empty channel reports energy")
+	}
+	if rx.Responders != 0 {
+		t.Errorf("empty channel responders = %d", rx.Responders)
+	}
+	if rx.Signal.Len() != 0 {
+		t.Errorf("empty channel signal length = %d", rx.Signal.Len())
+	}
+}
+
+func TestSingleTransmission(t *testing.T) {
+	var ch Channel
+	payload := bitstr.MustParse("011001")
+	ch.Transmit(payload)
+	rx := ch.Receive()
+	if !rx.Energy || rx.Responders != 1 {
+		t.Fatalf("single transmission: energy=%v responders=%d", rx.Energy, rx.Responders)
+	}
+	if !rx.Signal.Equal(payload) {
+		t.Errorf("signal = %v, want %v", rx.Signal, payload)
+	}
+}
+
+func TestOverlapIsBooleanSum(t *testing.T) {
+	// The paper's Section I example.
+	rx := Overlap(bitstr.MustParse("011001"), bitstr.MustParse("010010"))
+	if rx.Signal.String() != "011011" {
+		t.Errorf("overlap = %s, want 011011", rx.Signal)
+	}
+	if rx.Responders != 2 {
+		t.Errorf("responders = %d", rx.Responders)
+	}
+}
+
+func TestTransmitDoesNotAliasPayload(t *testing.T) {
+	var ch Channel
+	payload := bitstr.MustParse("0000")
+	ch.Transmit(payload)
+	ch.Transmit(bitstr.MustParse("1111"))
+	if payload.String() != "0000" {
+		t.Error("Transmit mutated the first payload")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	var ch Channel
+	ch.Transmit(bitstr.New(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch not detected")
+		}
+	}()
+	ch.Transmit(bitstr.New(9))
+}
+
+func TestReset(t *testing.T) {
+	var ch Channel
+	ch.Transmit(bitstr.MustParse("1"))
+	ch.Reset()
+	rx := ch.Receive()
+	if rx.Energy || rx.Responders != 0 {
+		t.Error("Reset did not clear the channel")
+	}
+	// A different length is fine after Reset.
+	ch.Transmit(bitstr.New(16))
+	if ch.Receive().Signal.Len() != 16 {
+		t.Error("channel unusable after Reset")
+	}
+}
+
+func TestManyTransmittersSaturate(t *testing.T) {
+	var ch Channel
+	for i := 0; i < 8; i++ {
+		ch.Transmit(bitstr.FromUint64(1<<uint(i), 8))
+	}
+	rx := ch.Receive()
+	if rx.Signal.OnesCount() != 8 {
+		t.Errorf("saturated signal = %v", rx.Signal)
+	}
+	if rx.Responders != 8 {
+		t.Errorf("responders = %d", rx.Responders)
+	}
+}

@@ -1,0 +1,321 @@
+// Package sim orchestrates Monte-Carlo identification experiments: it
+// builds tag populations, wires an anti-collision algorithm to a collision
+// detector, fans the paper's 100 repetition rounds out over a worker pool,
+// and folds the per-round sessions into deterministic aggregates.
+//
+// Determinism: round r draws its seed from the r-th output of a parent
+// PRNG before any worker starts, and per-round results are folded in round
+// order after all workers finish, so the aggregate is bit-identical
+// regardless of GOMAXPROCS or scheduling.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/air"
+	"repro/internal/aloha"
+	"repro/internal/btree"
+	"repro/internal/crc"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/prng"
+	"repro/internal/qtree"
+	"repro/internal/stats"
+	"repro/internal/tagmodel"
+	"repro/internal/timing"
+)
+
+// Algorithm names accepted by Config.
+const (
+	AlgFSA       = "fsa"
+	AlgBT        = "bt"
+	AlgQAdaptive = "qadaptive"
+	AlgQT        = "qt"
+	AlgEDFSA     = "edfsa" // enhanced dynamic FSA; FrameSize acts as the frame cap
+)
+
+// Detector names accepted by Config.
+const (
+	DetQCD    = "qcd"
+	DetCRCCD  = "crccd"
+	DetOracle = "oracle"
+)
+
+// Frame policy names for FSA.
+const (
+	PolicyFixed      = "fixed"
+	PolicySchoute    = "schoute"
+	PolicyLowerBound = "lowerbound"
+	PolicyOptimal    = "optimal"
+)
+
+// Config describes one experiment configuration.
+type Config struct {
+	Tags   int    // population size n
+	IDBits int    // tag ID length l_id (default 64)
+	Seed   uint64 // master seed
+	Rounds int    // Monte-Carlo repetitions (paper: 100)
+
+	Algorithm   string // fsa | bt | qadaptive | qt
+	FrameSize   int    // FSA frame length F (Table VI)
+	FramePolicy string // fixed | schoute | lowerbound | optimal (default fixed)
+
+	Detector string // qcd | crccd | oracle
+	Strength int    // QCD strength l (default 8)
+	CRCName  string // CRC preset for crccd (default CRC-32/IEEE)
+
+	TauMicros float64 // per-bit airtime (default 1 μs)
+	Workers   int     // parallel rounds (default GOMAXPROCS)
+
+	// ConfirmEmpty makes FSA readers terminate only after a fully idle
+	// frame (how a real reader detects an empty field; the paper's
+	// Table VII idle counts include this frame).
+	ConfirmEmpty bool
+
+	// BER and CaptureProb apply a non-ideal channel to FSA sessions
+	// (bit errors fail the self-checks closed; captures singulate one
+	// tag out of a collision). Zero means the ideal channel.
+	BER         float64
+	CaptureProb float64
+}
+
+// withDefaults fills zero fields with the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.IDBits == 0 {
+		c.IDBits = 64
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 1
+	}
+	if c.FramePolicy == "" {
+		c.FramePolicy = PolicyFixed
+	}
+	if c.Strength == 0 {
+		c.Strength = 8
+	}
+	if c.CRCName == "" {
+		c.CRCName = crc.CRC32IEEE.Name
+	}
+	if c.TauMicros == 0 {
+		c.TauMicros = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Tags < 1 {
+		return fmt.Errorf("sim: Tags = %d, need at least 1", c.Tags)
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("sim: Rounds = %d, need at least 1", c.Rounds)
+	}
+	switch c.Algorithm {
+	case AlgFSA:
+		if c.FramePolicy == PolicyFixed && c.FrameSize < 1 {
+			return fmt.Errorf("sim: FSA with fixed policy needs FrameSize >= 1")
+		}
+	case AlgEDFSA:
+		if c.FrameSize < 1 {
+			return fmt.Errorf("sim: EDFSA needs FrameSize >= 1 (the frame cap)")
+		}
+	case AlgBT, AlgQAdaptive, AlgQT:
+	default:
+		return fmt.Errorf("sim: unknown algorithm %q", c.Algorithm)
+	}
+	switch c.Detector {
+	case DetQCD:
+		if c.Strength < 1 || c.Strength > 64 {
+			return fmt.Errorf("sim: QCD strength %d out of [1,64]", c.Strength)
+		}
+	case DetCRCCD:
+		if _, ok := crc.ByName(c.CRCName); !ok {
+			return fmt.Errorf("sim: unknown CRC preset %q", c.CRCName)
+		}
+	case DetOracle:
+	default:
+		return fmt.Errorf("sim: unknown detector %q", c.Detector)
+	}
+	return nil
+}
+
+// BuildDetector constructs the configured detector.
+func BuildDetector(c Config) (detect.Detector, error) {
+	c = c.withDefaults()
+	switch c.Detector {
+	case DetQCD:
+		return detect.NewQCD(c.Strength, c.IDBits), nil
+	case DetCRCCD:
+		p, ok := crc.ByName(c.CRCName)
+		if !ok {
+			return nil, fmt.Errorf("sim: unknown CRC preset %q", c.CRCName)
+		}
+		return detect.NewCRCCD(p, c.IDBits), nil
+	case DetOracle:
+		return detect.NewOracle(1, c.IDBits), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown detector %q", c.Detector)
+	}
+}
+
+func buildPolicy(c Config) (aloha.FramePolicy, error) {
+	switch c.FramePolicy {
+	case PolicyFixed:
+		return aloha.NewFixed(c.FrameSize), nil
+	case PolicySchoute:
+		f := c.FrameSize
+		if f < 1 {
+			f = c.Tags
+		}
+		return aloha.NewSchoute(f), nil
+	case PolicyLowerBound:
+		f := c.FrameSize
+		if f < 1 {
+			f = c.Tags
+		}
+		return aloha.NewLowerBound(f), nil
+	case PolicyOptimal:
+		return aloha.Optimal{N: c.Tags}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown frame policy %q", c.FramePolicy)
+	}
+}
+
+// RunRound executes one complete identification session for round index r
+// and returns its metrics. It is deterministic in (Config, roundSeed).
+func RunRound(c Config, roundSeed uint64) (*metrics.Session, error) {
+	c = c.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := prng.New(roundSeed)
+	pop := tagmodel.NewPopulation(c.Tags, c.IDBits, rng)
+	det, err := BuildDetector(c)
+	if err != nil {
+		return nil, err
+	}
+	tm := timing.Model{TauMicros: c.TauMicros}
+
+	switch c.Algorithm {
+	case AlgFSA:
+		policy, err := buildPolicy(c)
+		if err != nil {
+			return nil, err
+		}
+		opts := aloha.Options{ConfirmEmpty: c.ConfirmEmpty}
+		if c.BER > 0 || c.CaptureProb > 0 {
+			opts.Impairment = &air.Impairment{
+				BER: c.BER, CaptureProb: c.CaptureProb, Rng: rng.Split(),
+			}
+		}
+		return aloha.RunWithOptions(pop, det, policy, tm, opts), nil
+	case AlgEDFSA:
+		return aloha.RunEDFSA(pop, det, aloha.EDFSAConfig{MaxFrame: c.FrameSize}, tm), nil
+	case AlgBT:
+		return btree.Run(pop, det, tm), nil
+	case AlgQAdaptive:
+		return aloha.RunQAdaptive(pop, det, aloha.DefaultQConfig(), tm), nil
+	case AlgQT:
+		return qtree.Run(pop, det, tm, qtree.Options{}).Session, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown algorithm %q", c.Algorithm)
+	}
+}
+
+// Aggregate is the cross-round summary of one configuration. Every field
+// accumulates one observation per round except Delay, which accumulates
+// one observation per identified tag over all rounds.
+type Aggregate struct {
+	Cfg Config
+
+	Idle, Single, Collided stats.Accumulator // slots by ground truth
+	Frames, Slots          stats.Accumulator
+	Throughput             stats.Accumulator // λ per round
+	TimeMicros, Bits       stats.Accumulator
+	Accuracy               stats.Accumulator // Figure-5 metric per round
+	UR                     stats.Accumulator // Table-IX metric per round
+	FalseSingle, Phantom   stats.Accumulator
+
+	DelayMean stats.Accumulator // per-round mean identification delay
+	Delay     stats.Accumulator // all tags, all rounds
+}
+
+type roundResult struct {
+	session *metrics.Session
+	err     error
+}
+
+// Run executes Config.Rounds independent sessions, in parallel up to
+// Config.Workers, and folds them deterministically.
+func Run(c Config) (*Aggregate, error) {
+	c = c.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	// Pre-draw per-round seeds so parallel scheduling cannot affect them.
+	parent := prng.New(c.Seed)
+	seeds := make([]uint64, c.Rounds)
+	for i := range seeds {
+		seeds[i] = parent.Uint64()
+	}
+
+	results := make([]roundResult, c.Rounds)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	workers := c.Workers
+	if workers > c.Rounds {
+		workers = c.Rounds
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range work {
+				s, err := RunRound(c, seeds[r])
+				results[r] = roundResult{session: s, err: err}
+			}
+		}()
+	}
+	for r := 0; r < c.Rounds; r++ {
+		work <- r
+	}
+	close(work)
+	wg.Wait()
+
+	agg := &Aggregate{Cfg: c}
+	for r, res := range results {
+		if res.err != nil {
+			return nil, fmt.Errorf("sim: round %d: %w", r, res.err)
+		}
+		agg.fold(res.session)
+	}
+	return agg, nil
+}
+
+func (a *Aggregate) fold(s *metrics.Session) {
+	a.Idle.Add(float64(s.Census.Idle))
+	a.Single.Add(float64(s.Census.Single))
+	a.Collided.Add(float64(s.Census.Collided))
+	a.Frames.Add(float64(s.Census.Frames))
+	a.Slots.Add(float64(s.Census.Slots()))
+	a.Throughput.Add(s.Census.Throughput())
+	a.TimeMicros.Add(s.TimeMicros)
+	a.Bits.Add(float64(s.Bits))
+	a.Accuracy.Add(s.Detection.Accuracy())
+	a.UR.Add(s.UR(a.Cfg.IDBits))
+	a.FalseSingle.Add(float64(s.Detection.FalseSingle))
+	a.Phantom.Add(float64(s.Detection.Phantom))
+
+	var d stats.Accumulator
+	d.AddAll(s.DelaysMicros)
+	if d.N() > 0 {
+		a.DelayMean.Add(d.Mean())
+	}
+	a.Delay.Merge(&d)
+}

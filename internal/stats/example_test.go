@@ -1,0 +1,28 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Streaming mean/variance over the 100-round averages.
+func ExampleAccumulator() {
+	var a stats.Accumulator
+	a.AddAll([]float64{0.25, 0.22, 0.20, 0.21})
+	fmt.Printf("λ = %.3f ± %.3f (n=%d)\n", a.Mean(), a.CI95(), a.N())
+	// Output: λ = 0.220 ± 0.021 (n=4)
+}
+
+// Compare two delay distributions shape-only: normalise by the mean, then
+// apply the two-sample KS test.
+func ExampleKolmogorovSmirnov() {
+	crcDelays := []float64{10, 20, 30, 40, 50}
+	qcdDelays := []float64{4, 8, 12, 16, 20} // same shape, 2.5× faster
+	d := stats.KolmogorovSmirnov(
+		stats.Normalize(crcDelays),
+		stats.Normalize(qcdDelays),
+	)
+	fmt.Printf("%.2f\n", d) // identical normalised shapes
+	// Output: 0.20
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := KolmogorovSmirnov(a, a); d > 0.2+1e-12 {
+		// Tie-walking gives at most 1/n between identical samples.
+		t.Errorf("KS of identical samples = %v", d)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KolmogorovSmirnov(a, b); d != 1 {
+		t.Errorf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSDetectsShiftedDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	c := make([]float64, 500)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64() // same distribution
+		c[i] = r.NormFloat64() + 2
+	}
+	dSame := KolmogorovSmirnov(a, b)
+	dShift := KolmogorovSmirnov(a, c)
+	if dSame > 0.12 {
+		t.Errorf("same-distribution KS = %v", dSame)
+	}
+	if dShift < 0.5 {
+		t.Errorf("shifted-distribution KS = %v", dShift)
+	}
+	if pSame := KSPValue(dSame, 500, 500); pSame < 0.05 {
+		t.Errorf("same-distribution p = %v, should not reject", pSame)
+	}
+	if pShift := KSPValue(dShift, 500, 500); pShift > 1e-6 {
+		t.Errorf("shifted-distribution p = %v, should reject hard", pShift)
+	}
+}
+
+func TestKSOrderInvariance(t *testing.T) {
+	a := []float64{5, 1, 3, 2, 4}
+	b := []float64{2.5, 0.5, 4.5, 1.5, 3.5}
+	d1 := KolmogorovSmirnov(a, b)
+	sortedA := []float64{1, 2, 3, 4, 5}
+	sortedB := []float64{0.5, 1.5, 2.5, 3.5, 4.5}
+	d2 := KolmogorovSmirnov(sortedA, sortedB)
+	if d1 != d2 {
+		t.Errorf("KS depends on input order: %v vs %v", d1, d2)
+	}
+	// Inputs unmodified.
+	if a[0] != 5 || b[0] != 2.5 {
+		t.Error("KS mutated inputs")
+	}
+}
+
+func TestKSEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sample accepted")
+		}
+	}()
+	KolmogorovSmirnov(nil, []float64{1})
+}
+
+func TestKSPValueBounds(t *testing.T) {
+	if p := KSPValue(0, 100, 100); p < 0.99 {
+		t.Errorf("p(D=0) = %v, want ≈1", p)
+	}
+	if p := KSPValue(1, 100, 100); p > 1e-10 {
+		t.Errorf("p(D=1) = %v, want ≈0", p)
+	}
+	for _, d := range []float64{0.05, 0.1, 0.3, 0.7} {
+		p := KSPValue(d, 50, 80)
+		if p < 0 || p > 1 {
+			t.Errorf("p(%v) = %v out of [0,1]", d, p)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{2, 4, 6}
+	out := Normalize(xs)
+	if math.Abs(out[0]-0.5) > 1e-12 || math.Abs(out[2]-1.5) > 1e-12 {
+		t.Errorf("Normalize = %v", out)
+	}
+	if xs[0] != 2 {
+		t.Error("Normalize mutated input")
+	}
+	zeros := Normalize([]float64{0, 0})
+	if zeros[0] != 0 {
+		t.Error("zero-mean normalize broken")
+	}
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.N() != 0 {
+		t.Error("zero accumulator not zero")
+	}
+	a.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if !almost(a.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v", a.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if !almost(a.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v", a.Variance())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("extrema = %v/%v", a.Min(), a.Max())
+	}
+	if a.CI95() <= 0 {
+		t.Error("CI95 not positive")
+	}
+}
+
+func TestAccumulatorSingleValue(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Variance() != 0 || a.CI95() != 0 {
+		t.Error("single observation stats wrong")
+	}
+	if a.Min() != 3.5 || a.Max() != 3.5 {
+		t.Error("single observation extrema wrong")
+	}
+}
+
+func TestMergeMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n1, n2 := r.Intn(50), r.Intn(50)
+		xs := make([]float64, n1+n2)
+		for i := range xs {
+			xs[i] = r.NormFloat64()*10 + 5
+		}
+		var whole, a, b Accumulator
+		whole.AddAll(xs)
+		a.AddAll(xs[:n1])
+		b.AddAll(xs[n1:])
+		a.Merge(&b)
+		if whole.N() != a.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		return almost(whole.Mean(), a.Mean(), 1e-9) &&
+			almost(whole.Variance(), a.Variance(), 1e-6) &&
+			whole.Min() == a.Min() && whole.Max() == a.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeEmptySides(t *testing.T) {
+	var a, b Accumulator
+	b.AddAll([]float64{1, 2, 3})
+	a.Merge(&b)
+	if a.N() != 3 || !almost(a.Mean(), 2, 1e-12) {
+		t.Error("merge into empty failed")
+	}
+	var empty Accumulator
+	a.Merge(&empty)
+	if a.N() != 3 {
+		t.Error("merge of empty changed state")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("P%.0f = %v, want %v", c.p*100, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile of empty data did not panic")
+		}
+	}()
+	Percentile(nil, 0.5)
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	s := Summarize(xs)
+	if s.N != 5 || !almost(s.Mean, 30, 1e-12) || !almost(s.P50, 30, 1e-12) {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.Min != 10 || s.Max != 50 {
+		t.Error("Summary extrema wrong")
+	}
+	if s.CoefOfVariation <= 0 {
+		t.Error("CV not positive")
+	}
+	// Input must not be reordered.
+	if xs[0] != 10 || xs[4] != 50 {
+		t.Error("Summarize mutated input")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Error("empty summary N != 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 100} {
+		h.Add(x)
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Errorf("under/over = %d/%d", h.Underflow, h.Overflow)
+	}
+	want := []int64{2, 1, 1, 0, 1}
+	for i, w := range want {
+		if h.Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, h.Buckets[i], w, h.Buckets)
+		}
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, c := range []struct {
+		lo, hi float64
+		n      int
+	}{{0, 0, 5}, {1, 0, 5}, {0, 1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v,%v,%d) did not panic", c.lo, c.hi, c.n)
+				}
+			}()
+			NewHistogram(c.lo, c.hi, c.n)
+		}()
+	}
+}
+
+func TestWelfordStability(t *testing.T) {
+	// Large offset + tiny variance is the classic catastrophic
+	// cancellation case; Welford must keep the variance accurate.
+	var a Accumulator
+	const offset = 1e9
+	for i := 0; i < 1000; i++ {
+		a.Add(offset + float64(i%2)) // values offset, offset+1 alternating
+	}
+	if !almost(a.Variance(), 0.25025, 1e-3) {
+		t.Errorf("Variance = %v, want ~0.25", a.Variance())
+	}
+}

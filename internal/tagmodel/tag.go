@@ -1,0 +1,139 @@
+// Package tagmodel models passive RFID tags: a unique ID, the per-protocol
+// contention state (FSA slot choice, BT counter, QT prefix matching), a
+// private random stream, and airtime accounting.
+package tagmodel
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/prng"
+)
+
+// Tag is one RFID tag in the reader's field.
+type Tag struct {
+	// ID is the tag's EPC identifier (the paper uses 64-bit IDs with a
+	// 32-bit CRC, i.e. a 96-bit transmitted unit).
+	ID bitstr.BitString
+
+	// Rng is the tag's private random stream, used for slot selection,
+	// BT coin flips, and QCD preamble integers. Each tag gets an
+	// independent split stream so simulations are order-independent.
+	Rng *prng.Source
+
+	// Index is the tag's position in its population (stable identity for
+	// metrics).
+	Index int
+
+	// Slot is the slot chosen in the current FSA frame.
+	Slot int
+
+	// Counter is the BT/ABS splitting counter.
+	Counter int
+
+	// Identified records whether the reader has acknowledged this tag.
+	Identified bool
+
+	// IdentifiedAtMicros is the simulation time (μs) at which the tag was
+	// identified; meaningful only when Identified is true.
+	IdentifiedAtMicros float64
+
+	// BitsSent counts the tag's total transmitted bits (energy budget).
+	BitsSent int64
+}
+
+// New returns a tag with the given ID and private random stream.
+func New(index int, id bitstr.BitString, rng *prng.Source) *Tag {
+	return &Tag{Index: index, ID: id, Rng: rng}
+}
+
+// Reset clears per-session state so the same population can be identified
+// again (ABS/AQS rounds, repeated experiments on one deployment).
+func (t *Tag) Reset() {
+	t.Slot = 0
+	t.Counter = 0
+	t.Identified = false
+	t.IdentifiedAtMicros = 0
+	t.BitsSent = 0
+}
+
+// Population is a set of tags with unique IDs.
+type Population []*Tag
+
+// NewPopulation draws n tags with unique uniformly random idBits-bit IDs.
+// Each tag receives an independent split of rng. It panics if idBits is
+// too small to accommodate n distinct IDs.
+func NewPopulation(n, idBits int, rng *prng.Source) Population {
+	if idBits < 1 {
+		panic("tagmodel: idBits must be positive")
+	}
+	if idBits < 63 && n > 0 && uint64(n) > (uint64(1)<<uint(idBits)) {
+		panic(fmt.Sprintf("tagmodel: %d tags cannot have unique %d-bit IDs", n, idBits))
+	}
+	seen := make(map[string]bool, n)
+	pop := make(Population, 0, n)
+	for len(pop) < n {
+		id := randomID(idBits, rng)
+		k := id.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		pop = append(pop, New(len(pop), id, rng.Split()))
+	}
+	return pop
+}
+
+func randomID(idBits int, rng *prng.Source) bitstr.BitString {
+	id := bitstr.New(0)
+	for remaining := idBits; remaining > 0; {
+		chunk := remaining
+		if chunk > 64 {
+			chunk = 64
+		}
+		id = bitstr.Concat(id, bitstr.FromUint64(rng.Bits(chunk), chunk))
+		remaining -= chunk
+	}
+	return id
+}
+
+// Reset clears session state on every tag in the population.
+func (p Population) Reset() {
+	for _, t := range p {
+		t.Reset()
+	}
+}
+
+// Unidentified returns the tags not yet identified.
+func (p Population) Unidentified() Population {
+	var out Population
+	for _, t := range p {
+		if !t.Identified {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// AllIdentified reports whether every tag has been identified.
+func (p Population) AllIdentified() bool {
+	for _, t := range p {
+		if !t.Identified {
+			return false
+		}
+	}
+	return true
+}
+
+// IDsUnique verifies the population invariant that all IDs are distinct.
+func (p Population) IDsUnique() bool {
+	seen := make(map[string]bool, len(p))
+	for _, t := range p {
+		k := t.ID.Key()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+	}
+	return true
+}

@@ -1,0 +1,121 @@
+package tagmodel
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestNewPopulationBasics(t *testing.T) {
+	rng := prng.New(1)
+	pop := NewPopulation(100, 64, rng)
+	if len(pop) != 100 {
+		t.Fatalf("population size = %d", len(pop))
+	}
+	if !pop.IDsUnique() {
+		t.Fatal("population has duplicate IDs")
+	}
+	for i, tag := range pop {
+		if tag.Index != i {
+			t.Errorf("tag %d has index %d", i, tag.Index)
+		}
+		if tag.ID.Len() != 64 {
+			t.Errorf("tag %d ID length = %d", i, tag.ID.Len())
+		}
+		if tag.Identified {
+			t.Errorf("tag %d starts identified", i)
+		}
+	}
+}
+
+func TestPopulationDeterministic(t *testing.T) {
+	a := NewPopulation(50, 64, prng.New(7))
+	b := NewPopulation(50, 64, prng.New(7))
+	for i := range a {
+		if !a[i].ID.Equal(b[i].ID) {
+			t.Fatalf("tag %d differs across identically seeded populations", i)
+		}
+	}
+}
+
+func TestPopulationIndependentTagStreams(t *testing.T) {
+	pop := NewPopulation(2, 64, prng.New(3))
+	// The two tags' streams must differ.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if pop[0].Rng.Uint64() == pop[1].Rng.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("tag streams agreed on %d draws", same)
+	}
+}
+
+func TestLongIDs(t *testing.T) {
+	pop := NewPopulation(10, 96, prng.New(5))
+	for _, tag := range pop {
+		if tag.ID.Len() != 96 {
+			t.Fatalf("96-bit ID has length %d", tag.ID.Len())
+		}
+	}
+	if !pop.IDsUnique() {
+		t.Fatal("96-bit IDs not unique")
+	}
+}
+
+func TestTinyIDSpace(t *testing.T) {
+	// 2^3 = 8 IDs for 8 tags must still terminate via uniqueness retry.
+	pop := NewPopulation(8, 3, prng.New(11))
+	if !pop.IDsUnique() {
+		t.Fatal("3-bit IDs not unique")
+	}
+}
+
+func TestPopulationTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized population not rejected")
+		}
+	}()
+	NewPopulation(9, 3, prng.New(1))
+}
+
+func TestResetAndUnidentified(t *testing.T) {
+	pop := NewPopulation(4, 64, prng.New(2))
+	pop[1].Identified = true
+	pop[1].IdentifiedAtMicros = 42
+	pop[1].BitsSent = 10
+	pop[3].Counter = 5
+
+	un := pop.Unidentified()
+	if len(un) != 3 {
+		t.Fatalf("unidentified = %d, want 3", len(un))
+	}
+	if pop.AllIdentified() {
+		t.Fatal("AllIdentified true with unidentified tags")
+	}
+
+	pop.Reset()
+	for i, tag := range pop {
+		if tag.Identified || tag.IdentifiedAtMicros != 0 || tag.BitsSent != 0 || tag.Counter != 0 {
+			t.Errorf("tag %d not fully reset: %+v", i, tag)
+		}
+	}
+
+	for _, tag := range pop {
+		tag.Identified = true
+	}
+	if !pop.AllIdentified() {
+		t.Fatal("AllIdentified false with all identified")
+	}
+}
+
+func TestInvalidIDBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("idBits=0 not rejected")
+		}
+	}()
+	NewPopulation(1, 0, prng.New(1))
+}

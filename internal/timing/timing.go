@@ -1,0 +1,42 @@
+// Package timing converts airtime in bits into wall time. The paper's
+// Section V assumes a constant per-bit time τ; with τ = 1 μs the
+// transmission-time magnitudes of Figure 7 (1e5 μs for hundreds of tags,
+// 1e7 μs for tens of thousands) fall out of the slot censuses directly.
+package timing
+
+import (
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/signal"
+)
+
+// Model is a constant-rate timing model.
+type Model struct {
+	// TauMicros is the time to transmit one bit, in microseconds.
+	TauMicros float64
+}
+
+// Default is the paper's evaluation setting, τ = 1 μs per bit.
+var Default = Model{TauMicros: 1}
+
+// SlotMicros returns the airtime of one slot of the given declared type
+// under detector d.
+func (m Model) SlotMicros(d detect.Detector, typ signal.SlotType) float64 {
+	return float64(detect.SlotBits(d, typ)) * m.TauMicros
+}
+
+// BitsMicros converts a bit count to microseconds.
+func (m Model) BitsMicros(bits int64) float64 { return float64(bits) * m.TauMicros }
+
+// SessionMicros evaluates the paper's closed-form session time for a slot
+// census under detector d, assuming perfect detection (every single slot
+// pays the ID phase, every idle/collided slot pays only contention):
+//
+//	CRC-CD: (N0+N1+Nc) · (l_id+l_crc) · τ
+//	QCD:    N1·(l_prm+l_id)·τ + (N0+Nc)·l_prm·τ
+func (m Model) SessionMicros(c metrics.Census, d detect.Detector) float64 {
+	bits := int64(c.Single)*int64(detect.SlotBits(d, signal.Single)) +
+		int64(c.Idle)*int64(detect.SlotBits(d, signal.Idle)) +
+		int64(c.Collided)*int64(detect.SlotBits(d, signal.Collided))
+	return m.BitsMicros(bits)
+}

@@ -1,0 +1,65 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/crc"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/signal"
+)
+
+func TestSlotMicros(t *testing.T) {
+	m := Model{TauMicros: 1}
+	qcd := detect.NewQCD(8, 64)
+	if got := m.SlotMicros(qcd, signal.Idle); got != 16 {
+		t.Errorf("QCD idle slot = %v μs", got)
+	}
+	if got := m.SlotMicros(qcd, signal.Single); got != 80 {
+		t.Errorf("QCD single slot = %v μs", got)
+	}
+	crccd := detect.NewCRCCD(crc.CRC32IEEE, 64)
+	for _, typ := range []signal.SlotType{signal.Idle, signal.Single, signal.Collided} {
+		if got := m.SlotMicros(crccd, typ); got != 96 {
+			t.Errorf("CRC-CD %v slot = %v μs", typ, got)
+		}
+	}
+}
+
+func TestTauScaling(t *testing.T) {
+	m := Model{TauMicros: 25} // e.g. a 40 kbps backscatter link
+	if got := m.BitsMicros(96); got != 2400 {
+		t.Errorf("96 bits at τ=25 = %v μs", got)
+	}
+}
+
+func TestSessionMicrosMatchesPaperFormulas(t *testing.T) {
+	// Case II of Table VII with the paper's formulas: 1376 idle, 500
+	// single, 394 collided.
+	c := metrics.Census{Idle: 1376, Single: 500, Collided: 394}
+	m := Default
+
+	crccd := detect.NewCRCCD(crc.CRC32IEEE, 64)
+	wantCRC := float64(c.Slots()) * 96
+	if got := m.SessionMicros(c, crccd); got != wantCRC {
+		t.Errorf("CRC-CD session = %v, want %v", got, wantCRC)
+	}
+
+	qcd := detect.NewQCD(8, 64)
+	wantQCD := 500.0*(16+64) + float64(1376+394)*16
+	if got := m.SessionMicros(c, qcd); got != wantQCD {
+		t.Errorf("QCD session = %v, want %v", got, wantQCD)
+	}
+
+	// And the resulting EI is the Figure-8a case-II value (~0.69).
+	ei := (wantCRC - wantQCD) / wantCRC
+	if ei < 0.6 || ei > 0.75 {
+		t.Errorf("case-II EI = %v, expected ≈ 0.69", ei)
+	}
+}
+
+func TestDefaultModel(t *testing.T) {
+	if Default.TauMicros != 1 {
+		t.Errorf("default τ = %v, want 1 μs", Default.TauMicros)
+	}
+}

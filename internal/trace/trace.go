@@ -1,0 +1,160 @@
+// Package trace builds structured tag populations. The paper evaluates
+// uniformly random IDs (Table V), but real EPC populations are anything
+// but uniform: one vendor's pallet shares a 60-bit manager/class prefix
+// and differs only in serial numbers. Prefix structure is irrelevant to
+// FSA/BT (they randomise in time) but decisive for query trees, which
+// walk the ID space — so workload generation is part of the evaluation
+// surface, not a detail.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/epc"
+	"repro/internal/prng"
+	"repro/internal/tagmodel"
+)
+
+// Kind names a population shape.
+type Kind string
+
+// Population shapes.
+const (
+	// Uniform draws IDs uniformly at random (the paper's Table V setting).
+	Uniform Kind = "uniform"
+	// SingleVendor uses one manager/class with sequential serials: all
+	// tags share a 60-bit prefix (one product pallet).
+	SingleVendor Kind = "single-vendor"
+	// MultiVendor splits the population across several manager/class
+	// pairs, each with sequential serials (a mixed shipment).
+	MultiVendor Kind = "multi-vendor"
+	// ClusteredSerial uses one vendor with serials drawn from a few dense
+	// blocks (cases of 64 items).
+	ClusteredSerial Kind = "clustered-serial"
+)
+
+// Kinds lists every population shape.
+func Kinds() []Kind {
+	return []Kind{Uniform, SingleVendor, MultiVendor, ClusteredSerial}
+}
+
+// Spec configures a population build.
+type Spec struct {
+	Kind    Kind
+	N       int
+	IDBits  int // Uniform only; EPC shapes are 96-bit
+	Vendors int // MultiVendor: number of manager/class pairs (default 4)
+	Block   int // ClusteredSerial: serials per dense block (default 64)
+}
+
+// Build constructs the population. All IDs are unique.
+func Build(spec Spec, rng *prng.Source) (tagmodel.Population, error) {
+	if spec.N < 1 {
+		return nil, fmt.Errorf("trace: N = %d", spec.N)
+	}
+	switch spec.Kind {
+	case Uniform:
+		idBits := spec.IDBits
+		if idBits == 0 {
+			idBits = 64
+		}
+		return tagmodel.NewPopulation(spec.N, idBits, rng), nil
+	case SingleVendor:
+		return vendorRun(spec.N, 0, rng), nil
+	case MultiVendor:
+		vendors := spec.Vendors
+		if vendors <= 0 {
+			vendors = 4
+		}
+		var pop tagmodel.Population
+		for v := 0; v < vendors; v++ {
+			share := spec.N / vendors
+			if v < spec.N%vendors {
+				share++
+			}
+			pop = append(pop, vendorRun(share, uint32(v+1), rng)...)
+		}
+		for i, t := range pop {
+			t.Index = i
+		}
+		return pop, nil
+	case ClusteredSerial:
+		block := spec.Block
+		if block <= 0 {
+			block = 64
+		}
+		gen := epc.NewSequentialGenerator(7, 13)
+		var pop tagmodel.Population
+		serial := uint64(0)
+		for len(pop) < spec.N {
+			// Jump to a fresh block start, then fill it densely.
+			serial += uint64(rng.Intn(1<<20))*uint64(block) + uint64(block)
+			for k := 0; k < block && len(pop) < spec.N; k++ {
+				e := gen.Next()
+				e.Serial = serial + uint64(k)
+				pop = append(pop, tagmodel.New(len(pop), e.Bits(), rng.Split()))
+			}
+		}
+		return pop, nil
+	default:
+		return nil, fmt.Errorf("trace: unknown kind %q", spec.Kind)
+	}
+}
+
+func vendorRun(n int, vendor uint32, rng *prng.Source) tagmodel.Population {
+	gen := epc.NewSequentialGenerator(0x100+vendor, 0x20+vendor)
+	pop := make(tagmodel.Population, 0, n)
+	for i := 0; i < n; i++ {
+		pop = append(pop, tagmodel.New(i, gen.Next().Bits(), rng.Split()))
+	}
+	return pop
+}
+
+// SharedPrefixLen returns the length of the longest prefix common to the
+// whole population (the tree depth a query tree must burn through before
+// any split helps).
+func SharedPrefixLen(pop tagmodel.Population) int {
+	if len(pop) == 0 {
+		return 0
+	}
+	limit := pop[0].ID.Len()
+	for d := 0; d < limit; d++ {
+		b := pop[0].ID.Bit(d)
+		for _, t := range pop[1:] {
+			if t.ID.Len() <= d || t.ID.Bit(d) != b {
+				return d
+			}
+		}
+	}
+	return limit
+}
+
+// PrefixEntropy estimates, for each bit position up to depth, the
+// fraction of tags whose bit is one — a profile of where the ID space
+// actually branches. Useful for choosing query-tree fanout.
+func PrefixEntropy(pop tagmodel.Population, depth int) []float64 {
+	if depth > idLen(pop) {
+		depth = idLen(pop)
+	}
+	out := make([]float64, depth)
+	if len(pop) == 0 {
+		return out
+	}
+	for d := 0; d < depth; d++ {
+		ones := 0
+		for _, t := range pop {
+			if t.ID.Bit(d) == 1 {
+				ones++
+			}
+		}
+		out[d] = float64(ones) / float64(len(pop))
+	}
+	return out
+}
+
+func idLen(pop tagmodel.Population) int {
+	if len(pop) == 0 {
+		return 0
+	}
+	return pop[0].ID.Len()
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestBuildAllKinds(t *testing.T) {
+	for _, k := range Kinds() {
+		pop, err := Build(Spec{Kind: k, N: 200}, prng.New(1))
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if len(pop) != 200 {
+			t.Fatalf("%s: %d tags", k, len(pop))
+		}
+		if !pop.IDsUnique() {
+			t.Fatalf("%s: duplicate IDs", k)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Spec{Kind: Uniform, N: 0}, prng.New(1)); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := Build(Spec{Kind: "ghost", N: 1}, prng.New(1)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestSingleVendorSharesLongPrefix(t *testing.T) {
+	pop, err := Build(Spec{Kind: SingleVendor, N: 128}, prng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header (8) + manager (28) + class (24) = 60 shared bits, and the
+	// serials 0..127 share a further 29 zero bits of the 36-bit serial.
+	if got := SharedPrefixLen(pop); got < 60 {
+		t.Errorf("shared prefix = %d bits, want ≥60", got)
+	}
+	if pop[0].ID.Len() != 96 {
+		t.Errorf("EPC length = %d", pop[0].ID.Len())
+	}
+}
+
+func TestMultiVendorSplitsPrefixes(t *testing.T) {
+	pop, err := Build(Spec{Kind: MultiVendor, N: 100, Vendors: 4}, prng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vendors differ in manager/class, so the global shared prefix is the
+	// common header byte at most plus the manager's shared high bits.
+	if got := SharedPrefixLen(pop); got >= 60 {
+		t.Errorf("multi-vendor shared prefix = %d, expected branching before 60", got)
+	}
+	// Indices must be consistent after concatenation.
+	for i, tag := range pop {
+		if tag.Index != i {
+			t.Fatalf("tag %d has index %d", i, tag.Index)
+		}
+	}
+}
+
+func TestMultiVendorUnevenSplit(t *testing.T) {
+	pop, err := Build(Spec{Kind: MultiVendor, N: 10, Vendors: 3}, prng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop) != 10 || !pop.IDsUnique() {
+		t.Fatal("uneven split broken")
+	}
+}
+
+func TestClusteredSerialBlocks(t *testing.T) {
+	pop, err := Build(Spec{Kind: ClusteredSerial, N: 256, Block: 64}, prng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pop.IDsUnique() {
+		t.Fatal("clustered serials collided")
+	}
+	if got := SharedPrefixLen(pop); got < 60 {
+		t.Errorf("clustered population shared prefix = %d, want ≥60 (one vendor)", got)
+	}
+}
+
+func TestSharedPrefixLenEdgeCases(t *testing.T) {
+	if SharedPrefixLen(nil) != 0 {
+		t.Error("empty population")
+	}
+	pop, _ := Build(Spec{Kind: SingleVendor, N: 1}, prng.New(6))
+	if got := SharedPrefixLen(pop); got != 96 {
+		t.Errorf("singleton shared prefix = %d, want full ID", got)
+	}
+}
+
+func TestPrefixEntropy(t *testing.T) {
+	pop, _ := Build(Spec{Kind: SingleVendor, N: 64, IDBits: 0}, prng.New(7))
+	prof := PrefixEntropy(pop, 70)
+	// Shared prefix bits have fraction 0 or 1; the serial tail mixes.
+	for d := 0; d < 60; d++ {
+		if prof[d] != 0 && prof[d] != 1 {
+			t.Fatalf("bit %d of a shared prefix has fraction %v", d, prof[d])
+		}
+	}
+	uni, _ := Build(Spec{Kind: Uniform, N: 1000}, prng.New(8))
+	uprof := PrefixEntropy(uni, 8)
+	for d, f := range uprof {
+		if f < 0.4 || f > 0.6 {
+			t.Errorf("uniform bit %d fraction %v", d, f)
+		}
+	}
+	// Depth clamping.
+	if got := len(PrefixEntropy(uni, 1000)); got != 64 {
+		t.Errorf("entropy depth = %d", got)
+	}
+}

@@ -1,0 +1,122 @@
+package rfid_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	rfid "repro"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cfg := rfid.Config{
+		Tags: 200, Rounds: 3, Seed: 1,
+		Algorithm: rfid.AlgFSA, FrameSize: 120,
+		Detector: rfid.DetQCD, Strength: 8,
+	}
+	qcd, err := rfid.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Detector = rfid.DetCRCCD
+	crc, err := rfid.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei := (crc.TimeMicros.Mean() - qcd.TimeMicros.Mean()) / crc.TimeMicros.Mean()
+	if ei < 0.40 {
+		t.Errorf("public-API EI = %v, want the paper's >40%%", ei)
+	}
+}
+
+func TestPublicDetectors(t *testing.T) {
+	d := rfid.NewQCD(8, 64)
+	if d.Name() != "QCD-8" {
+		t.Errorf("QCD name = %s", d.Name())
+	}
+	if _, ok := rfid.NewCRCCD("CRC-32/IEEE", 64); !ok {
+		t.Error("CRC-32/IEEE preset missing")
+	}
+	if _, ok := rfid.NewCRCCD("nope", 64); ok {
+		t.Error("unknown preset accepted")
+	}
+	if rfid.NewOracle(64).Name() != "Oracle" {
+		t.Error("oracle name")
+	}
+}
+
+func TestPublicBitOps(t *testing.T) {
+	a, err := rfid.ParseBits("011001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := rfid.ParseBits("010010")
+	if rfid.Overlap(a, b).String() != "011011" {
+		t.Error("Overlap mismatch with the paper's Section I example")
+	}
+	if rfid.Complement(a).String() != "100110" {
+		t.Error("Complement wrong")
+	}
+}
+
+func TestPublicClosedForms(t *testing.T) {
+	if math.Abs(rfid.FSAMaxThroughput()-1/math.E) > 1e-9 {
+		t.Error("Lemma 1 constant wrong")
+	}
+	if math.Abs(rfid.BTAvgThroughput()-0.3466) > 0.001 {
+		t.Error("Lemma 2 constant wrong")
+	}
+	if math.Abs(rfid.TheoreticalFSAEI(8)-0.5864) > 0.0005 {
+		t.Error("Table II value wrong")
+	}
+	if math.Abs(rfid.TheoreticalBTEI(8)-0.6023) > 0.0005 {
+		t.Error("Table III value wrong")
+	}
+}
+
+func TestPublicPopulationAndFloor(t *testing.T) {
+	pop := rfid.NewPopulation(50, 64, 1)
+	if len(pop) != 50 || !pop.IDsUnique() {
+		t.Fatal("population broken")
+	}
+	floor, fpop := rfid.PaperFloor(500, 2)
+	if len(floor.Readers) != 100 || len(fpop) != 500 {
+		t.Fatal("paper floor misconfigured")
+	}
+	cov := floor.Coverage()
+	if cov < 0.15 || cov > 0.45 {
+		t.Errorf("coverage = %v, want ≈0.28", cov)
+	}
+}
+
+func TestPublicExperiments(t *testing.T) {
+	if len(rfid.Experiments()) < 13 {
+		t.Errorf("only %d experiments registered", len(rfid.Experiments()))
+	}
+	out, err := rfid.RunExperiment("table2", rfid.ExperimentOptions{Rounds: 1, MaxCase: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0.5864") {
+		t.Errorf("table2 output:\n%s", out)
+	}
+	if _, err := rfid.RunExperiment("ghost", rfid.ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestPublicRunRoundDelays(t *testing.T) {
+	s, err := rfid.RunRound(rfid.Config{
+		Tags: 100, Algorithm: rfid.AlgBT, Detector: rfid.DetQCD,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.DelaysMicros) != 100 {
+		t.Errorf("delays = %d", len(s.DelaysMicros))
+	}
+	sum := rfid.Summarize(s.DelaysMicros)
+	if sum.N != 100 || sum.Mean <= 0 || sum.P99 < sum.P50 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
