@@ -1,0 +1,23 @@
+# Convenience targets; `make check` is the pre-merge gate.
+
+GO ?= go
+
+.PHONY: check build test race vet bench
+
+check:
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,81 @@
+// Command rfidd serves the RFID simulator as a long-lived experiment
+// service: clients POST configurations, a bounded worker pool runs them,
+// and identical configurations are answered from a content-addressed
+// result cache.
+//
+// Usage:
+//
+//	rfidd -addr :8080 -workers 8 -queue 128 -cache 1024
+//
+//	curl -d '{"config":{"Tags":500,"Rounds":100,"Algorithm":"fsa","FrameSize":300,"Detector":"qcd"}}' \
+//	     http://localhost:8080/v1/experiments
+//	curl http://localhost:8080/v1/experiments/exp-1
+//	curl http://localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains queued and
+// in-flight experiments (up to -drain-timeout), then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+		queue        = flag.Int("queue", 128, "bounded queue depth")
+		cacheSize    = flag.Int("cache", 1024, "result cache capacity in entries")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-experiment run limit (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain limit")
+	)
+	flag.Parse()
+
+	svc := server.New(server.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cacheSize,
+		JobTimeout: *jobTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("rfidd: listening on %s (queue %d, cache %d)", *addr, *queue, *cacheSize)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "rfidd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	log.Printf("rfidd: shutting down, draining for up to %s", *drainTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		log.Printf("rfidd: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("rfidd: drain: %v", err)
+	} else if err != nil {
+		log.Printf("rfidd: drain deadline hit; running experiments were canceled")
+	}
+	log.Printf("rfidd: bye")
+}

@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	rfid "repro"
 	"repro/internal/report"
@@ -36,8 +39,16 @@ func main() {
 		capture  = flag.Float64("capture", 0, "capture-effect probability (FSA only)")
 		compare  = flag.Bool("compare", false, "also run CRC-CD on the same workload and report EI")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of a table")
+		timeout  = flag.Duration("timeout", 0, "abort the experiment after this duration (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cfg := rfid.Config{
 		Tags: *tags, Seed: *seed, Rounds: *rounds,
@@ -46,13 +57,12 @@ func main() {
 		TauMicros: *tau, Workers: *workers, ConfirmEmpty: *confirm,
 		BER: *ber, CaptureProb: *capture,
 	}
-	agg, err := rfid.Run(cfg)
+	agg, err := rfid.RunContext(ctx, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rfidsim:", err)
-		os.Exit(1)
+		exitOnError(err, *timeout, "")
 	}
 	if *jsonOut {
-		printJSON(cfg, agg, *compare)
+		printJSON(ctx, cfg, agg, *compare, *timeout)
 		return
 	}
 	printAggregate(cfg, agg)
@@ -60,10 +70,9 @@ func main() {
 	if *compare {
 		base := cfg
 		base.Detector = rfid.DetCRCCD
-		baseAgg, err := rfid.Run(base)
+		baseAgg, err := rfid.RunContext(ctx, base)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rfidsim (baseline):", err)
-			os.Exit(1)
+			exitOnError(err, *timeout, " (baseline)")
 		}
 		ei := (baseAgg.TimeMicros.Mean() - agg.TimeMicros.Mean()) / baseAgg.TimeMicros.Mean()
 		fmt.Printf("\nbaseline CRC-CD time: %.4g μs\nefficiency improvement (EI): %.2f%%\n",
@@ -71,42 +80,34 @@ func main() {
 	}
 }
 
-// jsonSummary is the machine-readable shape of one aggregate.
-type jsonSummary struct {
-	Config     rfid.Config        `json:"config"`
-	Metrics    map[string]jsonVal `json:"metrics"`
-	BaselineEI *float64           `json:"baseline_ei,omitempty"`
-}
-
-type jsonVal struct {
-	Mean   float64 `json:"mean"`
-	StdDev float64 `json:"stddev"`
-	CI95   float64 `json:"ci95"`
-}
-
-func printJSON(cfg rfid.Config, a *rfid.Aggregate, compare bool) {
-	out := jsonSummary{
-		Config: cfg,
-		Metrics: map[string]jsonVal{
-			"slots":       {a.Slots.Mean(), a.Slots.StdDev(), a.Slots.CI95()},
-			"frames":      {a.Frames.Mean(), a.Frames.StdDev(), a.Frames.CI95()},
-			"idle":        {a.Idle.Mean(), a.Idle.StdDev(), a.Idle.CI95()},
-			"single":      {a.Single.Mean(), a.Single.StdDev(), a.Single.CI95()},
-			"collided":    {a.Collided.Mean(), a.Collided.StdDev(), a.Collided.CI95()},
-			"throughput":  {a.Throughput.Mean(), a.Throughput.StdDev(), a.Throughput.CI95()},
-			"time_micros": {a.TimeMicros.Mean(), a.TimeMicros.StdDev(), a.TimeMicros.CI95()},
-			"accuracy":    {a.Accuracy.Mean(), a.Accuracy.StdDev(), a.Accuracy.CI95()},
-			"ur":          {a.UR.Mean(), a.UR.StdDev(), a.UR.CI95()},
-			"delay":       {a.Delay.Mean(), a.Delay.StdDev(), 0},
-		},
+// exitOnError reports a run failure, distinguishing a -timeout abort.
+func exitOnError(err error, timeout time.Duration, suffix string) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "rfidsim%s: experiment aborted: exceeded -timeout %s\n", suffix, timeout)
+		os.Exit(2)
 	}
+	fmt.Fprintf(os.Stderr, "rfidsim%s: %v\n", suffix, err)
+	os.Exit(1)
+}
+
+// jsonSummary wraps the shared aggregate encoding with the CLI-only
+// baseline comparison.
+type jsonSummary struct {
+	report.AggregateSummary
+	BaselineEI *float64 `json:"baseline_ei,omitempty"`
+}
+
+func printJSON(ctx context.Context, cfg rfid.Config, a *rfid.Aggregate, compare bool, timeout time.Duration) {
+	out := jsonSummary{AggregateSummary: report.NewAggregateSummary(cfg, a)}
 	if compare {
 		base := cfg
 		base.Detector = rfid.DetCRCCD
-		if baseAgg, err := rfid.Run(base); err == nil {
-			ei := (baseAgg.TimeMicros.Mean() - a.TimeMicros.Mean()) / baseAgg.TimeMicros.Mean()
-			out.BaselineEI = &ei
+		baseAgg, err := rfid.RunContext(ctx, base)
+		if err != nil {
+			exitOnError(err, timeout, " (baseline)")
 		}
+		ei := (baseAgg.TimeMicros.Mean() - a.TimeMicros.Mean()) / baseAgg.TimeMicros.Mean()
+		out.BaselineEI = &ei
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

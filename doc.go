@@ -34,4 +34,10 @@
 // Every table and figure of the paper can be regenerated through
 // RunExperiment (or the cmd/paper binary); see DESIGN.md for the
 // experiment index and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Alongside the one-shot CLIs (cmd/paper, cmd/rfidsim, cmd/qcdbench),
+// cmd/rfidd serves experiments over HTTP: submissions queue onto a
+// bounded worker pool and identical configurations are answered from a
+// content-addressed result cache — see the README's "Running as a
+// service" section.
 package rfid

@@ -172,3 +172,110 @@ func TestRunScheduledNoInterference(t *testing.T) {
 		t.Errorf("makespan %.0f vs total %.0f: expected heavy overlap", res.MakespanMicros, res.TotalAirtimeMicros)
 	}
 }
+
+func TestZeroReaders(t *testing.T) {
+	rng := prng.New(11)
+	f := NewFloor(100)
+	pop := tagmodel.NewPopulation(50, 64, rng)
+	f.PlaceTags(pop, rng)
+
+	adj := f.InterferenceGraph(15)
+	if len(adj) != 0 {
+		t.Fatalf("interference graph has %d nodes for 0 readers", len(adj))
+	}
+	colors, count := ColorReaders(adj)
+	if len(colors) != 0 || count != 0 {
+		t.Errorf("ColorReaders(empty) = %v, %d", colors, count)
+	}
+
+	ran := false
+	session := func(sub tagmodel.Population) float64 { ran = true; return 1 }
+	res := f.RunScheduled(15, session)
+	if ran {
+		t.Error("a session ran with no readers")
+	}
+	if res.Colors != 0 || res.Identified != 0 || res.MakespanMicros != 0 || res.TotalAirtimeMicros != 0 {
+		t.Errorf("scheduled result = %+v, want all zero", res)
+	}
+	if res.Speedup() != 1 {
+		t.Errorf("zero-makespan speedup = %v, want 1", res.Speedup())
+	}
+	un := f.RunUnscheduled(20, session)
+	if un.Identified != 0 || un.Jammed != 0 || un.MakespanMicros != 0 {
+		t.Errorf("unscheduled result = %+v, want all zero", un)
+	}
+	if micros, ident := f.RunSequential(session); micros != 0 || ident != 0 {
+		t.Errorf("sequential = %v, %d, want 0, 0", micros, ident)
+	}
+}
+
+func TestReaderRangeLargerThanArena(t *testing.T) {
+	// One reader in the middle of a 10 m floor with a 200 m range: its
+	// disc swallows the whole arena, so a single session must identify
+	// every tag and the grid index must not miss any cell.
+	rng := prng.New(12)
+	f := NewFloor(10)
+	f.Readers = append(f.Readers, Reader{ID: 0, Pos: Point{X: 5, Y: 5}, Range: 200})
+	pop := tagmodel.NewPopulation(120, 64, rng)
+	f.PlaceTags(pop, rng)
+
+	if got := len(f.TagsInRange(f.Readers[0])); got != 120 {
+		t.Fatalf("oversized range covers %d of 120 tags", got)
+	}
+	if cov := f.Coverage(); cov != 1 {
+		t.Errorf("coverage = %v, want 1", cov)
+	}
+
+	det := detect.NewQCD(8, 64)
+	session := func(sub tagmodel.Population) float64 {
+		return aloha.Run(sub, det, aloha.NewFixed(maxInt(1, len(sub))), timing.Default).TimeMicros
+	}
+	res := f.RunScheduled(15, session)
+	if res.Identified != 120 {
+		t.Errorf("identified %d of 120", res.Identified)
+	}
+	if res.Colors != 1 {
+		t.Errorf("colors = %d, want 1 for a single reader", res.Colors)
+	}
+	if res.MakespanMicros != res.TotalAirtimeMicros {
+		t.Errorf("single reader: makespan %v != total %v", res.MakespanMicros, res.TotalAirtimeMicros)
+	}
+}
+
+func TestOversizedRangeGridCoversWholeArena(t *testing.T) {
+	// Four gridded readers whose ranges each dwarf the arena: every
+	// reader covers every tag, the interference graph is complete at any
+	// radius >= the grid pitch, and a schedule still reads everything
+	// exactly once.
+	rng := prng.New(13)
+	f := NewFloor(10)
+	f.PlaceReadersGrid(4, 200)
+	pop := tagmodel.NewPopulation(60, 64, rng)
+	f.PlaceTags(pop, rng)
+
+	for _, r := range f.Readers {
+		if got := len(f.TagsInRange(r)); got != 60 {
+			t.Fatalf("reader %d covers %d of 60 tags", r.ID, got)
+		}
+	}
+	adj := f.InterferenceGraph(200)
+	colors, count := ColorReaders(adj)
+	if count != 4 {
+		t.Errorf("complete K4 colored with %d colors, want 4", count)
+	}
+	seen := map[int]bool{}
+	for _, c := range colors {
+		if seen[c] {
+			t.Errorf("complete graph reused color %d", c)
+		}
+		seen[c] = true
+	}
+
+	det := detect.NewQCD(8, 64)
+	res := f.RunScheduled(200, func(sub tagmodel.Population) float64 {
+		return aloha.Run(sub, det, aloha.NewFixed(maxInt(1, len(sub))), timing.Default).TimeMicros
+	})
+	if res.Identified != 60 {
+		t.Errorf("identified %d of 60", res.Identified)
+	}
+}

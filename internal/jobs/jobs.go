@@ -1,0 +1,439 @@
+// Package jobs provides the experiment service's execution substrate: a
+// bounded FIFO job queue drained by a fixed worker pool. Each job runs
+// under its own context (per-job timeout, explicit cancellation, pool
+// shutdown), transient failures are retried with exponential backoff,
+// and shutdown drains in-flight and queued work before returning.
+//
+// The package is deliberately independent of the simulator: a job is any
+// func(ctx) (any, error), so the pool is reusable for sweeps, floor
+// inventories, or future workloads.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Func is the unit of work a job executes. It must honour ctx: the pool
+// cancels it on per-job timeout, explicit Cancel, or forced shutdown.
+type Func func(ctx context.Context) (any, error)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states. Queued and Running are live; the rest are
+// terminal.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Submission errors.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue cannot
+	// accept another job; callers should shed load (HTTP 429/503).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed is returned by Submit after Shutdown has begun.
+	ErrClosed = errors.New("jobs: pool closed")
+	// ErrDuplicateID is returned by Submit when the ID is already taken.
+	ErrDuplicateID = errors.New("jobs: duplicate job id")
+)
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so the pool will retry the job (up to
+// Options.Retries times with exponential backoff). A nil err returns
+// nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// Options configures a Pool. The zero value is usable: workers default
+// to runtime.NumCPU(), queue depth to 64, no per-job timeout, no
+// retries.
+type Options struct {
+	// Workers is the number of concurrent job runners (default NumCPU).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (default 64). Submit fails with ErrQueueFull beyond it.
+	QueueDepth int
+	// Timeout bounds each attempt's run time; 0 means no limit.
+	Timeout time.Duration
+	// Retries is how many times a transient failure is re-attempted.
+	Retries int
+	// Backoff is the delay before the first retry, doubling per attempt
+	// (default 100 ms when Retries > 0).
+	Backoff time.Duration
+	// OnDone, if set, is called after a job reaches a terminal state
+	// (from the worker goroutine; keep it fast).
+	OnDone func(Snapshot)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Snapshot is a copy of a job's externally visible state.
+type Snapshot struct {
+	ID         string
+	Status     Status
+	Attempts   int // run attempts started (1 + retries so far)
+	Result     any
+	Err        error
+	EnqueuedAt time.Time
+	StartedAt  time.Time // zero until the first attempt starts
+	FinishedAt time.Time // zero until terminal
+}
+
+// Latency is queue wait plus run time for finished jobs, and zero
+// otherwise.
+func (s Snapshot) Latency() time.Duration {
+	if s.FinishedAt.IsZero() {
+		return 0
+	}
+	return s.FinishedAt.Sub(s.EnqueuedAt)
+}
+
+// job is the pool-internal mutable state behind a Snapshot.
+type job struct {
+	id string
+	fn Func
+
+	mu         sync.Mutex
+	status     Status
+	attempts   int
+	result     any
+	err        error
+	enqueuedAt time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	cancel     context.CancelFunc // non-nil while running
+	canceled   bool               // Cancel requested (also covers queued jobs)
+	done       chan struct{}      // closed on terminal state
+}
+
+func (j *job) snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID: j.id, Status: j.status, Attempts: j.attempts,
+		Result: j.result, Err: j.err,
+		EnqueuedAt: j.enqueuedAt, StartedAt: j.startedAt, FinishedAt: j.finishedAt,
+	}
+}
+
+// Stats is a point-in-time view of pool load, for /metrics.
+type Stats struct {
+	Workers    int
+	Busy       int // workers currently running a job
+	QueueDepth int // jobs waiting in the queue
+	Submitted  uint64
+	Done       uint64
+	Failed     uint64
+	Canceled   uint64
+	Retries    uint64 // re-attempts after transient failures
+}
+
+// Utilisation is Busy / Workers.
+func (s Stats) Utilisation() float64 {
+	if s.Workers == 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(s.Workers)
+}
+
+// Pool is a fixed-size worker pool over a bounded FIFO queue. Create it
+// with NewPool; it is safe for concurrent use.
+type Pool struct {
+	opts  Options
+	queue chan *job
+	wg    sync.WaitGroup
+
+	// hardCtx cancels running jobs when a shutdown deadline expires.
+	hardCtx  context.Context
+	hardStop context.CancelFunc
+
+	mu     sync.Mutex
+	byID   map[string]*job
+	order  []string // submission order, for List
+	closed bool
+
+	busy      atomic.Int64
+	submitted atomic.Uint64
+	nDone     atomic.Uint64
+	nFailed   atomic.Uint64
+	nCanceled atomic.Uint64
+	nRetries  atomic.Uint64
+}
+
+// NewPool starts a pool with Options.Workers runner goroutines.
+func NewPool(o Options) *Pool {
+	o = o.withDefaults()
+	hardCtx, hardStop := context.WithCancel(context.Background())
+	p := &Pool{
+		opts:     o,
+		queue:    make(chan *job, o.QueueDepth),
+		hardCtx:  hardCtx,
+		hardStop: hardStop,
+		byID:     make(map[string]*job),
+	}
+	for w := 0; w < o.Workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues fn under the caller-chosen id. It fails fast with
+// ErrQueueFull, ErrClosed, or ErrDuplicateID — it never blocks.
+func (p *Pool) Submit(id string, fn Func) error {
+	if fn == nil {
+		return fmt.Errorf("jobs: nil Func for job %q", id)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if _, dup := p.byID[id]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
+	j := &job{
+		id: id, fn: fn,
+		status:     StatusQueued,
+		enqueuedAt: time.Now(),
+		done:       make(chan struct{}),
+	}
+	select {
+	case p.queue <- j:
+	default:
+		return ErrQueueFull
+	}
+	p.byID[id] = j
+	p.order = append(p.order, id)
+	p.submitted.Add(1)
+	return nil
+}
+
+// Get returns the snapshot of the job with the given id.
+func (p *Pool) Get(id string) (Snapshot, bool) {
+	p.mu.Lock()
+	j, ok := p.byID[id]
+	p.mu.Unlock()
+	if !ok {
+		return Snapshot{}, false
+	}
+	return j.snapshot(), true
+}
+
+// List returns snapshots of all known jobs in submission order.
+func (p *Pool) List() []Snapshot {
+	p.mu.Lock()
+	js := make([]*job, 0, len(p.order))
+	for _, id := range p.order {
+		js = append(js, p.byID[id])
+	}
+	p.mu.Unlock()
+	out := make([]Snapshot, len(js))
+	for i, j := range js {
+		out[i] = j.snapshot()
+	}
+	return out
+}
+
+// Cancel requests cancellation of the job: a queued job is skipped when
+// it reaches a worker, a running job has its context canceled. It
+// reports whether the job exists and was still live.
+func (p *Pool) Cancel(id string) bool {
+	p.mu.Lock()
+	j, ok := p.byID[id]
+	p.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return false
+	}
+	j.canceled = true
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return true
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (p *Pool) Wait(ctx context.Context, id string) (Snapshot, error) {
+	p.mu.Lock()
+	j, ok := p.byID[id]
+	p.mu.Unlock()
+	if !ok {
+		return Snapshot{}, fmt.Errorf("jobs: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+		return j.snapshot(), nil
+	case <-ctx.Done():
+		return j.snapshot(), ctx.Err()
+	}
+}
+
+// Stats returns a point-in-time load snapshot.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Workers:    p.opts.Workers,
+		Busy:       int(p.busy.Load()),
+		QueueDepth: len(p.queue),
+		Submitted:  p.submitted.Load(),
+		Done:       p.nDone.Load(),
+		Failed:     p.nFailed.Load(),
+		Canceled:   p.nCanceled.Load(),
+		Retries:    p.nRetries.Load(),
+	}
+}
+
+// Shutdown stops accepting submissions and drains the queue: queued and
+// in-flight jobs run to completion. If ctx expires first, running jobs
+// are canceled and Shutdown returns ctx.Err() after they exit.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		p.hardStop() // cancel running jobs, then wait for workers to exit
+		<-drained
+		return ctx.Err()
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.busy.Add(1)
+		p.run(j)
+		p.busy.Add(-1)
+	}
+}
+
+// run executes one job with retries and records its terminal state.
+func (p *Pool) run(j *job) {
+	j.mu.Lock()
+	if j.canceled { // canceled while still queued
+		j.status = StatusCanceled
+		j.err = context.Canceled
+		j.finishedAt = time.Now()
+		close(j.done)
+		j.mu.Unlock()
+		p.nCanceled.Add(1)
+		p.notify(j)
+		return
+	}
+	runCtx, cancel := context.WithCancel(p.hardCtx)
+	j.status = StatusRunning
+	j.startedAt = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	var result any
+	var err error
+	backoff := p.opts.Backoff
+	for attempt := 0; ; attempt++ {
+		j.mu.Lock()
+		j.attempts++
+		j.mu.Unlock()
+
+		attemptCtx := runCtx
+		var attemptCancel context.CancelFunc = func() {}
+		if p.opts.Timeout > 0 {
+			attemptCtx, attemptCancel = context.WithTimeout(runCtx, p.opts.Timeout)
+		}
+		result, err = j.fn(attemptCtx)
+		attemptCancel()
+
+		if err == nil || !IsTransient(err) || attempt >= p.opts.Retries || runCtx.Err() != nil {
+			break
+		}
+		p.nRetries.Add(1)
+		select {
+		case <-time.After(backoff):
+		case <-runCtx.Done():
+		}
+		backoff *= 2
+	}
+
+	j.mu.Lock()
+	j.cancel = nil
+	j.finishedAt = time.Now()
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.result = result
+		p.nDone.Add(1)
+	case j.canceled || errors.Is(err, context.Canceled):
+		j.status = StatusCanceled
+		j.err = err
+		p.nCanceled.Add(1)
+	default:
+		j.status = StatusFailed
+		j.err = err
+		p.nFailed.Add(1)
+	}
+	close(j.done)
+	j.mu.Unlock()
+	p.notify(j)
+}
+
+func (p *Pool) notify(j *job) {
+	if p.opts.OnDone != nil {
+		p.opts.OnDone(j.snapshot())
+	}
+}

@@ -1,0 +1,328 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestPool returns a small pool sized independently of the host.
+func newTestPool(o Options) *Pool {
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 8
+	}
+	return NewPool(o)
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	p := newTestPool(Options{})
+	defer p.Shutdown(context.Background())
+	if err := p.Submit("j1", func(ctx context.Context) (any, error) {
+		return 42, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := p.Wait(context.Background(), "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Status != StatusDone || snap.Result.(int) != 42 || snap.Err != nil {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", snap.Attempts)
+	}
+	if snap.Latency() <= 0 {
+		t.Errorf("latency = %v, want > 0", snap.Latency())
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	p := newTestPool(Options{})
+	defer p.Shutdown(context.Background())
+	if err := p.Submit("j1", nil); err == nil {
+		t.Error("nil Func accepted")
+	}
+	ok := func(ctx context.Context) (any, error) { return nil, nil }
+	if err := p.Submit("j1", ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit("j1", ok); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate id: err = %v", err)
+	}
+	if _, found := p.Get("nope"); found {
+		t.Error("Get found an unknown id")
+	}
+	if _, err := p.Wait(context.Background(), "nope"); err == nil {
+		t.Error("Wait on unknown id succeeded")
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	p := NewPool(Options{Workers: 1, QueueDepth: 2})
+	defer p.Shutdown(context.Background())
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit("running", func(ctx context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the single worker is now occupied
+	sleepy := func(ctx context.Context) (any, error) { return nil, nil }
+	if err := p.Submit("q1", sleepy); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit("q2", sleepy); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit("q3", sleepy); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("overfull submit: err = %v, want ErrQueueFull", err)
+	}
+	close(block)
+}
+
+func TestRetryTransientThenSucceed(t *testing.T) {
+	p := newTestPool(Options{Retries: 3, Backoff: time.Millisecond})
+	defer p.Shutdown(context.Background())
+	var calls atomic.Int32
+	if err := p.Submit("flaky", func(ctx context.Context) (any, error) {
+		if calls.Add(1) < 3 {
+			return nil, Transient(errors.New("blip"))
+		}
+		return "ok", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := p.Wait(context.Background(), "flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Status != StatusDone || snap.Attempts != 3 {
+		t.Errorf("status = %s attempts = %d, want done after 3", snap.Status, snap.Attempts)
+	}
+	if got := p.Stats().Retries; got != 2 {
+		t.Errorf("retries counter = %d, want 2", got)
+	}
+}
+
+func TestTransientExhaustsRetries(t *testing.T) {
+	p := newTestPool(Options{Retries: 2, Backoff: time.Millisecond})
+	defer p.Shutdown(context.Background())
+	boom := errors.New("still down")
+	p.Submit("down", func(ctx context.Context) (any, error) {
+		return nil, Transient(boom)
+	})
+	snap, _ := p.Wait(context.Background(), "down")
+	if snap.Status != StatusFailed || !errors.Is(snap.Err, boom) {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap.Attempts != 3 { // 1 + 2 retries
+		t.Errorf("attempts = %d, want 3", snap.Attempts)
+	}
+}
+
+func TestPermanentErrorNotRetried(t *testing.T) {
+	p := newTestPool(Options{Retries: 5, Backoff: time.Millisecond})
+	defer p.Shutdown(context.Background())
+	var calls atomic.Int32
+	p.Submit("fatal", func(ctx context.Context) (any, error) {
+		calls.Add(1)
+		return nil, errors.New("bad config")
+	})
+	snap, _ := p.Wait(context.Background(), "fatal")
+	if snap.Status != StatusFailed || calls.Load() != 1 {
+		t.Errorf("status = %s calls = %d, want one failed attempt", snap.Status, calls.Load())
+	}
+}
+
+func TestTransientHelpers(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+	base := errors.New("x")
+	wrapped := Transient(base)
+	if !IsTransient(wrapped) || IsTransient(base) {
+		t.Error("IsTransient misclassifies")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Error("Transient does not unwrap")
+	}
+	if wrapped.Error() != "x" {
+		t.Errorf("message = %q", wrapped.Error())
+	}
+}
+
+func TestPerJobTimeout(t *testing.T) {
+	p := newTestPool(Options{Timeout: 10 * time.Millisecond})
+	defer p.Shutdown(context.Background())
+	p.Submit("slow", func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	snap, _ := p.Wait(context.Background(), "slow")
+	if snap.Status != StatusFailed || !errors.Is(snap.Err, context.DeadlineExceeded) {
+		t.Errorf("snapshot = %+v, want failed with DeadlineExceeded", snap)
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	p := newTestPool(Options{})
+	defer p.Shutdown(context.Background())
+	started := make(chan struct{})
+	p.Submit("victim", func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	if !p.Cancel("victim") {
+		t.Fatal("Cancel returned false for a running job")
+	}
+	snap, _ := p.Wait(context.Background(), "victim")
+	if snap.Status != StatusCanceled {
+		t.Errorf("status = %s, want canceled", snap.Status)
+	}
+	if p.Cancel("victim") {
+		t.Error("Cancel succeeded twice")
+	}
+	if p.Cancel("ghost") {
+		t.Error("Cancel found an unknown id")
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	p := NewPool(Options{Workers: 1, QueueDepth: 4})
+	defer p.Shutdown(context.Background())
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p.Submit("blocker", func(ctx context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	<-started
+	var ran atomic.Bool
+	p.Submit("queued", func(ctx context.Context) (any, error) {
+		ran.Store(true)
+		return nil, nil
+	})
+	if !p.Cancel("queued") {
+		t.Fatal("Cancel returned false for a queued job")
+	}
+	close(block)
+	snap, _ := p.Wait(context.Background(), "queued")
+	if snap.Status != StatusCanceled || ran.Load() {
+		t.Errorf("queued job ran despite cancellation: %+v ran=%v", snap, ran.Load())
+	}
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	p := NewPool(Options{Workers: 2, QueueDepth: 16})
+	var finished atomic.Int32
+	const n = 8
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("j%d", i)
+		if err := p.Submit(id, func(ctx context.Context) (any, error) {
+			time.Sleep(5 * time.Millisecond)
+			finished.Add(1)
+			return id, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if finished.Load() != n {
+		t.Errorf("drained %d of %d jobs", finished.Load(), n)
+	}
+	st := p.Stats()
+	if st.Done != n || st.QueueDepth != 0 || st.Busy != 0 {
+		t.Errorf("post-drain stats = %+v", st)
+	}
+	if err := p.Submit("late", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after shutdown: err = %v, want ErrClosed", err)
+	}
+	// A second Shutdown is a no-op.
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+}
+
+func TestShutdownDeadlineCancelsRunning(t *testing.T) {
+	p := NewPool(Options{Workers: 1, QueueDepth: 4})
+	started := make(chan struct{})
+	p.Submit("stubborn", func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done() // only exits when the pool hard-cancels
+		return nil, ctx.Err()
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown err = %v, want DeadlineExceeded", err)
+	}
+	snap, _ := p.Get("stubborn")
+	if snap.Status != StatusCanceled {
+		t.Errorf("status = %s, want canceled after forced shutdown", snap.Status)
+	}
+}
+
+func TestStatsAndUtilisation(t *testing.T) {
+	p := NewPool(Options{Workers: 2, QueueDepth: 8})
+	defer p.Shutdown(context.Background())
+	block := make(chan struct{})
+	started := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		p.Submit(fmt.Sprintf("b%d", i), func(ctx context.Context) (any, error) {
+			started <- struct{}{}
+			<-block
+			return nil, nil
+		})
+	}
+	<-started
+	<-started
+	st := p.Stats()
+	if st.Busy != 2 || st.Workers != 2 {
+		t.Errorf("stats = %+v, want 2/2 busy", st)
+	}
+	if st.Utilisation() != 1 {
+		t.Errorf("utilisation = %v, want 1", st.Utilisation())
+	}
+	close(block)
+	if (Stats{}).Utilisation() != 0 {
+		t.Error("zero-worker utilisation != 0")
+	}
+}
+
+func TestOnDoneCallbackAndList(t *testing.T) {
+	doneIDs := make(chan string, 4)
+	p := NewPool(Options{Workers: 2, QueueDepth: 8, OnDone: func(s Snapshot) {
+		if !s.Status.Terminal() {
+			t.Errorf("OnDone with live status %s", s.Status)
+		}
+		doneIDs <- s.ID
+	}})
+	defer p.Shutdown(context.Background())
+	p.Submit("a", func(ctx context.Context) (any, error) { return 1, nil })
+	p.Submit("b", func(ctx context.Context) (any, error) { return nil, errors.New("no") })
+	got := map[string]bool{<-doneIDs: true, <-doneIDs: true}
+	if !got["a"] || !got["b"] {
+		t.Errorf("OnDone ids = %v", got)
+	}
+	list := p.List()
+	if len(list) != 2 || list[0].ID != "a" || list[1].ID != "b" {
+		t.Errorf("List = %+v, want submission order a,b", list)
+	}
+}

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"repro/internal/sim"
+)
+
+// MetricStat is the machine-readable shape of one aggregate metric: its
+// cross-round mean, standard deviation, and 95% confidence half-width.
+type MetricStat struct {
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	CI95   float64 `json:"ci95"`
+}
+
+// AggregateSummary is the machine-readable shape of one experiment
+// aggregate, shared by the rfidsim -json output and the rfidd service.
+// Encoding it with encoding/json is deterministic: struct fields keep
+// declaration order and map keys are sorted, so identical aggregates
+// yield byte-identical bodies.
+type AggregateSummary struct {
+	Config  sim.Config            `json:"config"`
+	Metrics map[string]MetricStat `json:"metrics"`
+}
+
+// NewAggregateSummary flattens an aggregate into its JSON shape. cfg is
+// reported verbatim, letting callers choose between the configuration as
+// submitted and its canonical form (sim.Config.Canonical).
+func NewAggregateSummary(cfg sim.Config, a *sim.Aggregate) AggregateSummary {
+	stat := func(acc interface {
+		Mean() float64
+		StdDev() float64
+		CI95() float64
+	}) MetricStat {
+		return MetricStat{Mean: acc.Mean(), StdDev: acc.StdDev(), CI95: acc.CI95()}
+	}
+	return AggregateSummary{
+		Config: cfg,
+		Metrics: map[string]MetricStat{
+			"slots":       stat(&a.Slots),
+			"frames":      stat(&a.Frames),
+			"idle":        stat(&a.Idle),
+			"single":      stat(&a.Single),
+			"collided":    stat(&a.Collided),
+			"throughput":  stat(&a.Throughput),
+			"time_micros": stat(&a.TimeMicros),
+			"bits":        stat(&a.Bits),
+			"accuracy":    stat(&a.Accuracy),
+			"ur":          stat(&a.UR),
+			"delay":       {Mean: a.Delay.Mean(), StdDev: a.Delay.StdDev()},
+		},
+	}
+}

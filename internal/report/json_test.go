@@ -1,0 +1,60 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestAggregateSummaryDeterministicBytes(t *testing.T) {
+	cfg := sim.Config{
+		Tags: 80, Seed: 7, Rounds: 3,
+		Algorithm: sim.AlgFSA, FrameSize: 50,
+		Detector: sim.DetQCD, Strength: 8,
+	}
+	encode := func() []byte {
+		agg, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(NewAggregateSummary(cfg.Canonical(), agg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := encode(), encode()
+	if !bytes.Equal(a, b) {
+		t.Errorf("two encodings of the same config differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestAggregateSummaryShape(t *testing.T) {
+	cfg := sim.Config{
+		Tags: 40, Seed: 1, Rounds: 2,
+		Algorithm: sim.AlgBT, Detector: sim.DetCRCCD,
+	}
+	agg, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewAggregateSummary(cfg, agg)
+	for _, key := range []string{"slots", "frames", "throughput", "time_micros", "accuracy", "ur", "delay"} {
+		if _, ok := s.Metrics[key]; !ok {
+			t.Errorf("metric %q missing", key)
+		}
+	}
+	if s.Metrics["single"].Mean != 40 {
+		t.Errorf("single mean = %v, want 40 (every tag identified once)", s.Metrics["single"].Mean)
+	}
+	var decoded AggregateSummary
+	b, _ := json.Marshal(s)
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if decoded.Config.Tags != 40 || decoded.Metrics["single"].Mean != 40 {
+		t.Error("round-trip lost data")
+	}
+}

@@ -1,0 +1,134 @@
+// Package rescache is a content-addressed in-memory result cache for
+// experiment aggregates. The simulator is deterministic per configuration
+// (see the sim package docs), so a result keyed by a canonical hash of
+// its sim.Config never needs recomputing: identical submissions are
+// served the stored bytes. The cache is LRU-bounded and keeps hit/miss
+// counters for the service's /metrics endpoint.
+package rescache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// ConfigKey returns the content address of a configuration: the SHA-256
+// hex digest of the canonical form's JSON encoding. Two configurations
+// that describe the same experiment (differing only in defaulted or
+// scheduling-only fields, e.g. Workers) share a key.
+func ConfigKey(c sim.Config) (string, error) {
+	b, err := json.Marshal(c.Canonical())
+	if err != nil {
+		return "", fmt.Errorf("rescache: encoding config: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits     uint64
+	Misses   uint64
+	Entries  int
+	Capacity int
+}
+
+// HitRatio is Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a bounded LRU map from content key to stored value. It is
+// safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// New returns an empty cache bounded to capacity entries (minimum 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the value stored under key and marks it most recently
+// used. The second result reports whether the key was present; every
+// call counts as a hit or a miss.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Contains reports whether key is cached without touching recency or the
+// hit/miss counters.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put stores val under key, evicting the least recently used entry if
+// the cache is full. Storing an existing key refreshes its value and
+// recency.
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.cap}
+}

@@ -1,0 +1,117 @@
+package rescache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestConfigKeyCanonicalises(t *testing.T) {
+	sparse := sim.Config{Tags: 100, Algorithm: sim.AlgFSA, FrameSize: 60, Detector: sim.DetQCD}
+	full := sparse
+	full.IDBits = 64
+	full.Rounds = 1
+	full.Strength = 8
+	full.Workers = 7 // scheduling only — must not change the key
+
+	k1, err := ConfigKey(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ConfigKey(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("equivalent configs hash differently: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Errorf("key %q is not a sha256 hex digest", k1)
+	}
+
+	other := sparse
+	other.Tags = 101
+	k3, _ := ConfigKey(other)
+	if k3 == k1 {
+		t.Error("different configs share a key")
+	}
+}
+
+func TestGetPutAndCounters(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", 1)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("a", 2) // refresh
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatalf("refreshed value = %v, want 2", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 || st.Capacity != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := st.HitRatio(); got < 0.66 || got > 0.67 {
+		t.Errorf("hit ratio = %v, want 2/3", got)
+	}
+	if (Stats{}).HitRatio() != 0 {
+		t.Error("empty stats hit ratio != 0")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	c.Get("k0")    // k0 now most recent; k1 is the LRU
+	c.Put("k3", 3) // evicts k1
+	if c.Contains("k1") {
+		t.Error("k1 survived eviction")
+	}
+	for _, want := range []string{"k0", "k2", "k3"} {
+		if !c.Contains(want) {
+			t.Errorf("%s missing after eviction", want)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("len = %d, want 3", c.Len())
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	c := New(0)
+	c.Put("a", 1)
+	if !c.Contains("a") {
+		t.Error("capacity-clamped cache dropped its only entry")
+	}
+	c.Put("b", 2)
+	if c.Contains("a") || !c.Contains("b") {
+		t.Error("capacity-1 cache did not evict the older entry")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%24)
+				c.Put(key, g)
+				c.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("len = %d exceeds capacity", c.Len())
+	}
+}

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Client is a thin typed client for the rfidd API, used by the
+// end-to-end tests and suitable for scripting sweeps against a running
+// daemon.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError is a non-2xx response surfaced as an error.
+type apiError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rdr = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rdr)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e errorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return &apiError{StatusCode: resp.StatusCode, Message: e.Error}
+		}
+		return &apiError{StatusCode: resp.StatusCode, Message: string(raw)}
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+// Submit enqueues an experiment and returns its (possibly cached or
+// coalesced) record.
+func (c *Client) Submit(ctx context.Context, cfg sim.Config) (ExperimentResponse, error) {
+	var out ExperimentResponse
+	err := c.do(ctx, http.MethodPost, "/v1/experiments", SubmitRequest{Config: cfg}, &out)
+	return out, err
+}
+
+// Get fetches one experiment by ID.
+func (c *Client) Get(ctx context.Context, id string) (ExperimentResponse, error) {
+	var out ExperimentResponse
+	err := c.do(ctx, http.MethodGet, "/v1/experiments/"+id, nil, &out)
+	return out, err
+}
+
+// List fetches all experiment summaries.
+func (c *Client) List(ctx context.Context) ([]ExperimentResponse, error) {
+	var out ListResponse
+	err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &out)
+	return out.Experiments, err
+}
+
+// Cancel requests cancellation of a queued or running experiment.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/experiments/"+id, nil, nil)
+}
+
+// Wait polls Get until the experiment reaches a terminal status or ctx
+// expires. A zero interval polls every 10 ms.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (ExperimentResponse, error) {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		resp, err := c.Get(ctx, id)
+		if err != nil {
+			return resp, err
+		}
+		switch resp.Status {
+		case "done", "failed", "canceled":
+			return resp, nil
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return resp, ctx.Err()
+		}
+	}
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics returns the raw Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &apiError{StatusCode: resp.StatusCode, Message: string(b)}
+	}
+	return string(b), nil
+}

@@ -1,0 +1,388 @@
+// Package server exposes the simulator as a multi-tenant experiment
+// service over HTTP/JSON. Submissions are enqueued on a bounded worker
+// pool (internal/jobs); completed aggregates are stored in a
+// content-addressed LRU cache (internal/rescache) keyed by the canonical
+// configuration hash, so resubmitting an identical experiment is served
+// byte-identically without recomputation. Identical configurations
+// submitted while the first is still live coalesce onto the same
+// experiment instead of queueing twice.
+//
+// API:
+//
+//	POST   /v1/experiments        {"config": {...sim.Config...}} → 202 (queued) or 200 (cached/coalesced)
+//	GET    /v1/experiments        list of experiment summaries
+//	GET    /v1/experiments/{id}   status and, when done, the aggregate
+//	DELETE /v1/experiments/{id}   cancel a queued or running experiment
+//	GET    /healthz               liveness probe
+//	GET    /metrics               Prometheus text format
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/report"
+	"repro/internal/rescache"
+	"repro/internal/sim"
+)
+
+// Options sizes the service. Zero fields take the documented defaults.
+type Options struct {
+	// Workers is the worker-pool size (default runtime.NumCPU via jobs).
+	Workers int
+	// QueueDepth bounds the backlog of queued experiments (default 64).
+	QueueDepth int
+	// CacheSize bounds the result cache, in entries (default 1024).
+	CacheSize int
+	// JobTimeout bounds one experiment's run time; 0 means unlimited.
+	JobTimeout time.Duration
+	// RecordCap bounds the in-memory experiment index; the oldest
+	// terminal records are pruned beyond it (default 4096).
+	RecordCap int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 1024
+	}
+	if o.RecordCap <= 0 {
+		o.RecordCap = 4096
+	}
+	return o
+}
+
+// SubmitRequest is the POST /v1/experiments body.
+type SubmitRequest struct {
+	Config sim.Config `json:"config"`
+}
+
+// ExperimentResponse is the JSON shape of one experiment, returned by
+// the submit, get and list endpoints (list omits Result).
+type ExperimentResponse struct {
+	ID     string     `json:"id"`
+	Status string     `json:"status"`
+	Cached bool       `json:"cached"`
+	Config sim.Config `json:"config"`
+
+	Attempts   int    `json:"attempts,omitempty"`
+	EnqueuedAt string `json:"enqueued_at,omitempty"`
+	StartedAt  string `json:"started_at,omitempty"`
+	FinishedAt string `json:"finished_at,omitempty"`
+
+	// Result is the report.AggregateSummary encoding, verbatim. It is
+	// byte-identical for identical configurations (the cache stores these
+	// exact bytes).
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// ListResponse is the GET /v1/experiments body.
+type ListResponse struct {
+	Experiments []ExperimentResponse `json:"experiments"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// experiment is the server-side record behind an ID. Live experiments
+// delegate their state to the pool job with the same ID; cache-served
+// ones are terminal at creation.
+type experiment struct {
+	id        string
+	key       string
+	cfg       sim.Config // canonical form
+	cached    bool
+	result    json.RawMessage // set for cache-served records
+	createdAt time.Time
+}
+
+// Server is the experiment service. Create it with New and expose
+// Handler on an http.Server.
+type Server struct {
+	opts  Options
+	pool  *jobs.Pool
+	cache *rescache.Cache
+	mux   *http.ServeMux
+	lat   *histogram
+
+	mu       sync.Mutex
+	byID     map[string]*experiment
+	order    []string
+	inflight map[string]string // cache key → live experiment id
+	nextID   uint64
+}
+
+// New builds a Server and starts its worker pool.
+func New(o Options) *Server {
+	o = o.withDefaults()
+	s := &Server{
+		opts:     o,
+		cache:    rescache.New(o.CacheSize),
+		byID:     make(map[string]*experiment),
+		inflight: make(map[string]string),
+		lat:      newHistogram(latencyBuckets...),
+	}
+	s.pool = jobs.NewPool(jobs.Options{
+		Workers:    o.Workers,
+		QueueDepth: o.QueueDepth,
+		Timeout:    o.JobTimeout,
+		OnDone:     s.onJobDone,
+	})
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops accepting work and drains queued and running
+// experiments; see jobs.Pool.Shutdown for deadline semantics.
+func (s *Server) Shutdown(ctx context.Context) error { return s.pool.Shutdown(ctx) }
+
+// onJobDone records latency and, on success, publishes the result bytes
+// to the cache and releases the in-flight coalescing slot.
+func (s *Server) onJobDone(snap jobs.Snapshot) {
+	s.lat.observe(snap.Latency().Seconds())
+
+	s.mu.Lock()
+	exp, ok := s.byID[snap.ID]
+	if ok && s.inflight[exp.key] == snap.ID {
+		delete(s.inflight, exp.key)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	if snap.Status == jobs.StatusDone {
+		if body, isRaw := snap.Result.(json.RawMessage); isRaw {
+			s.cache.Put(exp.key, body)
+		}
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if err := req.Config.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	cfg := req.Config.Canonical()
+	key, err := rescache.ConfigKey(cfg)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+
+	// Cache hit: mint a terminal record served from the stored bytes.
+	if val, hit := s.cache.Get(key); hit {
+		body := val.(json.RawMessage)
+		s.mu.Lock()
+		exp := s.newRecordLocked(key, cfg)
+		exp.cached = true
+		exp.result = body
+		resp := s.responseOfLocked(exp)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	s.mu.Lock()
+	// Coalesce onto a live identical experiment if one exists.
+	if liveID, ok := s.inflight[key]; ok {
+		if exp, ok := s.byID[liveID]; ok {
+			resp := s.responseOfLocked(exp)
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+	exp := s.newRecordLocked(key, cfg)
+	runCfg := cfg
+	fn := func(ctx context.Context) (any, error) {
+		agg, err := sim.RunContext(ctx, runCfg)
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(report.NewAggregateSummary(runCfg, agg))
+		if err != nil {
+			return nil, err
+		}
+		return json.RawMessage(b), nil
+	}
+	if err := s.pool.Submit(exp.id, fn); err != nil {
+		s.dropRecordLocked(exp.id)
+		s.mu.Unlock()
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		case errors.Is(err, jobs.ErrClosed):
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	s.inflight[key] = exp.id
+	resp := s.responseOfLocked(exp)
+	s.mu.Unlock()
+	w.Header().Set("Location", "/v1/experiments/"+exp.id)
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	exp, ok := s.byID[id]
+	var resp ExperimentResponse
+	if ok {
+		resp = s.responseOfLocked(exp)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown experiment " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := ListResponse{Experiments: make([]ExperimentResponse, 0, len(s.order))}
+	for _, id := range s.order {
+		resp := s.responseOfLocked(s.byID[id])
+		resp.Result = nil // keep listings light
+		out.Experiments = append(out.Experiments, resp)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, known := s.byID[id]
+	s.mu.Unlock()
+	if !known {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown experiment " + id})
+		return
+	}
+	if !s.pool.Cancel(id) {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: "experiment " + id + " is not cancellable"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "canceled": true})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// newRecordLocked mints an experiment record; s.mu must be held.
+func (s *Server) newRecordLocked(key string, cfg sim.Config) *experiment {
+	s.nextID++
+	exp := &experiment{
+		id:        "exp-" + strconv.FormatUint(s.nextID, 10),
+		key:       key,
+		cfg:       cfg,
+		createdAt: time.Now(),
+	}
+	s.byID[exp.id] = exp
+	s.order = append(s.order, exp.id)
+	s.pruneLocked()
+	return exp
+}
+
+// dropRecordLocked removes a record that never made it into the pool.
+func (s *Server) dropRecordLocked(id string) {
+	delete(s.byID, id)
+	if n := len(s.order); n > 0 && s.order[n-1] == id {
+		s.order = s.order[:n-1]
+	}
+}
+
+// pruneLocked evicts the oldest terminal records above RecordCap so the
+// index cannot grow without bound under sustained traffic.
+func (s *Server) pruneLocked() {
+	for len(s.order) > s.opts.RecordCap {
+		id := s.order[0]
+		exp := s.byID[id]
+		if !exp.cached {
+			if snap, ok := s.pool.Get(id); !ok || !snap.Status.Terminal() {
+				return // oldest record still live; keep everything
+			}
+		}
+		s.order = s.order[1:]
+		delete(s.byID, id)
+	}
+}
+
+// responseOfLocked assembles the response for one record; s.mu must be
+// held (it reads only the record, but callers already hold the lock).
+func (s *Server) responseOfLocked(exp *experiment) ExperimentResponse {
+	resp := ExperimentResponse{
+		ID:     exp.id,
+		Cached: exp.cached,
+		Config: exp.cfg,
+	}
+	if exp.cached {
+		resp.Status = string(jobs.StatusDone)
+		resp.Result = exp.result
+		resp.EnqueuedAt = exp.createdAt.UTC().Format(time.RFC3339Nano)
+		resp.FinishedAt = resp.EnqueuedAt
+		return resp
+	}
+	snap, ok := s.pool.Get(exp.id)
+	if !ok { // record pruned from the pool out from under us; treat as lost
+		resp.Status = string(jobs.StatusFailed)
+		resp.Error = "job state lost"
+		return resp
+	}
+	resp.Status = string(snap.Status)
+	resp.Attempts = snap.Attempts
+	resp.EnqueuedAt = snap.EnqueuedAt.UTC().Format(time.RFC3339Nano)
+	if !snap.StartedAt.IsZero() {
+		resp.StartedAt = snap.StartedAt.UTC().Format(time.RFC3339Nano)
+	}
+	if !snap.FinishedAt.IsZero() {
+		resp.FinishedAt = snap.FinishedAt.UTC().Format(time.RFC3339Nano)
+	}
+	if snap.Status == jobs.StatusDone {
+		if body, isRaw := snap.Result.(json.RawMessage); isRaw {
+			resp.Result = body
+		}
+	}
+	if snap.Err != nil {
+		resp.Error = snap.Err.Error()
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

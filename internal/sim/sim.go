@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -104,6 +105,17 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	return c
+}
+
+// Canonical returns the configuration with every defaulted field filled
+// in and scheduling-only fields cleared, so that two configurations
+// describing the same experiment compare (and hash) equal. Workers is
+// zeroed because the aggregate is bit-identical regardless of
+// parallelism (see the package docs).
+func (c Config) Canonical() Config {
+	c = c.withDefaults()
+	c.Workers = 0
 	return c
 }
 
@@ -254,6 +266,14 @@ type roundResult struct {
 // Run executes Config.Rounds independent sessions, in parallel up to
 // Config.Workers, and folds them deterministically.
 func Run(c Config) (*Aggregate, error) {
+	return RunContext(context.Background(), c)
+}
+
+// RunContext is Run honouring a context: cancellation is checked between
+// rounds (a round, once started, runs to completion), so long experiments
+// can be aborted by a timeout or an explicit cancel. On cancellation it
+// returns ctx.Err().
+func RunContext(ctx context.Context, c Config) (*Aggregate, error) {
 	c = c.withDefaults()
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -277,17 +297,28 @@ func Run(c Config) (*Aggregate, error) {
 		go func() {
 			defer wg.Done()
 			for r := range work {
+				if ctx.Err() != nil {
+					continue // drain without computing
+				}
 				s, err := RunRound(c, seeds[r])
 				results[r] = roundResult{session: s, err: err}
 			}
 		}()
 	}
+feed:
 	for r := 0; r < c.Rounds; r++ {
-		work <- r
+		select {
+		case work <- r:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	agg := &Aggregate{Cfg: c}
 	for r, res := range results {
 		if res.err != nil {

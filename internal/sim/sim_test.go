@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 func baseCfg() Config {
@@ -253,5 +256,58 @@ func TestAccuracyImprovesWithStrength(t *testing.T) {
 	}
 	if math.Abs(a2-1) < 1e-9 {
 		t.Error("strength-2 accuracy suspiciously perfect")
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, baseCfg()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextMatchesRun(t *testing.T) {
+	c := baseCfg()
+	plain, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := RunContext(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TimeMicros.Mean() != viaCtx.TimeMicros.Mean() ||
+		plain.Slots.Mean() != viaCtx.Slots.Mean() {
+		t.Error("RunContext with a background context diverged from Run")
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	c := baseCfg()
+	c.Tags = 2000
+	c.Rounds = 64
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	if _, err := RunContext(ctx, c); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	sparse := Config{Tags: 100, Algorithm: AlgBT, Detector: DetQCD}
+	full := sparse
+	full.IDBits = 64
+	full.Rounds = 1
+	full.FramePolicy = PolicyFixed
+	full.Strength = 8
+	full.CRCName = "CRC-32/IEEE"
+	full.TauMicros = 1
+	full.Workers = 13 // scheduling only: must not affect the canonical form
+	if sparse.Canonical() != full.Canonical() {
+		t.Errorf("canonical forms differ:\n%+v\n%+v", sparse.Canonical(), full.Canonical())
+	}
+	if got := sparse.Canonical().Workers; got != 0 {
+		t.Errorf("canonical Workers = %d, want 0", got)
 	}
 }

@@ -1,6 +1,8 @@
 package rfid
 
 import (
+	"context"
+
 	"repro/internal/air"
 	"repro/internal/aloha"
 	"repro/internal/analytic"
@@ -70,6 +72,11 @@ const (
 // Run executes Config.Rounds Monte-Carlo identification sessions in
 // parallel and folds them into a deterministic Aggregate.
 func Run(c Config) (*Aggregate, error) { return sim.Run(c) }
+
+// RunContext is Run honouring a context: cancellation is checked between
+// rounds, so long experiments can be aborted by a timeout or an explicit
+// cancel (the rfidd service relies on this for job cancellation).
+func RunContext(ctx context.Context, c Config) (*Aggregate, error) { return sim.RunContext(ctx, c) }
 
 // RunRound executes one session with an explicit round seed; useful when
 // the caller wants the raw per-tag delays of a single run.
