@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench
+.PHONY: check build test race vet bench trace-demo
 
 check:
 	./scripts/check.sh
@@ -21,3 +21,9 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# trace-demo runs a small traced experiment and validates that the
+# emitted Chrome trace-event JSON has the shape chrome://tracing loads.
+trace-demo:
+	$(GO) run ./cmd/rfidsim -tags 200 -rounds 10 -frame 128 -trace /tmp/rfidsim-trace.json
+	$(GO) run ./cmd/tracecheck -min-events 10 /tmp/rfidsim-trace.json

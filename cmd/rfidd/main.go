@@ -10,7 +10,14 @@
 //	curl -d '{"config":{"Tags":500,"Rounds":100,"Algorithm":"fsa","FrameSize":300,"Detector":"qcd"}}' \
 //	     http://localhost:8080/v1/experiments
 //	curl http://localhost:8080/v1/experiments/exp-1
+//	curl http://localhost:8080/v1/experiments/exp-1/trace
 //	curl http://localhost:8080/metrics
+//
+// Observability: requests and worker lifecycle are logged through
+// log/slog (-log-format json for machine parsing, -log-level to
+// filter), per-experiment run traces are recorded into a bounded ring
+// (-trace-cap events, 0 disables), and -pprof mounts the standard
+// net/http/pprof handlers under /debug/pprof/.
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains queued and
 // in-flight experiments (up to -drain-timeout), then exits.
@@ -21,7 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,14 +46,32 @@ func main() {
 		cacheSize    = flag.Int("cache", 1024, "result cache capacity in entries")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-experiment run limit (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain limit")
+		traceCap     = flag.Int("trace-cap", 4096, "per-experiment trace ring capacity in events (0 disables tracing)")
+		pprof        = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		logFormat    = flag.String("log-format", "text", "log output format: text | json")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
 	flag.Parse()
 
+	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfidd:", err)
+		os.Exit(2)
+	}
+
+	// Options.TraceCapacity: 0 means default, negative disables.
+	tc := *traceCap
+	if tc == 0 {
+		tc = -1
+	}
 	svc := server.New(server.Options{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cacheSize,
-		JobTimeout: *jobTimeout,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheSize:     *cacheSize,
+		JobTimeout:    *jobTimeout,
+		TraceCapacity: tc,
+		Logger:        logger,
+		EnablePprof:   *pprof,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
@@ -55,27 +80,54 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("rfidd: listening on %s (queue %d, cache %d)", *addr, *queue, *cacheSize)
+		logger.Info("listening", "addr", *addr, "queue", *queue, "cache", *cacheSize, "pprof", *pprof)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, "rfidd:", err)
+		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Printf("rfidd: shutting down, draining for up to %s", *drainTimeout)
+	logger.Info("shutting down", "drain_timeout", *drainTimeout)
 	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil {
-		log.Printf("rfidd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if err := svc.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("rfidd: drain: %v", err)
+		logger.Warn("drain", "err", err)
 	} else if err != nil {
-		log.Printf("rfidd: drain deadline hit; running experiments were canceled")
+		logger.Warn("drain deadline hit; running experiments were canceled")
 	}
-	log.Printf("rfidd: bye")
+	logger.Info("bye")
+}
+
+// newLogger builds the process logger from the -log-format and
+// -log-level flags.
+func newLogger(w *os.File, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q", format)
+	}
 }

@@ -6,6 +6,12 @@
 //	rfidsim -tags 500 -alg fsa -frame 300 -detector qcd -strength 8 -rounds 100
 //	rfidsim -tags 5000 -alg bt -detector crccd
 //	rfidsim -tags 500 -alg fsa -frame 300 -detector qcd -compare   # vs CRC-CD
+//	rfidsim -tags 500 -alg fsa -frame 300 -trace out.json          # chrome://tracing export
+//
+// With -trace (Chrome trace-event JSON) or -trace-jsonl (one event per
+// line) the run records per-round and per-frame spans. On a -timeout
+// abort the partial aggregate and any recorded trace are still flushed
+// before exiting 2, so a too-slow experiment is not a total loss.
 package main
 
 import (
@@ -14,40 +20,78 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	rfid "repro"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and an exit code, for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rfidsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		tags     = flag.Int("tags", 500, "number of tags")
-		alg      = flag.String("alg", rfid.AlgFSA, "algorithm: fsa | bt | qadaptive | qt")
-		frame    = flag.Int("frame", 300, "FSA frame size")
-		policy   = flag.String("policy", rfid.PolicyFixed, "FSA frame policy: fixed | schoute | lowerbound | optimal")
-		detector = flag.String("detector", rfid.DetQCD, "detector: qcd | crccd | oracle")
-		strength = flag.Int("strength", 8, "QCD strength in bits")
-		crcName  = flag.String("crc", "CRC-32/IEEE", "CRC preset for crccd")
-		rounds   = flag.Int("rounds", 100, "Monte-Carlo rounds")
-		seed     = flag.Uint64("seed", 1, "master seed")
-		tau      = flag.Float64("tau", 1, "μs per bit")
-		workers  = flag.Int("workers", 0, "parallel rounds (0 = GOMAXPROCS)")
-		confirm  = flag.Bool("confirm-empty", true, "FSA reader terminates on an all-idle frame")
-		ber      = flag.Float64("ber", 0, "channel bit-error rate (FSA only)")
-		capture  = flag.Float64("capture", 0, "capture-effect probability (FSA only)")
-		compare  = flag.Bool("compare", false, "also run CRC-CD on the same workload and report EI")
-		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of a table")
-		timeout  = flag.Duration("timeout", 0, "abort the experiment after this duration (0 = no limit)")
+		tags       = fs.Int("tags", 500, "number of tags")
+		alg        = fs.String("alg", rfid.AlgFSA, "algorithm: fsa | bt | qadaptive | qt")
+		frame      = fs.Int("frame", 300, "FSA frame size")
+		policy     = fs.String("policy", rfid.PolicyFixed, "FSA frame policy: fixed | schoute | lowerbound | optimal")
+		detector   = fs.String("detector", rfid.DetQCD, "detector: qcd | crccd | oracle")
+		strength   = fs.Int("strength", 8, "QCD strength in bits")
+		crcName    = fs.String("crc", "CRC-32/IEEE", "CRC preset for crccd")
+		rounds     = fs.Int("rounds", 100, "Monte-Carlo rounds")
+		seed       = fs.Uint64("seed", 1, "master seed")
+		tau        = fs.Float64("tau", 1, "μs per bit")
+		workers    = fs.Int("workers", 0, "parallel rounds (0 = GOMAXPROCS)")
+		confirm    = fs.Bool("confirm-empty", true, "FSA reader terminates on an all-idle frame")
+		ber        = fs.Float64("ber", 0, "channel bit-error rate (FSA only)")
+		capture    = fs.Float64("capture", 0, "capture-effect probability (FSA only)")
+		compare    = fs.Bool("compare", false, "also run CRC-CD on the same workload and report EI")
+		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON instead of a table")
+		timeout    = fs.Duration("timeout", 0, "abort the experiment after this duration (0 = no limit)")
+		traceOut   = fs.String("trace", "", "write a Chrome trace-event JSON run trace to this file")
+		traceJSONL = fs.String("trace-jsonl", "", "write the run trace as JSONL to this file")
+		traceCap   = fs.Int("trace-cap", 1<<16, "trace ring-buffer capacity in events")
+		traceSamp  = fs.Int("trace-sample", 1, "record 1 in N round spans (1 = all)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	var tracer *obs.Tracer
+	if *traceOut != "" || *traceJSONL != "" {
+		tracer = obs.NewTracer(*traceCap)
+		tracer.SetSampling(*traceSamp)
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	flushTrace := func() bool {
+		ok := true
+		if *traceOut != "" {
+			if err := writeTraceFile(*traceOut, tracer.WriteChromeTrace); err != nil {
+				fmt.Fprintln(stderr, "rfidsim: trace:", err)
+				ok = false
+			}
+		}
+		if *traceJSONL != "" {
+			if err := writeTraceFile(*traceJSONL, tracer.WriteJSONL); err != nil {
+				fmt.Fprintln(stderr, "rfidsim: trace:", err)
+				ok = false
+			}
+		}
+		return ok
 	}
 
 	cfg := rfid.Config{
@@ -58,69 +102,114 @@ func main() {
 		BER: *ber, CaptureProb: *capture,
 	}
 	agg, err := rfid.RunContext(ctx, cfg)
-	if err != nil {
-		exitOnError(err, *timeout, "")
-	}
-	if *jsonOut {
-		printJSON(ctx, cfg, agg, *compare, *timeout)
-		return
-	}
-	printAggregate(cfg, agg)
-
-	if *compare {
-		base := cfg
-		base.Detector = rfid.DetCRCCD
-		baseAgg, err := rfid.RunContext(ctx, base)
-		if err != nil {
-			exitOnError(err, *timeout, " (baseline)")
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Flush whatever completed before the -timeout abort.
+		fmt.Fprintf(stderr, "rfidsim: experiment aborted: exceeded -timeout %s; flushing partial results (%d/%d rounds)\n",
+			*timeout, agg.Completed, cfg.Rounds)
+		if *jsonOut {
+			printJSON(stdout, stderr, ctx, cfg, agg, false, *timeout)
+		} else if agg.Completed > 0 {
+			printAggregate(stdout, cfg, agg)
 		}
-		ei := (baseAgg.TimeMicros.Mean() - agg.TimeMicros.Mean()) / baseAgg.TimeMicros.Mean()
-		fmt.Printf("\nbaseline CRC-CD time: %.4g μs\nefficiency improvement (EI): %.2f%%\n",
-			baseAgg.TimeMicros.Mean(), 100*ei)
+		flushTrace()
+		return 2
 	}
+	if err != nil {
+		fmt.Fprintf(stderr, "rfidsim: %v\n", err)
+		return 1
+	}
+
+	if *jsonOut {
+		if code := printJSON(stdout, stderr, ctx, cfg, agg, *compare, *timeout); code != 0 {
+			return code
+		}
+	} else {
+		printAggregate(stdout, cfg, agg)
+		if *compare {
+			base := cfg
+			base.Detector = rfid.DetCRCCD
+			baseAgg, err := rfid.RunContext(ctx, base)
+			if err != nil {
+				if code := baselineErr(stderr, err, *timeout); code != 0 {
+					flushTrace()
+					return code
+				}
+			}
+			ei := (baseAgg.TimeMicros.Mean() - agg.TimeMicros.Mean()) / baseAgg.TimeMicros.Mean()
+			fmt.Fprintf(stdout, "\nbaseline CRC-CD time: %.4g μs\nefficiency improvement (EI): %.2f%%\n",
+				baseAgg.TimeMicros.Mean(), 100*ei)
+		}
+	}
+	if !flushTrace() {
+		return 1
+	}
+	return 0
 }
 
-// exitOnError reports a run failure, distinguishing a -timeout abort.
-func exitOnError(err error, timeout time.Duration, suffix string) {
-	if errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "rfidsim%s: experiment aborted: exceeded -timeout %s\n", suffix, timeout)
-		os.Exit(2)
+// writeTraceFile writes one trace export to path.
+func writeTraceFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "rfidsim%s: %v\n", suffix, err)
-	os.Exit(1)
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// baselineErr reports a -compare baseline failure and returns the exit
+// code (2 for a timeout abort, 1 otherwise).
+func baselineErr(stderr io.Writer, err error, timeout time.Duration) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "rfidsim (baseline): experiment aborted: exceeded -timeout %s\n", timeout)
+		return 2
+	}
+	fmt.Fprintf(stderr, "rfidsim (baseline): %v\n", err)
+	return 1
 }
 
 // jsonSummary wraps the shared aggregate encoding with the CLI-only
-// baseline comparison.
+// baseline comparison and partial-run marker.
 type jsonSummary struct {
 	report.AggregateSummary
-	BaselineEI *float64 `json:"baseline_ei,omitempty"`
+	BaselineEI      *float64 `json:"baseline_ei,omitempty"`
+	Partial         bool     `json:"partial,omitempty"`
+	RoundsCompleted int      `json:"rounds_completed"`
 }
 
-func printJSON(ctx context.Context, cfg rfid.Config, a *rfid.Aggregate, compare bool, timeout time.Duration) {
-	out := jsonSummary{AggregateSummary: report.NewAggregateSummary(cfg, a)}
+func printJSON(stdout, stderr io.Writer, ctx context.Context, cfg rfid.Config, a *rfid.Aggregate, compare bool, timeout time.Duration) int {
+	out := jsonSummary{
+		AggregateSummary: report.NewAggregateSummary(cfg, a),
+		Partial:          a.Completed < a.Cfg.Rounds,
+		RoundsCompleted:  a.Completed,
+	}
 	if compare {
 		base := cfg
 		base.Detector = rfid.DetCRCCD
 		baseAgg, err := rfid.RunContext(ctx, base)
 		if err != nil {
-			exitOnError(err, timeout, " (baseline)")
+			return baselineErr(stderr, err, timeout)
 		}
 		ei := (baseAgg.TimeMicros.Mean() - a.TimeMicros.Mean()) / baseAgg.TimeMicros.Mean()
 		out.BaselineEI = &ei
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "rfidsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "rfidsim:", err)
+		return 1
 	}
+	return 0
 }
 
-func printAggregate(cfg rfid.Config, a *rfid.Aggregate) {
-	t := report.NewTable(
-		fmt.Sprintf("%s + %s: %d tags, %d rounds", cfg.Algorithm, cfg.Detector, cfg.Tags, cfg.Rounds),
-		"metric", "mean", "stddev", "ci95")
+func printAggregate(w io.Writer, cfg rfid.Config, a *rfid.Aggregate) {
+	title := fmt.Sprintf("%s + %s: %d tags, %d rounds", cfg.Algorithm, cfg.Detector, cfg.Tags, cfg.Rounds)
+	if a.Completed < cfg.Rounds {
+		title += fmt.Sprintf(" (partial: %d completed)", a.Completed)
+	}
+	t := report.NewTable(title, "metric", "mean", "stddev", "ci95")
 	row := func(name string, mean, sd, ci float64, dec int) {
 		t.AddRow(name, report.F(mean, dec), report.F(sd, dec), report.F(ci, dec))
 	}
@@ -134,5 +223,5 @@ func printAggregate(cfg rfid.Config, a *rfid.Aggregate) {
 	row("accuracy", a.Accuracy.Mean(), a.Accuracy.StdDev(), a.Accuracy.CI95(), 4)
 	row("utilisation rate", a.UR.Mean(), a.UR.StdDev(), a.UR.CI95(), 4)
 	row("mean delay (μs)", a.Delay.Mean(), a.Delay.StdDev(), 0, 0)
-	fmt.Print(t.Render())
+	fmt.Fprint(w, t.Render())
 }

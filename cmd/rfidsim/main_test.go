@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSuccessTable(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-tags", "50", "-rounds", "3", "-frame", "32"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "throughput") {
+		t.Fatalf("table output missing metrics:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "partial") {
+		t.Fatalf("complete run must not be marked partial:\n%s", out.String())
+	}
+}
+
+func TestRunJSONReportsCompletion(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-tags", "50", "-rounds", "3", "-frame", "32", "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	var got map[string]any
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if got["rounds_completed"] != float64(3) {
+		t.Fatalf("rounds_completed = %v, want 3", got["rounds_completed"])
+	}
+	if _, partial := got["partial"]; partial {
+		t.Fatalf("complete run must omit the partial marker: %v", got)
+	}
+}
+
+func TestRunBadFlagExits2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestTimeoutFlushesPartialResultsAndTrace exercises the -timeout abort
+// path: the run must exit 2, report how many rounds completed, and still
+// write a well-formed Chrome trace file.
+func TestTimeoutFlushesPartialResultsAndTrace(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-tags", "500", "-rounds", "100000", "-frame", "300",
+		"-timeout", "50ms", "-workers", "1", "-trace", tracePath,
+	}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "flushing partial results") {
+		t.Fatalf("stderr missing partial-flush notice:\n%s", errb.String())
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace file is not valid Chrome trace JSON: %v", err)
+	}
+	if trace.TraceEvents == nil {
+		t.Fatal("traceEvents must be an array even on an aborted run")
+	}
+}
+
+// TestTimeoutPartialJSON checks the machine-readable flavour of the
+// abort path: partial results are emitted as JSON with the marker set.
+func TestTimeoutPartialJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-tags", "500", "-rounds", "100000", "-frame", "300",
+		"-timeout", "50ms", "-workers", "1", "-json",
+	}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr: %s", code, errb.String())
+	}
+	var got map[string]any
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("partial output is not JSON: %v\n%s", err, out.String())
+	}
+	if got["partial"] != true {
+		t.Fatalf("partial = %v, want true", got["partial"])
+	}
+	rc, ok := got["rounds_completed"].(float64)
+	if !ok || rc >= 100000 {
+		t.Fatalf("rounds_completed = %v, want < 100000", got["rounds_completed"])
+	}
+}
+
+func TestTraceFileOnSuccess(t *testing.T) {
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "trace.json")
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-tags", "50", "-rounds", "4", "-frame", "32",
+		"-trace", chrome, "-trace-jsonl", jsonl,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+
+	raw, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatalf("chrome trace not written: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	var rounds, frames int
+	for _, ev := range trace.TraceEvents {
+		switch ev.Name {
+		case "round":
+			rounds++
+		case "frame":
+			frames++
+		}
+	}
+	if rounds != 4 {
+		t.Fatalf("trace has %d round spans, want 4", rounds)
+	}
+	if frames == 0 {
+		t.Fatal("trace has no frame spans")
+	}
+
+	lines, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatalf("jsonl trace not written: %v", err)
+	}
+	for i, ln := range strings.Split(strings.TrimSpace(string(lines)), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("jsonl line %d invalid: %v", i+1, err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command tracecheck validates the shape of a Chrome trace-event JSON
+// file, as written by rfidsim -trace or the rfidd trace endpoint. It is
+// the CI half of the trace-demo target: a schema drift in the exporter
+// fails the build rather than silently producing files chrome://tracing
+// cannot load.
+//
+// Usage:
+//
+//	tracecheck [-min-events 1] trace.json
+//
+// Checks: the document is a JSON object with a traceEvents array of at
+// least -min-events entries; every event carries name, ph, pid, tid and
+// a non-negative ts; complete ("X") events carry a non-negative dur.
+// Exits 1 with a diagnostic on the first violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type event struct {
+	Name  string   `json:"name"`
+	Phase string   `json:"ph"`
+	TS    *float64 `json:"ts"`
+	Dur   *float64 `json:"dur"`
+	PID   *int     `json:"pid"`
+	TID   *int     `json:"tid"`
+}
+
+func main() {
+	minEvents := flag.Int("min-events", 1, "minimum number of trace events required")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-events N] trace.json")
+		os.Exit(2)
+	}
+	if err := check(flag.Arg(0), *minEvents); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %s ok\n", flag.Arg(0))
+}
+
+func check(path string, minEvents int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []event `json:"traceEvents"`
+	}
+	// Extra top-level keys (displayTimeUnit etc.) are fine, but the
+	// document must be an object, not a bare array.
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("not a Chrome trace object: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("missing traceEvents array")
+	}
+	if len(doc.TraceEvents) < minEvents {
+		return fmt.Errorf("only %d trace events, want at least %d", len(doc.TraceEvents), minEvents)
+	}
+	for i, ev := range doc.TraceEvents {
+		where := fmt.Sprintf("event %d (%q)", i, ev.Name)
+		if ev.Name == "" {
+			return fmt.Errorf("event %d: empty name", i)
+		}
+		if ev.Phase == "" {
+			return fmt.Errorf("%s: empty ph", where)
+		}
+		if ev.TS == nil || *ev.TS < 0 {
+			return fmt.Errorf("%s: missing or negative ts", where)
+		}
+		if ev.PID == nil || ev.TID == nil {
+			return fmt.Errorf("%s: missing pid/tid", where)
+		}
+		if ev.Phase == "X" && (ev.Dur == nil || *ev.Dur < 0) {
+			return fmt.Errorf("%s: complete event with missing or negative dur", where)
+		}
+	}
+	return nil
+}

@@ -163,6 +163,10 @@ type Options struct {
 	// KeepSlotLog records a per-slot event log on the session (see
 	// metrics.Session.SlotLog), enabling clock-retiming analyses.
 	KeepSlotLog bool
+
+	// FrameHook, if set, receives each completed frame's census delta
+	// (see metrics.Session.SetFrameHook); used for per-frame tracing.
+	FrameHook func(metrics.FrameInfo)
 }
 
 // Run identifies the whole population with framed slotted ALOHA under the
@@ -177,6 +181,9 @@ func RunWithOptions(pop tagmodel.Population, det detect.Detector, policy FramePo
 	s := &metrics.Session{}
 	if opt.KeepSlotLog {
 		s.EnableSlotLog()
+	}
+	if opt.FrameHook != nil {
+		s.SetFrameHook(opt.FrameHook)
 	}
 	now := 0.0
 	var slots int64
@@ -226,7 +233,7 @@ func RunWithOptions(pop tagmodel.Population, det detect.Detector, policy FramePo
 				remaining--
 			}
 		}
-		s.Census.Frames++
+		s.EndFrame(frameSize)
 		fc.Remaining = remaining
 		// An all-idle frame is the reader's evidence that the field is
 		// empty; it terminates the inventory when ConfirmEmpty is set.

@@ -13,10 +13,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Func is the unit of work a job executes. It must honour ctx: the pool
@@ -93,6 +96,24 @@ type Options struct {
 	// OnDone, if set, is called after a job reaches a terminal state
 	// (from the worker goroutine; keep it fast).
 	OnDone func(Snapshot)
+	// OnTransition, if set, is called on every job lifecycle change,
+	// including the initial enqueue (From == ""). It runs on the
+	// submitting or worker goroutine; keep it fast and do not call back
+	// into the pool.
+	OnTransition func(Transition)
+	// Tracer, if set, receives worker lifetime spans, per-attempt job
+	// run spans, and retry instants (repro/internal/obs).
+	Tracer *obs.Tracer
+	// Logger, if set, receives structured worker lifecycle and job
+	// terminal logs.
+	Logger *slog.Logger
+}
+
+// Transition records one job lifecycle state change.
+type Transition struct {
+	ID       string
+	From, To Status // From is "" for the initial enqueue
+	Attempts int    // run attempts started when the transition happened
 }
 
 func (o Options) withDefaults() Options {
@@ -214,9 +235,16 @@ func NewPool(o Options) *Pool {
 	}
 	for w := 0; w < o.Workers; w++ {
 		p.wg.Add(1)
-		go p.worker()
+		go p.worker(w)
 	}
 	return p
+}
+
+// transition reports one lifecycle change to the OnTransition hook.
+func (p *Pool) transition(id string, from, to Status, attempts int) {
+	if p.opts.OnTransition != nil {
+		p.opts.OnTransition(Transition{ID: id, From: from, To: to, Attempts: attempts})
+	}
 }
 
 // Submit enqueues fn under the caller-chosen id. It fails fast with
@@ -226,11 +254,12 @@ func (p *Pool) Submit(id string, fn Func) error {
 		return fmt.Errorf("jobs: nil Func for job %q", id)
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return ErrClosed
 	}
 	if _, dup := p.byID[id]; dup {
+		p.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
 	}
 	j := &job{
@@ -242,11 +271,16 @@ func (p *Pool) Submit(id string, fn Func) error {
 	select {
 	case p.queue <- j:
 	default:
+		p.mu.Unlock()
 		return ErrQueueFull
 	}
 	p.byID[id] = j
 	p.order = append(p.order, id)
 	p.submitted.Add(1)
+	p.mu.Unlock() // hooks run lock-free: they may take their own locks
+
+	p.opts.Tracer.Instant("jobs", "enqueued", 0, map[string]any{"id": id})
+	p.transition(id, "", StatusQueued, 0)
 	return nil
 }
 
@@ -354,17 +388,28 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 	}
 }
 
-func (p *Pool) worker() {
+func (p *Pool) worker(wid int) {
 	defer p.wg.Done()
+	tid := wid + 1 // tracer track 0 is the submit/lifecycle track
+	if l := p.opts.Logger; l != nil {
+		l.Info("worker started", "worker", wid)
+	}
+	span := p.opts.Tracer.StartSpan("jobs", "worker", tid)
+	n := 0
 	for j := range p.queue {
 		p.busy.Add(1)
-		p.run(j)
+		p.run(j, tid)
 		p.busy.Add(-1)
+		n++
+	}
+	span.End(map[string]any{"worker": wid, "jobs": n})
+	if l := p.opts.Logger; l != nil {
+		l.Info("worker stopped", "worker", wid, "jobs", n)
 	}
 }
 
 // run executes one job with retries and records its terminal state.
-func (p *Pool) run(j *job) {
+func (p *Pool) run(j *job, tid int) {
 	j.mu.Lock()
 	if j.canceled { // canceled while still queued
 		j.status = StatusCanceled
@@ -373,6 +418,8 @@ func (p *Pool) run(j *job) {
 		close(j.done)
 		j.mu.Unlock()
 		p.nCanceled.Add(1)
+		p.transition(j.id, StatusQueued, StatusCanceled, 0)
+		p.finishLog(j)
 		p.notify(j)
 		return
 	}
@@ -382,6 +429,8 @@ func (p *Pool) run(j *job) {
 	j.cancel = cancel
 	j.mu.Unlock()
 	defer cancel()
+	p.transition(j.id, StatusQueued, StatusRunning, 0)
+	span := p.opts.Tracer.StartSpan("jobs", "job "+j.id, tid)
 
 	var result any
 	var err error
@@ -403,6 +452,7 @@ func (p *Pool) run(j *job) {
 			break
 		}
 		p.nRetries.Add(1)
+		p.opts.Tracer.Instant("jobs", "retry", tid, map[string]any{"id": j.id, "attempt": attempt + 1})
 		select {
 		case <-time.After(backoff):
 		case <-runCtx.Done():
@@ -427,9 +477,54 @@ func (p *Pool) run(j *job) {
 		j.err = err
 		p.nFailed.Add(1)
 	}
+	status := j.status
+	attempts := j.attempts
 	close(j.done)
 	j.mu.Unlock()
+	span.End(map[string]any{"id": j.id, "status": string(status), "attempts": attempts})
+	p.transition(j.id, StatusRunning, status, attempts)
+	p.finishLog(j)
 	p.notify(j)
+}
+
+// finishLog emits one structured log line for a job's terminal state.
+func (p *Pool) finishLog(j *job) {
+	l := p.opts.Logger
+	if l == nil {
+		return
+	}
+	snap := j.snapshot()
+	attrs := []any{
+		"id", snap.ID, "status", string(snap.Status),
+		"attempts", snap.Attempts, "latency", snap.Latency(),
+	}
+	if snap.Err != nil {
+		attrs = append(attrs, "err", snap.Err.Error())
+	}
+	if snap.Status == StatusFailed {
+		l.Warn("job finished", attrs...)
+		return
+	}
+	l.Info("job finished", attrs...)
+}
+
+// Register exposes the pool's load series on reg under prefix (for
+// example "rfidd" yields rfidd_queue_depth, rfidd_jobs_done_total, ...),
+// sampled from Stats at exposition time.
+func (p *Pool) Register(reg *obs.Registry, prefix string) {
+	reg.GaugeFunc(prefix+"_queue_depth", "Experiments waiting in the bounded FIFO queue.",
+		func() float64 { return float64(len(p.queue)) })
+	reg.GaugeFunc(prefix+"_workers", "Size of the worker pool.",
+		func() float64 { return float64(p.opts.Workers) })
+	reg.GaugeFunc(prefix+"_workers_busy", "Workers currently running an experiment.",
+		func() float64 { return float64(p.busy.Load()) })
+	reg.GaugeFunc(prefix+"_worker_utilisation", "Busy workers divided by pool size.",
+		func() float64 { return p.Stats().Utilisation() })
+	reg.CounterFunc(prefix+"_jobs_submitted_total", "Experiments accepted onto the queue.", p.submitted.Load)
+	reg.CounterFunc(prefix+"_jobs_done_total", "Experiments completed successfully.", p.nDone.Load)
+	reg.CounterFunc(prefix+"_jobs_failed_total", "Experiments that failed permanently.", p.nFailed.Load)
+	reg.CounterFunc(prefix+"_jobs_canceled_total", "Experiments canceled before completion.", p.nCanceled.Load)
+	reg.CounterFunc(prefix+"_jobs_retries_total", "Retry attempts after transient failures.", p.nRetries.Load)
 }
 
 func (p *Pool) notify(j *job) {

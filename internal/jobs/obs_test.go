@@ -1,0 +1,226 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestTransitionSequence checks the lifecycle hook fires in order for a
+// successful job: enqueue (From == ""), queued→running, running→done.
+func TestTransitionSequence(t *testing.T) {
+	var mu sync.Mutex
+	var got []Transition
+	p := NewPool(Options{Workers: 1, OnTransition: func(tr Transition) {
+		mu.Lock()
+		got = append(got, tr)
+		mu.Unlock()
+	}})
+	defer p.Shutdown(context.Background())
+
+	if err := p.Submit("t1", func(context.Context) (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(context.Background(), "t1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The terminal transition fires after close(j.done); give the worker
+	// goroutine a beat to deliver it.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 3 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []Transition{
+		{ID: "t1", From: "", To: StatusQueued, Attempts: 0},
+		{ID: "t1", From: StatusQueued, To: StatusRunning, Attempts: 0},
+		{ID: "t1", From: StatusRunning, To: StatusDone, Attempts: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("transition %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTransitionCanceledWhileQueued pins the queued→canceled path for a
+// job canceled before any worker picks it up.
+func TestTransitionCanceledWhileQueued(t *testing.T) {
+	var mu sync.Mutex
+	var got []Transition
+	block := make(chan struct{})
+	p := NewPool(Options{Workers: 1, QueueDepth: 4, OnTransition: func(tr Transition) {
+		mu.Lock()
+		got = append(got, tr)
+		mu.Unlock()
+	}})
+	defer p.Shutdown(context.Background())
+
+	// Occupy the only worker so the second job stays queued.
+	p.Submit("blocker", func(ctx context.Context) (any, error) {
+		<-block
+		return nil, nil
+	})
+	p.Submit("victim", func(context.Context) (any, error) { return nil, nil })
+	if !p.Cancel("victim") {
+		t.Fatal("Cancel returned false for a queued job")
+	}
+	close(block)
+	if _, err := p.Wait(context.Background(), "victim"); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := p.Get("victim")
+	if snap.Status != StatusCanceled {
+		t.Fatalf("victim status = %v", snap.Status)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		var seen bool
+		for _, tr := range got {
+			if tr.ID == "victim" && tr.From == StatusQueued && tr.To == StatusCanceled {
+				seen = true
+			}
+		}
+		mu.Unlock()
+		if seen {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no queued→canceled transition for victim; got %+v", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPoolTracerEvents checks the pool emits enqueue instants, per-job
+// spans, retry instants, and worker lifetime spans into its tracer.
+func TestPoolTracerEvents(t *testing.T) {
+	tr := obs.NewTracer(1024)
+	p := NewPool(Options{Workers: 2, Retries: 1, Backoff: time.Millisecond, Tracer: tr})
+
+	p.Submit("ok", func(context.Context) (any, error) { return nil, nil })
+	attempts := 0
+	p.Submit("flaky", func(context.Context) (any, error) {
+		attempts++
+		if attempts == 1 {
+			return nil, Transient(errors.New("blip"))
+		}
+		return nil, nil
+	})
+	p.Wait(context.Background(), "ok")
+	p.Wait(context.Background(), "flaky")
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := map[string]int{}
+	for _, ev := range tr.Events() {
+		counts[ev.Name]++
+	}
+	if counts["enqueued"] != 2 {
+		t.Errorf("enqueued instants = %d, want 2", counts["enqueued"])
+	}
+	if counts["job ok"] != 1 || counts["job flaky"] != 1 {
+		t.Errorf("job spans = %d/%d, want 1/1", counts["job ok"], counts["job flaky"])
+	}
+	if counts["retry"] != 1 {
+		t.Errorf("retry instants = %d, want 1", counts["retry"])
+	}
+	if counts["worker"] != 2 {
+		t.Errorf("worker spans = %d, want 2", counts["worker"])
+	}
+}
+
+// TestPoolLogging checks the structured log stream covers worker
+// lifecycle and job terminal states, with the failure logged at warn.
+func TestPoolLogging(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(&lockedWriter{w: &buf, mu: &mu}, nil))
+	p := NewPool(Options{Workers: 1, Logger: logger})
+
+	p.Submit("good", func(context.Context) (any, error) { return nil, nil })
+	p.Submit("bad", func(context.Context) (any, error) { return nil, errors.New("boom") })
+	p.Wait(context.Background(), "good")
+	p.Wait(context.Background(), "bad")
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	for _, want := range []string{
+		"worker started", "worker stopped",
+		`id=good status=done`,
+		`level=WARN msg="job finished" id=bad status=failed`,
+		"err=boom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log stream missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPoolRegisterExposition checks Register publishes the pool's load
+// series under the given prefix.
+func TestPoolRegisterExposition(t *testing.T) {
+	p := NewPool(Options{Workers: 3})
+	reg := obs.NewRegistry()
+	p.Register(reg, "pool")
+
+	p.Submit("a", func(context.Context) (any, error) { return nil, nil })
+	p.Wait(context.Background(), "a")
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"pool_workers 3",
+		"pool_jobs_submitted_total 1",
+		"pool_jobs_done_total 1",
+		"pool_jobs_failed_total 0",
+		"pool_queue_depth 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// lockedWriter serialises concurrent handler writes from worker
+// goroutines.
+type lockedWriter struct {
+	w  *bytes.Buffer
+	mu *sync.Mutex
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

@@ -88,6 +88,44 @@ type Session struct {
 
 	keepLog bool
 	slotLog []SlotRecord
+
+	frameHook func(FrameInfo)
+	prevFrame Census // census snapshot at the last frame boundary
+}
+
+// FrameInfo summarises one completed frame: its census delta and the
+// simulated time at which it ended. Delivered to the hook installed
+// with SetFrameHook.
+type FrameInfo struct {
+	Index                  int // 0-based frame ordinal
+	Size                   int // announced slot count
+	Idle, Single, Collided int64
+	EndMicros              float64
+}
+
+// SetFrameHook registers fn to be called at every frame boundary the
+// algorithm reports via EndFrame. Install it before the run; a nil fn
+// disables the hook.
+func (s *Session) SetFrameHook(fn func(FrameInfo)) { s.frameHook = fn }
+
+// EndFrame marks a frame boundary: it increments the frame census and,
+// when a hook is installed, delivers this frame's census delta. With no
+// hook it is exactly Census.Frames++.
+func (s *Session) EndFrame(size int) {
+	s.Census.Frames++
+	if s.frameHook == nil {
+		return
+	}
+	fi := FrameInfo{
+		Index:     int(s.Census.Frames) - 1,
+		Size:      size,
+		Idle:      s.Census.Idle - s.prevFrame.Idle,
+		Single:    s.Census.Single - s.prevFrame.Single,
+		Collided:  s.Census.Collided - s.prevFrame.Collided,
+		EndMicros: s.TimeMicros,
+	}
+	s.prevFrame = s.Census
+	s.frameHook(fi)
 }
 
 // Record folds one slot outcome into the session.

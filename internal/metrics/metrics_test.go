@@ -118,3 +118,50 @@ func TestRecordIdentification(t *testing.T) {
 		t.Errorf("identification bookkeeping: %d tags, delays %v", s.TagsIdentified, s.DelaysMicros)
 	}
 }
+
+func TestEndFrameWithoutHook(t *testing.T) {
+	var s Session
+	s.EndFrame(64)
+	s.EndFrame(64)
+	if s.Census.Frames != 2 {
+		t.Errorf("Frames = %d, want 2", s.Census.Frames)
+	}
+}
+
+// TestFrameHookDeliversCensusDeltas drives two frames through a session
+// and checks the hook sees per-frame deltas, not cumulative totals.
+func TestFrameHookDeliversCensusDeltas(t *testing.T) {
+	var s Session
+	var got []FrameInfo
+	s.SetFrameHook(func(fi FrameInfo) { got = append(got, fi) })
+
+	s.Record(air.Outcome{Truth: signal.Idle, Declared: signal.Idle, Bits: 16}, 16)
+	s.Record(air.Outcome{Truth: signal.Collided, Declared: signal.Collided, Bits: 16}, 32)
+	s.EndFrame(2)
+	s.Record(air.Outcome{Truth: signal.Single, Declared: signal.Single, Bits: 80}, 112)
+	s.EndFrame(1)
+
+	if len(got) != 2 {
+		t.Fatalf("hook fired %d times, want 2", len(got))
+	}
+	f0, f1 := got[0], got[1]
+	if f0.Index != 0 || f0.Size != 2 || f0.Idle != 1 || f0.Collided != 1 || f0.Single != 0 {
+		t.Errorf("frame 0 = %+v", f0)
+	}
+	if f0.EndMicros != 32 {
+		t.Errorf("frame 0 EndMicros = %v, want 32", f0.EndMicros)
+	}
+	if f1.Index != 1 || f1.Size != 1 || f1.Single != 1 || f1.Idle != 0 || f1.Collided != 0 {
+		t.Errorf("frame 1 = %+v", f1)
+	}
+	if s.Census.Frames != 2 {
+		t.Errorf("Frames = %d, want 2", s.Census.Frames)
+	}
+
+	// Uninstalling stops delivery but keeps counting.
+	s.SetFrameHook(nil)
+	s.EndFrame(1)
+	if len(got) != 2 || s.Census.Frames != 3 {
+		t.Errorf("after uninstall: hooks=%d frames=%d", len(got), s.Census.Frames)
+	}
+}

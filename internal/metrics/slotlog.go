@@ -59,10 +59,21 @@ func ProportionalCost(bitsOf func(signal.SlotType) int, tauMicros float64) SlotC
 }
 
 // Validate checks the internal consistency of a slot log against a census
-// (used by tests and the replay tooling).
+// (used by tests and the replay tooling). Beyond the census match it
+// rejects physically impossible records: an identification in a
+// ground-truth idle slot (nobody transmitted), or in a slot the reader
+// never declared single (no ACK was issued).
 func ValidateLog(log []SlotRecord, c Census) error {
 	var idle, single, collided int64
-	for _, r := range log {
+	for i, r := range log {
+		if r.Identified {
+			if r.Truth == signal.Idle {
+				return fmt.Errorf("metrics: slot %d identified a tag in a ground-truth idle slot", i)
+			}
+			if r.Declared != signal.Single {
+				return fmt.Errorf("metrics: slot %d identified a tag but was declared %v, not single", i, r.Declared)
+			}
+		}
 		switch r.Truth {
 		case signal.Idle:
 			idle++

@@ -87,3 +87,59 @@ func TestRetimeValidation(t *testing.T) {
 	}()
 	Retime(nil, nil)
 }
+
+func TestRetimeEmptyLog(t *testing.T) {
+	total, delays := Retime(nil, func(signal.SlotType, bool) float64 { return 1 })
+	if total != 0 {
+		t.Errorf("empty log total = %v, want 0", total)
+	}
+	if delays != nil {
+		t.Errorf("empty log delays = %v, want nil", delays)
+	}
+	// An empty log validates against an empty census but not a non-empty
+	// one.
+	if err := ValidateLog(nil, Census{}); err != nil {
+		t.Errorf("empty log vs empty census: %v", err)
+	}
+	if err := ValidateLog(nil, Census{Single: 1}); err == nil {
+		t.Error("empty log vs non-empty census accepted")
+	}
+}
+
+// TestValidateLogImpossibleStates covers records no simulation can
+// produce: identifications in ground-truth idle slots (nobody
+// transmitted) and in slots the reader never declared single (no ACK).
+func TestValidateLogImpossibleStates(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  SlotRecord
+		cen  Census
+	}{
+		{
+			name: "identified in ground-truth idle slot",
+			rec:  SlotRecord{Truth: signal.Idle, Declared: signal.Idle, Identified: true},
+			cen:  Census{Idle: 1},
+		},
+		{
+			name: "identified but declared collided",
+			rec:  SlotRecord{Truth: signal.Single, Declared: signal.Collided, Identified: true},
+			cen:  Census{Single: 1},
+		},
+		{
+			name: "identified but declared idle",
+			rec:  SlotRecord{Truth: signal.Single, Declared: signal.Idle, Identified: true},
+			cen:  Census{Single: 1},
+		},
+	}
+	for _, tc := range cases {
+		if err := ValidateLog([]SlotRecord{tc.rec}, tc.cen); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The legal shape — identified, ground-truth single, declared single —
+	// still validates.
+	ok := SlotRecord{Truth: signal.Single, Declared: signal.Single, Identified: true}
+	if err := ValidateLog([]SlotRecord{ok}, Census{Single: 1}); err != nil {
+		t.Errorf("legal identification rejected: %v", err)
+	}
+}

@@ -1,0 +1,30 @@
+// Package obs is the repo's stdlib-only observability layer: a named
+// metrics registry with a Prometheus text encoder, and a ring-buffered
+// span/event tracer exportable as JSONL or Chrome trace-event JSON.
+//
+// # Metrics
+//
+// A Registry owns metric families (counter, gauge, histogram) keyed by
+// name and an optional fixed label set. Registration is idempotent:
+// asking for an existing name+labels pair returns the existing
+// collector, so instrumentation can be wired from several places
+// without coordination. Func-backed variants (CounterFunc, GaugeFunc)
+// sample a callback at exposition time, which lets subsystems that
+// already keep their own counters (the jobs pool, the result cache)
+// join the registry without double bookkeeping. WritePrometheus walks
+// every family in registration order and emits the text exposition
+// format, so an HTTP /metrics endpoint is a single registry walk.
+//
+// # Tracing
+//
+// A Tracer records spans and instant events into a fixed-capacity ring
+// buffer (oldest events are overwritten and counted as dropped), with
+// optional 1-in-N span sampling. All methods are safe on a nil
+// *Tracer and do nothing, so instrumented code paths pay only a nil
+// check — and zero heap allocations — when tracing is off. Tracers
+// travel through context (WithTracer / TracerFrom) so deep call stacks
+// like sim.RunContext can emit per-round and per-frame spans without
+// new parameters. Recorded events export as JSONL (WriteJSONL) or as
+// Chrome trace-event JSON (WriteChromeTrace) loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+package obs

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func expositionOf(r *Registry) string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs processed.")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("queue_depth", "Queued jobs.")
+	g.Set(4)
+	g.Add(-1)
+
+	out := expositionOf(r)
+	for _, want := range []string{
+		"# HELP jobs_total Jobs processed.",
+		"# TYPE jobs_total counter",
+		"jobs_total 3",
+		"# TYPE queue_depth gauge",
+		"queue_depth 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelledSeriesShareOneHeader(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("slots_total", "Slots by type.", L("type", "idle")).Add(5)
+	r.Counter("slots_total", "Slots by type.", L("type", "single")).Add(7)
+
+	out := expositionOf(r)
+	if n := strings.Count(out, "# TYPE slots_total counter"); n != 1 {
+		t.Errorf("TYPE header appears %d times, want 1:\n%s", n, out)
+	}
+	if !strings.Contains(out, `slots_total{type="idle"} 5`) ||
+		!strings.Contains(out, `slots_total{type="single"} 7`) {
+		t.Errorf("labelled series missing:\n%s", out)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird", "Escaping.", L("v", "a\"b\\c\nd")).Inc()
+	out := expositionOf(r)
+	if !strings.Contains(out, `weird{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "h")
+	b := r.Counter("c", "h")
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("the two handles do not share state")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "h")
+}
+
+func TestFuncBackedSeries(t *testing.T) {
+	r := NewRegistry()
+	depth := 3
+	r.GaugeFunc("depth", "Sampled depth.", func() float64 { return float64(depth) })
+	r.CounterFunc("hits_total", "Sampled hits.", func() uint64 { return 42 })
+
+	out := expositionOf(r)
+	if !strings.Contains(out, "depth 3") || !strings.Contains(out, "hits_total 42") {
+		t.Errorf("func-backed series wrong:\n%s", out)
+	}
+	depth = 9
+	if !strings.Contains(expositionOf(r), "depth 9") {
+		t.Error("gauge func not re-sampled at exposition time")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the `le` inclusivity contract: an
+// observation exactly equal to a bound lands in that bound's bucket,
+// and values beyond the last bound land only in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(1, 5, 10)
+
+	h.Observe(1)  // == first bound: le="1" bucket
+	h.Observe(5)  // == second bound: le="5" bucket
+	h.Observe(10) // == last bound: le="10" bucket, NOT +Inf
+	h.Observe(11) // overflow: +Inf only
+
+	counts := h.BucketCounts()
+	want := []uint64{1, 1, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d (le-inclusive boundaries)", i, counts[i], want[i])
+		}
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 27 {
+		t.Errorf("sum = %g, want 27", h.Sum())
+	}
+}
+
+func TestHistogramExpositionCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2) // +Inf overflow
+
+	out := expositionOf(r)
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 2.55",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramWithLabels(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "Latency.", []float64{1}, L("op", "get"))
+	h.Observe(0.5)
+	out := expositionOf(r)
+	for _, want := range []string{
+		`lat_bucket{op="get",le="1"} 1`,
+		`lat_bucket{op="get",le="+Inf"} 1`,
+		`lat_sum{op="get"} 0.5`,
+		`lat_count{op="get"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("labelled histogram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("handler body:\n%s", rec.Body.String())
+	}
+}

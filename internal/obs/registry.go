@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// family is one metric name: its metadata plus every labelled series.
+type family struct {
+	name, help, typ string
+	order           []string // rendered label sets, registration order
+	series          map[string]collector
+}
+
+// Registry owns metric families and renders them in the Prometheus text
+// exposition format. Registration is idempotent: requesting an existing
+// name+labels pair returns the existing collector; requesting an
+// existing name with a different type or help panics (a wiring bug).
+type Registry struct {
+	mu     sync.Mutex
+	order  []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// familyLocked returns the family for name, creating it on first use.
+func (r *Registry) familyLocked(name, help, typ string) *family {
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]collector)}
+		r.byName[name] = f
+		r.order = append(r.order, f)
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, typ, f.typ))
+	}
+	if f.help != help {
+		panic(fmt.Sprintf("obs: metric %q re-registered with different help text", name))
+	}
+	return f
+}
+
+// addLocked binds c under the rendered label set, or returns the
+// existing collector for that label set if want matches its type.
+func (f *family) addLocked(labels []Label, c collector) collector {
+	key := renderLabels(labels)
+	if have, ok := f.series[key]; ok {
+		return have
+	}
+	f.series[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// Counter returns the counter registered under name+labels, creating it
+// on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, "counter")
+	c, ok := f.addLocked(labels, &Counter{}).(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: series %s%s is not a value-backed counter", name, renderLabels(labels)))
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name+labels, creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, "gauge")
+	g, ok := f.addLocked(labels, &Gauge{}).(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: series %s%s is not a value-backed gauge", name, renderLabels(labels)))
+	}
+	return g
+}
+
+// CounterFunc registers a counter series whose value is sampled from fn
+// at exposition time (for subsystems that keep their own counters).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, "counter")
+	if _, ok := f.addLocked(labels, &counterFunc{fn: fn}).(*counterFunc); !ok {
+		panic(fmt.Sprintf("obs: series %s%s is not a func-backed counter", name, renderLabels(labels)))
+	}
+}
+
+// GaugeFunc registers a gauge series whose value is sampled from fn at
+// exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, "gauge")
+	if _, ok := f.addLocked(labels, &gaugeFunc{fn: fn}).(*gaugeFunc); !ok {
+		panic(fmt.Sprintf("obs: series %s%s is not a func-backed gauge", name, renderLabels(labels)))
+	}
+}
+
+// Histogram returns the histogram registered under name+labels with the
+// given ascending bucket bounds, creating it on first use.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, "histogram")
+	h, ok := f.addLocked(labels, NewHistogram(bounds...)).(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: series %s%s is not a histogram", name, renderLabels(labels)))
+	}
+	return h
+}
+
+// WritePrometheus renders every family in registration order, emitting
+// the HELP/TYPE header once per family. The registry lock is held for
+// the walk, so func-backed collectors must not register metrics (and
+// must not block on locks held by goroutines that do) from their
+// callbacks.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.order {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, key := range f.order {
+			f.series[key].writeSeries(w, f.name, key)
+		}
+	}
+}
+
+// Handler returns an http.Handler serving the registry as text/plain
+// Prometheus exposition (a drop-in /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one trace record in Chrome trace-event form: a complete span
+// (Phase "X", with Dur) or an instant (Phase "i"). TS and Dur are
+// microseconds on the tracer's monotonic clock.
+type Event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// tracePID is the constant process id stamped on every event; traces
+// here describe one process.
+const tracePID = 1
+
+// Tracer records events into a fixed-capacity ring buffer: when full,
+// the oldest event is overwritten and counted as dropped. The zero
+// *Tracer (nil) is a valid disabled tracer — every method is a no-op —
+// so instrumentation can call through unconditionally.
+type Tracer struct {
+	start  time.Time
+	sample atomic.Int64  // keep 1 in N spans; <= 1 keeps all
+	seq    atomic.Uint64 // span sequence, drives the sampling decision
+
+	mu      sync.Mutex
+	ring    []Event
+	next    int // overwrite cursor once the ring is full
+	full    bool
+	dropped uint64
+}
+
+// NewTracer returns an enabled tracer holding at most capacity events
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{start: time.Now(), ring: make([]Event, 0, capacity)}
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetSampling keeps only one in n spans (instants are always kept);
+// n <= 1 restores full recording.
+func (t *Tracer) SetSampling(n int) {
+	if t == nil {
+		return
+	}
+	t.sample.Store(int64(n))
+}
+
+// Now returns microseconds elapsed on the tracer's clock (0 when nil).
+func (t *Tracer) Now() float64 {
+	if t == nil {
+		return 0
+	}
+	return float64(time.Since(t.start)) / float64(time.Microsecond)
+}
+
+// sampleOK decides whether the next span is recorded.
+func (t *Tracer) sampleOK() bool {
+	n := t.sample.Load()
+	if n <= 1 {
+		return true
+	}
+	return (t.seq.Add(1)-1)%uint64(n) == 0
+}
+
+// push appends one event to the ring.
+func (t *Tracer) push(e Event) {
+	e.PID = tracePID
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full && len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		return
+	}
+	t.full = true
+	t.ring[t.next] = e
+	t.next = (t.next + 1) % len(t.ring)
+	t.dropped++
+}
+
+// Span is an in-flight interval started by StartSpan; End records it.
+// The zero Span is a no-op (a sampled-out or disabled span).
+type Span struct {
+	t         *Tracer
+	cat, name string
+	tid       int
+	start     float64
+}
+
+// StartSpan begins an interval on thread-track tid. If the tracer is
+// disabled or the span is sampled out, the returned Span is inert.
+func (t *Tracer) StartSpan(cat, name string, tid int) Span {
+	if t == nil || !t.sampleOK() {
+		return Span{}
+	}
+	return Span{t: t, cat: cat, name: name, tid: tid, start: t.Now()}
+}
+
+// End records the span as a complete event with the given args
+// (args may be nil).
+func (s Span) End(args map[string]any) {
+	if s.t == nil {
+		return
+	}
+	s.t.push(Event{
+		Name: s.name, Cat: s.cat, Phase: "X",
+		TS: s.start, Dur: s.t.Now() - s.start, TID: s.tid, Args: args,
+	})
+}
+
+// Complete records a span whose interval the caller measured itself
+// (both in microseconds on the tracer's clock).
+func (t *Tracer) Complete(cat, name string, tid int, startMicros, durMicros float64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.push(Event{
+		Name: name, Cat: cat, Phase: "X",
+		TS: startMicros, Dur: durMicros, TID: tid, Args: args,
+	})
+}
+
+// Instant records a point-in-time event (never sampled out).
+func (t *Tracer) Instant(cat, name string, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Name: name, Cat: cat, Phase: "i", TS: t.Now(), TID: tid, Args: args})
+}
+
+// Events returns the recorded events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	if t.full {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteJSONL writes one event per line as JSON.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeTrace is the chrome://tracing JSON object format.
+type chromeTrace struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the buffered events as a Chrome trace-event
+// JSON object loadable in chrome://tracing or Perfetto.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	ev := t.Events()
+	if ev == nil {
+		ev = []Event{} // keep traceEvents an array, not null
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: ev, DisplayTimeUnit: "ms"})
+}
+
+// tracerKey carries a *Tracer through context.
+type tracerKey struct{}
+
+// WithTracer returns a context carrying t (a nil t is fine and yields a
+// disabled tracer downstream).
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer, or nil (a valid disabled
+// tracer) when none was attached.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}

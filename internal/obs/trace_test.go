@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsSafeAndFree(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	sp := tr.StartSpan("c", "n", 0)
+	sp.End(nil)
+	tr.Instant("c", "n", 0, nil)
+	tr.Complete("c", "n", 0, 0, 1, nil)
+	tr.SetSampling(10)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil tracer recorded something")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s := tr.StartSpan("sim", "round", 3)
+		s.End(nil)
+		tr.Instant("sim", "tick", 3, nil)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracing allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestSpanRecordsCompleteEvent(t *testing.T) {
+	tr := NewTracer(16)
+	sp := tr.StartSpan("sim", "round", 2)
+	sp.End(map[string]any{"round": 1})
+	ev := tr.Events()
+	if len(ev) != 1 {
+		t.Fatalf("events = %d, want 1", len(ev))
+	}
+	e := ev[0]
+	if e.Name != "round" || e.Cat != "sim" || e.Phase != "X" || e.TID != 2 || e.PID != tracePID {
+		t.Errorf("event = %+v", e)
+	}
+	if e.Dur < 0 || e.TS < 0 {
+		t.Errorf("negative timing: ts=%g dur=%g", e.TS, e.Dur)
+	}
+	if e.Args["round"] != 1 {
+		t.Errorf("args = %v", e.Args)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Instant("c", string(rune('a'+i)), 0, nil)
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("len = %d, want 3", len(ev))
+	}
+	got := ev[0].Name + ev[1].Name + ev[2].Name
+	if got != "cde" {
+		t.Errorf("ring order = %q, want oldest-first cde", got)
+	}
+}
+
+func TestSamplingKeepsOneInN(t *testing.T) {
+	tr := NewTracer(100)
+	tr.SetSampling(4)
+	for i := 0; i < 40; i++ {
+		sp := tr.StartSpan("c", "s", 0)
+		sp.End(nil)
+	}
+	if tr.Len() != 10 {
+		t.Errorf("recorded %d of 40 spans with 1-in-4 sampling, want 10", tr.Len())
+	}
+	tr.Instant("c", "always", 0, nil)
+	if tr.Len() != 11 {
+		t.Error("instants must not be sampled out")
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	tr := NewTracer(8)
+	tr.StartSpan("sim", "round", 1).End(map[string]any{"slots": 12})
+	tr.Instant("jobs", "enqueued", 0, nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded.TraceEvents) != 2 || decoded.Unit != "ms" {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	for _, e := range decoded.TraceEvents {
+		for _, k := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[k]; !ok {
+				t.Errorf("event missing %q: %v", k, e)
+			}
+		}
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Instant("a", "one", 0, nil)
+	tr.Instant("a", "two", 0, nil)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	for _, l := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(l), &e); err != nil {
+			t.Errorf("line %q: %v", l, err)
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if TracerFrom(context.Background()) != nil {
+		t.Error("empty context yielded a tracer")
+	}
+	tr := NewTracer(1)
+	ctx := WithTracer(context.Background(), tr)
+	if TracerFrom(ctx) != tr {
+		t.Error("tracer lost in context round trip")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -131,4 +132,20 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.cap}
+}
+
+// Register exposes the cache's effectiveness series on reg under prefix
+// (for example "rfidd_cache" yields rfidd_cache_hits_total, ...),
+// sampled from Stats at exposition time.
+func (c *Cache) Register(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+"_hits_total", "Result-cache lookups served from memory.",
+		func() uint64 { return c.Stats().Hits })
+	reg.CounterFunc(prefix+"_misses_total", "Result-cache lookups that required computation.",
+		func() uint64 { return c.Stats().Misses })
+	reg.GaugeFunc(prefix+"_entries", "Aggregates currently cached.",
+		func() float64 { return float64(c.Len()) })
+	reg.GaugeFunc(prefix+"_capacity", "Result-cache capacity in entries.",
+		func() float64 { return float64(c.cap) })
+	reg.GaugeFunc(prefix+"_hit_ratio", "Hits over all cache lookups.",
+		func() float64 { return c.Stats().HitRatio() })
 }

@@ -2,9 +2,11 @@ package rescache
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -113,5 +115,33 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if c.Len() > 16 {
 		t.Errorf("len = %d exceeds capacity", c.Len())
+	}
+}
+
+// TestRegisterExposition checks the cache publishes its effectiveness
+// series under the given prefix, sampled live at exposition time.
+func TestRegisterExposition(t *testing.T) {
+	c := New(8)
+	reg := obs.NewRegistry()
+	c.Register(reg, "cache")
+
+	c.Get("missing")
+	c.Put("k", 1)
+	c.Get("k")
+	c.Get("k")
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"cache_hits_total 2",
+		"cache_misses_total 1",
+		"cache_entries 1",
+		"cache_capacity 8",
+		"cache_hit_ratio 0.6666666666666666",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
 	}
 }

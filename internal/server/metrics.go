@@ -1,92 +1,38 @@
 package server
 
 import (
-	"fmt"
-	"io"
 	"net/http"
-	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
-// latencyBuckets are the per-job latency histogram bounds in seconds,
-// spanning cache-warm sub-millisecond jobs to minute-long sweeps.
-var latencyBuckets = []float64{
-	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60,
+// registerMetrics wires every exposed series onto the server's single
+// obs registry: the job-latency histogram, the pool's load series, the
+// result cache's effectiveness series, the experiment index gauge, and
+// the simulator's own series (rounds, slots, frames, detector verdict
+// latency). /metrics is then one registry walk; no hand-written
+// exposition remains. The shared counter/gauge/histogram types live in
+// repro/internal/obs.
+//
+// sim.Instrument is process-global: the most recently constructed
+// Server receives the simulator series (tests constructing several
+// servers observe sim counts only on the newest one).
+func (s *Server) registerMetrics() {
+	s.lat = s.reg.Histogram("rfidd_job_latency_seconds",
+		"Queue wait plus run time per experiment.", obs.DefaultLatencyBuckets)
+	s.pool.Register(s.reg, "rfidd")
+	s.cache.Register(s.reg, "rfidd_cache")
+	// Exposition callbacks run under the registry lock and must stay
+	// lock-free (atomics only), so the record count is mirrored into an
+	// atomic rather than read under s.mu.
+	s.reg.GaugeFunc("rfidd_experiments", "Experiment records currently indexed.", func() float64 {
+		return float64(s.records.Load())
+	})
+	sim.Instrument(s.reg)
 }
 
-// histogram is a fixed-bucket Prometheus-style histogram.
-type histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // ascending upper bounds, +Inf implicit
-	counts []uint64  // one per bound, plus the +Inf overflow at the end
-	sum    float64
-	total  uint64
-}
-
-func newHistogram(bounds ...float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
-}
-
-func (h *histogram) observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
-	h.counts[i]++
-	h.sum += v
-	h.total++
-}
-
-// write emits the histogram in Prometheus text exposition format with
-// cumulative bucket counts.
-func (h *histogram) write(w io.Writer, name, help string) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	cum := uint64(0)
-	for i, b := range h.bounds {
-		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
-	}
-	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
-}
-
-// handleMetrics renders pool load, cache effectiveness, and job latency
-// in Prometheus text format using only the standard library.
+// handleMetrics renders the registry in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-
-	ps := s.pool.Stats()
-	cs := s.cache.Stats()
-	s.mu.Lock()
-	records := len(s.byID)
-	s.mu.Unlock()
-
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-	}
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-
-	gauge("rfidd_queue_depth", "Experiments waiting in the bounded FIFO queue.", float64(ps.QueueDepth))
-	gauge("rfidd_workers", "Size of the worker pool.", float64(ps.Workers))
-	gauge("rfidd_workers_busy", "Workers currently running an experiment.", float64(ps.Busy))
-	gauge("rfidd_worker_utilisation", "Busy workers divided by pool size.", ps.Utilisation())
-	counter("rfidd_jobs_submitted_total", "Experiments accepted onto the queue.", ps.Submitted)
-	counter("rfidd_jobs_done_total", "Experiments completed successfully.", ps.Done)
-	counter("rfidd_jobs_failed_total", "Experiments that failed permanently.", ps.Failed)
-	counter("rfidd_jobs_canceled_total", "Experiments canceled before completion.", ps.Canceled)
-	counter("rfidd_jobs_retries_total", "Retry attempts after transient failures.", ps.Retries)
-	counter("rfidd_cache_hits_total", "Result-cache lookups served from memory.", cs.Hits)
-	counter("rfidd_cache_misses_total", "Result-cache lookups that required computation.", cs.Misses)
-	gauge("rfidd_cache_entries", "Aggregates currently cached.", float64(cs.Entries))
-	gauge("rfidd_cache_capacity", "Result-cache capacity in entries.", float64(cs.Capacity))
-	gauge("rfidd_cache_hit_ratio", "Hits over all cache lookups.", cs.HitRatio())
-	gauge("rfidd_experiments", "Experiment records currently indexed.", float64(records))
-	s.lat.write(w, "rfidd_job_latency_seconds", "Queue wait plus run time per experiment.")
+	s.reg.Handler().ServeHTTP(w, r)
 }

@@ -9,12 +9,15 @@
 //
 // API:
 //
-//	POST   /v1/experiments        {"config": {...sim.Config...}} → 202 (queued) or 200 (cached/coalesced)
-//	GET    /v1/experiments        list of experiment summaries
-//	GET    /v1/experiments/{id}   status and, when done, the aggregate
-//	DELETE /v1/experiments/{id}   cancel a queued or running experiment
-//	GET    /healthz               liveness probe
-//	GET    /metrics               Prometheus text format
+//	POST   /v1/experiments              {"config": {...sim.Config...}} → 202 (queued) or 200 (cached/coalesced)
+//	GET    /v1/experiments              list of experiment summaries
+//	GET    /v1/experiments/{id}         status and, when done, the aggregate
+//	GET    /v1/experiments/{id}/trace   run trace (Chrome trace-event JSON; ?format=jsonl for JSONL)
+//	DELETE /v1/experiments/{id}         cancel a queued or running experiment
+//	GET    /healthz                     liveness probe
+//	GET    /metrics                     Prometheus text format (single obs registry walk)
+//	GET    /debug/trace                 pool worker-lifecycle trace (when tracing enabled)
+//	GET    /debug/pprof/...             net/http/pprof (when Options.EnablePprof)
 package server
 
 import (
@@ -22,12 +25,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/rescache"
 	"repro/internal/sim"
@@ -46,6 +53,15 @@ type Options struct {
 	// RecordCap bounds the in-memory experiment index; the oldest
 	// terminal records are pruned beyond it (default 4096).
 	RecordCap int
+	// TraceCapacity bounds each experiment's trace ring buffer, in
+	// events (default 4096; negative disables run tracing).
+	TraceCapacity int
+	// Logger, if set, receives structured request logs (method, path,
+	// status, latency, experiment id, cache hit) and worker lifecycle
+	// logs. Nil disables logging.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -54,6 +70,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RecordCap <= 0 {
 		o.RecordCap = 4096
+	}
+	if o.TraceCapacity == 0 {
+		o.TraceCapacity = 4096
 	}
 	return o
 }
@@ -103,22 +122,28 @@ type experiment struct {
 	cached    bool
 	result    json.RawMessage // set for cache-served records
 	createdAt time.Time
+	tr        *obs.Tracer // per-run trace; nil for cached records or when disabled
 }
 
 // Server is the experiment service. Create it with New and expose
 // Handler on an http.Server.
 type Server struct {
-	opts  Options
-	pool  *jobs.Pool
-	cache *rescache.Cache
-	mux   *http.ServeMux
-	lat   *histogram
+	opts      Options
+	pool      *jobs.Pool
+	cache     *rescache.Cache
+	mux       *http.ServeMux
+	reg       *obs.Registry
+	lat       *obs.Histogram
+	poolTrace *obs.Tracer // worker lifecycle spans; nil when tracing disabled
+	logger    *slog.Logger
 
 	mu       sync.Mutex
 	byID     map[string]*experiment
 	order    []string
 	inflight map[string]string // cache key → live experiment id
 	nextID   uint64
+
+	records atomic.Int64 // len(byID) mirror for the lock-free gauge
 }
 
 // New builds a Server and starts its worker pool.
@@ -129,26 +154,103 @@ func New(o Options) *Server {
 		cache:    rescache.New(o.CacheSize),
 		byID:     make(map[string]*experiment),
 		inflight: make(map[string]string),
-		lat:      newHistogram(latencyBuckets...),
+		reg:      obs.NewRegistry(),
+		logger:   o.Logger,
+	}
+	if o.TraceCapacity > 0 {
+		s.poolTrace = obs.NewTracer(o.TraceCapacity)
 	}
 	s.pool = jobs.NewPool(jobs.Options{
-		Workers:    o.Workers,
-		QueueDepth: o.QueueDepth,
-		Timeout:    o.JobTimeout,
-		OnDone:     s.onJobDone,
+		Workers:      o.Workers,
+		QueueDepth:   o.QueueDepth,
+		Timeout:      o.JobTimeout,
+		OnDone:       s.onJobDone,
+		OnTransition: s.onTransition,
+		Tracer:       s.poolTrace,
+		Logger:       o.Logger,
 	})
+	s.registerMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/experiments/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.poolTrace != nil {
+		s.mux.HandleFunc("GET /debug/trace", s.handlePoolTrace)
+	}
+	if o.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Registry returns the server's metrics registry, so the embedding
+// process can register additional series on the same /metrics walk.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the service's HTTP handler (request-logging wrapped
+// when a logger is configured).
+func (s *Server) Handler() http.Handler {
+	if s.logger == nil {
+		return s.mux
+	}
+	return s.loggingHandler(s.mux)
+}
+
+// statusRecorder captures the response code for request logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// loggingHandler emits one structured log line per request.
+func (s *Server) loggingHandler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		s.logger.Info("request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", rec.status, "latency", time.Since(start))
+	})
+}
+
+// onTransition bumps the per-state-transition counter and mirrors the
+// change into the experiment's run trace. The initial enqueue
+// (From == "") fires on the submitting goroutine while s.mu is held,
+// so only lock-free work happens for it; handleSubmit records the
+// enqueue instant itself.
+func (s *Server) onTransition(t jobs.Transition) {
+	from := string(t.From)
+	if from == "" {
+		from = "new"
+	}
+	s.reg.Counter("rfidd_job_transitions_total",
+		"Job lifecycle transitions by from/to state.",
+		obs.L("from", from), obs.L("to", string(t.To))).Inc()
+	if t.From == "" {
+		return
+	}
+	s.mu.Lock()
+	exp, ok := s.byID[t.ID]
+	s.mu.Unlock()
+	if ok && exp.tr != nil {
+		exp.tr.Instant("jobs", "state:"+string(t.To),
+			0, map[string]any{"from": from, "attempts": t.Attempts})
+	}
+}
 
 // Shutdown stops accepting work and drains queued and running
 // experiments; see jobs.Pool.Shutdown for deadline semantics.
@@ -157,7 +259,7 @@ func (s *Server) Shutdown(ctx context.Context) error { return s.pool.Shutdown(ct
 // onJobDone records latency and, on success, publishes the result bytes
 // to the cache and releases the in-flight coalescing slot.
 func (s *Server) onJobDone(snap jobs.Snapshot) {
-	s.lat.observe(snap.Latency().Seconds())
+	s.lat.Observe(snap.Latency().Seconds())
 
 	s.mu.Lock()
 	exp, ok := s.byID[snap.ID]
@@ -203,6 +305,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		exp.result = body
 		resp := s.responseOfLocked(exp)
 		s.mu.Unlock()
+		s.logSubmit(exp.id, true, false)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
@@ -213,14 +316,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if exp, ok := s.byID[liveID]; ok {
 			resp := s.responseOfLocked(exp)
 			s.mu.Unlock()
+			s.logSubmit(exp.id, false, true)
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 	}
 	exp := s.newRecordLocked(key, cfg)
+	var tr *obs.Tracer
+	if s.opts.TraceCapacity > 0 {
+		tr = obs.NewTracer(s.opts.TraceCapacity)
+		tr.Instant("jobs", "submitted", 0, map[string]any{"id": exp.id})
+		exp.tr = tr
+	}
 	runCfg := cfg
 	fn := func(ctx context.Context) (any, error) {
-		agg, err := sim.RunContext(ctx, runCfg)
+		agg, err := sim.RunContext(obs.WithTracer(ctx, tr), runCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -247,8 +357,53 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.inflight[key] = exp.id
 	resp := s.responseOfLocked(exp)
 	s.mu.Unlock()
+	s.logSubmit(exp.id, false, false)
 	w.Header().Set("Location", "/v1/experiments/"+exp.id)
 	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// logSubmit emits one structured log line per accepted submission.
+func (s *Server) logSubmit(id string, cacheHit, coalesced bool) {
+	if s.logger == nil {
+		return
+	}
+	s.logger.Info("experiment submitted",
+		"id", id, "cache_hit", cacheHit, "coalesced", coalesced)
+}
+
+// handleTrace serves an experiment's run trace: Chrome trace-event JSON
+// by default, JSONL with ?format=jsonl.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	exp, ok := s.byID[id]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown experiment " + id})
+		return
+	}
+	if exp.tr == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: "no trace recorded for " + id + " (cached result or tracing disabled)"})
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = exp.tr.WriteChromeTrace(w)
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = exp.tr.WriteJSONL(w)
+	default:
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "unknown trace format (want chrome or jsonl)"})
+	}
+}
+
+// handlePoolTrace serves the worker-pool lifecycle trace.
+func (s *Server) handlePoolTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.poolTrace.WriteChromeTrace(w)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -312,6 +467,7 @@ func (s *Server) newRecordLocked(key string, cfg sim.Config) *experiment {
 	s.byID[exp.id] = exp
 	s.order = append(s.order, exp.id)
 	s.pruneLocked()
+	s.records.Store(int64(len(s.byID)))
 	return exp
 }
 
@@ -321,6 +477,7 @@ func (s *Server) dropRecordLocked(id string) {
 	if n := len(s.order); n > 0 && s.order[n-1] == id {
 		s.order = s.order[:n-1]
 	}
+	s.records.Store(int64(len(s.byID)))
 }
 
 // pruneLocked evicts the oldest terminal records above RecordCap so the

@@ -21,6 +21,7 @@ import (
 	"repro/internal/crc"
 	"repro/internal/detect"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/qtree"
 	"repro/internal/stats"
@@ -202,6 +203,14 @@ func buildPolicy(c Config) (aloha.FramePolicy, error) {
 // RunRound executes one complete identification session for round index r
 // and returns its metrics. It is deterministic in (Config, roundSeed).
 func RunRound(c Config, roundSeed uint64) (*metrics.Session, error) {
+	return runRound(c, roundSeed, nil, 0)
+}
+
+// runRound is RunRound with an optional tracer (nil = disabled) whose
+// track tid receives per-frame spans for the FSA reader. When metric
+// instrumentation is active (Instrument) the detector is wrapped to
+// time verdicts and the finished session is folded into the registry.
+func runRound(c Config, roundSeed uint64, tr *obs.Tracer, tid int) (*metrics.Session, error) {
 	c = c.withDefaults()
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -212,8 +221,13 @@ func RunRound(c Config, roundSeed uint64) (*metrics.Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	m := instr.Load()
+	if m != nil {
+		det = timedDetector{Detector: det, h: m.detLatency}
+	}
 	tm := timing.Model{TauMicros: c.TauMicros}
 
+	var s *metrics.Session
 	switch c.Algorithm {
 	case AlgFSA:
 		policy, err := buildPolicy(c)
@@ -226,18 +240,25 @@ func RunRound(c Config, roundSeed uint64) (*metrics.Session, error) {
 				BER: c.BER, CaptureProb: c.CaptureProb, Rng: rng.Split(),
 			}
 		}
-		return aloha.RunWithOptions(pop, det, policy, tm, opts), nil
+		if tr.Enabled() {
+			opts.FrameHook = frameTracer(tr, tid)
+		}
+		s = aloha.RunWithOptions(pop, det, policy, tm, opts)
 	case AlgEDFSA:
-		return aloha.RunEDFSA(pop, det, aloha.EDFSAConfig{MaxFrame: c.FrameSize}, tm), nil
+		s = aloha.RunEDFSA(pop, det, aloha.EDFSAConfig{MaxFrame: c.FrameSize}, tm)
 	case AlgBT:
-		return btree.Run(pop, det, tm), nil
+		s = btree.Run(pop, det, tm)
 	case AlgQAdaptive:
-		return aloha.RunQAdaptive(pop, det, aloha.DefaultQConfig(), tm), nil
+		s = aloha.RunQAdaptive(pop, det, aloha.DefaultQConfig(), tm)
 	case AlgQT:
-		return qtree.Run(pop, det, tm, qtree.Options{}).Session, nil
+		s = qtree.Run(pop, det, tm, qtree.Options{}).Session
 	default:
 		return nil, fmt.Errorf("sim: unknown algorithm %q", c.Algorithm)
 	}
+	if m != nil {
+		m.record(s)
+	}
+	return s, nil
 }
 
 // Aggregate is the cross-round summary of one configuration. Every field
@@ -245,6 +266,11 @@ func RunRound(c Config, roundSeed uint64) (*metrics.Session, error) {
 // one observation per identified tag over all rounds.
 type Aggregate struct {
 	Cfg Config
+
+	// Completed counts the rounds folded in. It equals Cfg.Rounds for a
+	// full run and may be smaller for the partial aggregate RunContext
+	// returns alongside a cancellation error.
+	Completed int
 
 	Idle, Single, Collided stats.Accumulator // slots by ground truth
 	Frames, Slots          stats.Accumulator
@@ -272,12 +298,20 @@ func Run(c Config) (*Aggregate, error) {
 // RunContext is Run honouring a context: cancellation is checked between
 // rounds (a round, once started, runs to completion), so long experiments
 // can be aborted by a timeout or an explicit cancel. On cancellation it
-// returns ctx.Err().
+// returns ctx.Err() together with a partial aggregate folding every
+// round that did complete (Aggregate.Completed says how many), so
+// callers can flush partial results instead of discarding the work.
+//
+// When the context carries an obs tracer (obs.WithTracer), the run
+// emits one experiment span plus per-round spans with slot censuses
+// attached — and per-frame spans for the FSA reader — onto it.
 func RunContext(ctx context.Context, c Config) (*Aggregate, error) {
 	c = c.withDefaults()
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	tr := obs.TracerFrom(ctx)
+	expSpan := tr.StartSpan("sim", "experiment", 0)
 	// Pre-draw per-round seeds so parallel scheduling cannot affect them.
 	parent := prng.New(c.Seed)
 	seeds := make([]uint64, c.Rounds)
@@ -294,16 +328,22 @@ func RunContext(ctx context.Context, c Config) (*Aggregate, error) {
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(tid int) {
 			defer wg.Done()
 			for r := range work {
 				if ctx.Err() != nil {
 					continue // drain without computing
 				}
-				s, err := RunRound(c, seeds[r])
+				sp := tr.StartSpan("sim", "round", tid)
+				s, err := runRound(c, seeds[r], tr, tid)
+				if s != nil {
+					sp.End(roundArgs(r, s))
+				} else {
+					sp.End(map[string]any{"round": r, "error": fmt.Sprint(err)})
+				}
 				results[r] = roundResult{session: s, err: err}
 			}
-		}()
+		}(w + 1) // track 0 is the experiment span
 	}
 feed:
 	for r := 0; r < c.Rounds; r++ {
@@ -316,20 +356,37 @@ feed:
 	close(work)
 	wg.Wait()
 
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// Fold whatever finished so the caller can flush partial results.
+		agg := &Aggregate{Cfg: c}
+		for _, res := range results {
+			if res.err == nil && res.session != nil {
+				agg.fold(res.session)
+			}
+		}
+		expSpan.End(map[string]any{
+			"algorithm": c.Algorithm, "tags": c.Tags,
+			"rounds_done": agg.Completed, "rounds": c.Rounds, "aborted": true,
+		})
+		return agg, ctxErr
 	}
 	agg := &Aggregate{Cfg: c}
 	for r, res := range results {
 		if res.err != nil {
+			expSpan.End(map[string]any{"algorithm": c.Algorithm, "error": res.err.Error()})
 			return nil, fmt.Errorf("sim: round %d: %w", r, res.err)
 		}
 		agg.fold(res.session)
 	}
+	expSpan.End(map[string]any{
+		"algorithm": c.Algorithm, "tags": c.Tags,
+		"rounds_done": agg.Completed, "rounds": c.Rounds,
+	})
 	return agg, nil
 }
 
 func (a *Aggregate) fold(s *metrics.Session) {
+	a.Completed++
 	a.Idle.Add(float64(s.Census.Idle))
 	a.Single.Add(float64(s.Census.Single))
 	a.Collided.Add(float64(s.Census.Collided))
