@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench trace-demo
+.PHONY: check build test race vet bench bench-json trace-demo
 
 check:
 	./scripts/check.sh
@@ -21,6 +21,12 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json runs the slot-path benchmark suite and writes
+# BENCH_slotpath.json (raw benchstat lines + parsed ns/B/allocs per op).
+# Tune with BENCH_COUNT / BENCH_TIME / BENCH_FILTER.
+bench-json:
+	./scripts/bench.sh
 
 # trace-demo runs a small traced experiment and validates that the
 # emitted Chrome trace-event JSON has the shape chrome://tracing loads.

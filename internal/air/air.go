@@ -6,6 +6,16 @@
 // responds in this slot"; the slot mechanics themselves are shared and
 // live here so that any detector plugs into any algorithm — the paper's
 // "seamlessly adopted by current anti-collision algorithms" property.
+//
+// # Allocation invariant
+//
+// A slot over the ideal channel performs no heap allocation: contention
+// payloads are built inline or into a reusable scratch (see SlotScratch
+// and detect.ScratchPayloader), the channel retains its signal buffer
+// across slots, and classification reads the overlapped signal as machine
+// words. The allocation-guard test in this package pins RunSlot at
+// 0 allocs/op for QCD and the oracle; keep it green when touching the
+// slot path.
 package air
 
 import (
@@ -34,16 +44,30 @@ type Outcome struct {
 	Bits int
 }
 
-// RunSlot executes one slot in which the given tags respond under det.
-// nowMicros is the simulation time at the start of the slot and tauMicros
-// the per-bit airtime; an identified tag is stamped with the slot's end
-// time. Responders must be unidentified tags; the engine guarantees this.
-func RunSlot(det detect.Detector, responders []*tagmodel.Tag, nowMicros, tauMicros float64) Outcome {
+// SlotScratch holds the per-slot working state — the two phase channels
+// and a payload assembly buffer — so that an engine can run an entire
+// inventory round without per-slot allocation. The zero value is ready to
+// use; allocate one per round (or per engine session) and pass it to
+// RunSlot. A SlotScratch must not be shared between concurrently running
+// rounds.
+type SlotScratch struct {
+	contention signal.Channel
+	idPhase    signal.Channel
+	payload    bitstr.BitString
+}
+
+// RunSlot executes one slot in which the given tags respond under det,
+// reusing sc's channels and buffers. nowMicros is the simulation time at
+// the start of the slot and tauMicros the per-bit airtime; an identified
+// tag is stamped with the slot's end time. Responders must be unidentified
+// tags; the engine guarantees this.
+func (sc *SlotScratch) RunSlot(det detect.Detector, responders []*tagmodel.Tag, nowMicros, tauMicros float64) Outcome {
 	out := Outcome{Truth: signal.Classify(len(responders))}
 
-	var ch signal.Channel
+	ch := &sc.contention
+	ch.Reset()
 	for _, t := range responders {
-		payload := det.ContentionPayload(t)
+		payload := detect.PayloadInto(det, t, &sc.payload)
 		t.BitsSent += int64(payload.Len())
 		ch.Transmit(payload)
 	}
@@ -63,7 +87,8 @@ func RunSlot(det detect.Detector, responders []*tagmodel.Tag, nowMicros, tauMicr
 	var idPhase signal.Reception
 	if det.NeedsIDPhase() {
 		out.Bits += det.IDPhaseBits()
-		var idCh signal.Channel
+		idCh := &sc.idPhase
+		idCh.Reset()
 		for _, t := range responders {
 			t.BitsSent += int64(t.ID.Len())
 			idCh.Transmit(t.ID)
@@ -82,6 +107,15 @@ func RunSlot(det detect.Detector, responders []*tagmodel.Tag, nowMicros, tauMicr
 		out.Phantom = true
 	}
 	return out
+}
+
+// RunSlot executes one slot with freshly zeroed scratch state. It is the
+// convenience form of SlotScratch.RunSlot for callers outside the hot
+// loop; engines iterating over frames should hold a SlotScratch instead so
+// channel buffers persist across slots.
+func RunSlot(det detect.Detector, responders []*tagmodel.Tag, nowMicros, tauMicros float64) Outcome {
+	var sc SlotScratch
+	return sc.RunSlot(det, responders, nowMicros, tauMicros)
 }
 
 func matchResponder(responders []*tagmodel.Tag, acked bitstr.BitString) *tagmodel.Tag {

@@ -60,12 +60,13 @@ func (im *Impairment) corrupt(s bitstr.BitString) bitstr.BitString {
 	return out
 }
 
-// RunSlotImpaired is RunSlot over a noisy/capturing channel. A nil or
-// zero impairment reproduces RunSlot exactly.
-func RunSlotImpaired(det detect.Detector, responders []*tagmodel.Tag, im *Impairment, nowMicros, tauMicros float64) Outcome {
+// RunSlotImpaired is RunSlot over a noisy/capturing channel, reusing sc's
+// channels and buffers. A nil or zero impairment reproduces RunSlot
+// exactly.
+func (sc *SlotScratch) RunSlotImpaired(det detect.Detector, responders []*tagmodel.Tag, im *Impairment, nowMicros, tauMicros float64) Outcome {
 	im.validate()
 	if !im.active() {
-		return RunSlot(det, responders, nowMicros, tauMicros)
+		return sc.RunSlot(det, responders, nowMicros, tauMicros)
 	}
 	out := Outcome{Truth: signal.Classify(len(responders))}
 
@@ -76,9 +77,10 @@ func RunSlotImpaired(det detect.Detector, responders []*tagmodel.Tag, im *Impair
 		captured = im.Rng.Intn(len(responders))
 	}
 
-	var ch signal.Channel
+	ch := &sc.contention
+	ch.Reset()
 	for i, t := range responders {
-		payload := det.ContentionPayload(t)
+		payload := detect.PayloadInto(det, t, &sc.payload)
 		t.BitsSent += int64(payload.Len())
 		if captured >= 0 && i != captured {
 			continue // drowned out by the captured tag
@@ -97,7 +99,8 @@ func RunSlotImpaired(det detect.Detector, responders []*tagmodel.Tag, im *Impair
 	var idPhase signal.Reception
 	if det.NeedsIDPhase() {
 		out.Bits += det.IDPhaseBits()
-		var idCh signal.Channel
+		idCh := &sc.idPhase
+		idCh.Reset()
 		for i, t := range responders {
 			t.BitsSent += int64(t.ID.Len())
 			if captured >= 0 && i != captured {
@@ -121,4 +124,12 @@ func RunSlotImpaired(det detect.Detector, responders []*tagmodel.Tag, im *Impair
 		out.Phantom = true
 	}
 	return out
+}
+
+// RunSlotImpaired is the convenience form of SlotScratch.RunSlotImpaired
+// with freshly zeroed scratch state; engines in a hot loop should hold a
+// SlotScratch instead.
+func RunSlotImpaired(det detect.Detector, responders []*tagmodel.Tag, im *Impairment, nowMicros, tauMicros float64) Outcome {
+	var sc SlotScratch
+	return sc.RunSlotImpaired(det, responders, im, nowMicros, tauMicros)
 }

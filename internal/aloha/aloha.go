@@ -167,6 +167,11 @@ type Options struct {
 	// FrameHook, if set, receives each completed frame's census delta
 	// (see metrics.Session.SetFrameHook); used for per-frame tracing.
 	FrameHook func(metrics.FrameInfo)
+
+	// Scratch, if non-nil, supplies the reusable slot state so that one
+	// buffer set serves many sessions (the simulator allocates one per
+	// round). When nil the engine allocates its own per session.
+	Scratch *air.SlotScratch
 }
 
 // Run identifies the whole population with framed slotted ALOHA under the
@@ -191,6 +196,10 @@ func RunWithOptions(pop tagmodel.Population, det detect.Detector, policy FramePo
 	frameSize := policy.FirstFrame()
 	confirmed := false
 
+	sc := opt.Scratch
+	if sc == nil {
+		sc = new(air.SlotScratch)
+	}
 	buckets := make([][]*tagmodel.Tag, 0)
 	for remaining > 0 || (opt.ConfirmEmpty && !confirmed) {
 		if slots > slotCap(len(pop)) {
@@ -217,7 +226,7 @@ func RunWithOptions(pop tagmodel.Population, det detect.Detector, policy FramePo
 		var fc FrameCensus
 		fc.Size = frameSize
 		for i := 0; i < frameSize; i++ {
-			o := air.RunSlotImpaired(det, buckets[i], opt.Impairment, now, tm.TauMicros)
+			o := sc.RunSlotImpaired(det, buckets[i], opt.Impairment, now, tm.TauMicros)
 			now += float64(o.Bits) * tm.TauMicros
 			s.Record(o, now)
 			slots++

@@ -3,6 +3,7 @@ package aloha
 import (
 	"testing"
 
+	"repro/internal/air"
 	"repro/internal/crc"
 	"repro/internal/detect"
 	"repro/internal/prng"
@@ -28,5 +29,43 @@ func BenchmarkQAdaptive500(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pop := tagmodel.NewPopulation(500, 64, prng.New(uint64(i)+1))
 		RunQAdaptive(pop, det, DefaultQConfig(), tm)
+	}
+}
+
+// BenchmarkFrame isolates one FSA frame — slot draws, bucketing, and F
+// slot executions — from the end-to-end identification loop, so frame
+// mechanics regressions localise here rather than only in BenchmarkFSA*.
+func BenchmarkFrame(b *testing.B) {
+	for _, d := range []struct {
+		name string
+		det  detect.Detector
+	}{
+		{"qcd", detect.NewQCD(8, 64)},
+		{"crccd", detect.NewCRCCD(crc.CRC32IEEE, 64)},
+	} {
+		b.Run(d.name, func(b *testing.B) {
+			const n, f = 256, 256
+			pop := tagmodel.NewPopulation(n, 64, prng.New(1))
+			buckets := make([][]*tagmodel.Tag, f)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range buckets {
+					buckets[j] = buckets[j][:0]
+				}
+				for _, t := range pop {
+					t.Slot = t.Rng.Intn(f)
+					buckets[t.Slot] = append(buckets[t.Slot], t)
+				}
+				now := 0.0
+				for j := 0; j < f; j++ {
+					o := air.RunSlot(d.det, buckets[j], now, tm.TauMicros)
+					now += float64(o.Bits) * tm.TauMicros
+					if o.Identified != nil {
+						o.Identified.Identified = false
+					}
+				}
+			}
+		})
 	}
 }

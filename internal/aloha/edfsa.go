@@ -48,6 +48,7 @@ func RunEDFSA(pop tagmodel.Population, det detect.Detector, cfg EDFSAConfig, tm 
 	remaining := len(pop)
 	estimate := float64(first) // backlog estimate going into each round
 
+	var sc air.SlotScratch
 	buckets := make([][]*tagmodel.Tag, 0)
 	for remaining > 0 {
 		if slots > slotCap(len(pop)) {
@@ -94,7 +95,7 @@ func RunEDFSA(pop tagmodel.Population, det detect.Detector, cfg EDFSAConfig, tm 
 			}
 			s.Census.Frames++
 			for i := 0; i < frameSize; i++ {
-				o := air.RunSlot(det, buckets[i], now, tm.TauMicros)
+				o := sc.RunSlot(det, buckets[i], now, tm.TauMicros)
 				now += float64(o.Bits) * tm.TauMicros
 				s.Record(o, now)
 				slots++

@@ -48,6 +48,8 @@ func RunQAdaptive(pop tagmodel.Population, det detect.Detector, cfg QConfig, tm 
 	remaining := len(pop)
 	qfp := cfg.InitialQ
 
+	var sc air.SlotScratch
+	var responders []*tagmodel.Tag
 	for remaining > 0 {
 		if slots > slotCap(len(pop)) {
 			panic(fmt.Sprintf("aloha: Q-adaptive exceeded slot cap identifying %d tags", len(pop)))
@@ -63,13 +65,13 @@ func RunQAdaptive(pop tagmodel.Population, det detect.Detector, cfg QConfig, tm 
 		}
 		// Slots proceed via QueryRep until Q changes or the round drains.
 		for slot := 0; slot < frameSlots && remaining > 0; slot++ {
-			var responders []*tagmodel.Tag
+			responders = responders[:0]
 			for _, t := range pop {
 				if !t.Identified && t.Slot == 0 {
 					responders = append(responders, t)
 				}
 			}
-			o := air.RunSlot(det, responders, now, tm.TauMicros)
+			o := sc.RunSlot(det, responders, now, tm.TauMicros)
 			now += float64(o.Bits) * tm.TauMicros
 			s.Record(o, now)
 			slots++

@@ -1,0 +1,106 @@
+package bitstr
+
+import "testing"
+
+// Micro-benchmarks for the bit-string kernels the slot engine leans on.
+// The "short" cases cover the inline word representation (QCD preambles,
+// r‖r̄, 64-bit IDs); the "long" cases cover the slice representation
+// (CRC-CD's 96-bit ID‖crc unit), including the unaligned paths.
+
+var (
+	sinkBits  BitString
+	sinkWord  uint64
+	sinkBool  bool
+	sinkCount int
+)
+
+func BenchmarkBitstrFromUint64(b *testing.B) {
+	b.Run("8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkBits = FromUint64(uint64(i), 8)
+		}
+	})
+	b.Run("64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkBits = FromUint64(uint64(i), 64)
+		}
+	})
+}
+
+func BenchmarkBitstrUint64(b *testing.B) {
+	s := FromUint64(0xDEADBEEFCAFE, 48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkWord = s.Uint64()
+	}
+}
+
+func BenchmarkBitstrConcat(b *testing.B) {
+	b.Run("8+8", func(b *testing.B) {
+		r := FromUint64(0xA5, 8)
+		c := Not(r)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sinkBits = Concat(r, c)
+		}
+	})
+	b.Run("64+32-unaligned", func(b *testing.B) {
+		// 64-bit ID ⊕ 32-bit CRC after a 3-bit header: forces the
+		// unaligned (lo%8 != 0) path in the 96-bit regime.
+		hdr := FromUint64(0b101, 3)
+		id := FromUint64(0x0123456789ABCDEF, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sinkBits = Concat(Concat(hdr, id), FromUint64(uint64(i), 32))
+		}
+	})
+}
+
+func BenchmarkBitstrSlice(b *testing.B) {
+	long, _ := benchPayload(96)
+	b.Run("aligned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkBits = long.Slice(0, 64)
+		}
+	})
+	b.Run("unaligned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkBits = long.Slice(5, 91)
+		}
+	})
+}
+
+func BenchmarkBitstrNot(b *testing.B) {
+	b.Run("8", func(b *testing.B) {
+		s := FromUint64(0xA5, 8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sinkBits = Not(s)
+		}
+	})
+	b.Run("96", func(b *testing.B) {
+		s, _ := benchPayload(96)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sinkBits = Not(s)
+		}
+	})
+}
+
+func BenchmarkBitstrHasPrefix(b *testing.B) {
+	s, _ := benchPayload(64)
+	p := s.Slice(0, 13)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkBool = s.HasPrefix(p)
+	}
+}

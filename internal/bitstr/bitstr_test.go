@@ -159,11 +159,17 @@ func TestEqual(t *testing.T) {
 }
 
 func TestCloneIndependence(t *testing.T) {
-	a := MustParse("1111")
+	// Short strings are inline, so cloning is value semantics by
+	// construction; use a >64-bit string to exercise the slice copy.
+	text := "1111" + strings.Repeat("10", 50)
+	a := MustParse(text)
 	b := a.Clone()
 	b.b[0] = 0
-	if a.String() != "1111" {
+	if a.String() != text {
 		t.Error("Clone shares storage with original")
+	}
+	if b.String() == text {
+		t.Error("mutating the clone had no effect; test is vacuous")
 	}
 }
 

@@ -1,0 +1,244 @@
+package bitstr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Differential tests: the inline word representation and the byte-slice
+// representation must be observationally identical. Every public operation
+// is run on both forms (and mixed pairs) and must agree bit-for-bit; every
+// result must satisfy the representation invariant (pad bits zero), so
+// padded-bit garbage can never leak into Equal or Compare.
+
+// asSliceRepr returns s re-encoded in the byte-slice representation, even
+// when s.n <= 64. Only tests may construct such values; the public
+// constructors always return the inline form for short strings.
+func asSliceRepr(s BitString) BitString {
+	out := BitString{b: make([]byte, s.byteLen()), n: s.n}
+	s.PutBytes(out.b)
+	return out
+}
+
+// invariantOK checks the representation invariant documented on BitString.
+func invariantOK(s BitString) bool {
+	if s.b == nil {
+		return s.n >= 0 && s.n <= 64 && s.w&^maskTop(s.n) == 0
+	}
+	if len(s.b) != s.byteLen() {
+		return false
+	}
+	if s.n%8 != 0 && len(s.b) > 0 {
+		if s.b[len(s.b)-1]&^(^byte(0)<<(8-uint(s.n%8))) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// reprs returns both representations of s when s fits inline, else just s.
+func reprs(s BitString) []BitString {
+	if s.n > 64 {
+		return []BitString{s}
+	}
+	inline := BitString{w: s.word(), n: s.n}
+	return []BitString{inline, asSliceRepr(s)}
+}
+
+func TestReprAgreementUnary(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomBits(r)
+		forms := reprs(s)
+		ref := forms[0]
+		for _, x := range forms {
+			if !invariantOK(x) {
+				return false
+			}
+			if x.String() != ref.String() || x.Hex() != ref.Hex() || x.Key() != ref.Key() {
+				return false
+			}
+			if x.OnesCount() != ref.OnesCount() || x.IsZero() != ref.IsZero() {
+				return false
+			}
+			if s.n <= 64 && x.Uint64() != ref.Uint64() {
+				return false
+			}
+			for i := 0; i < s.n; i++ {
+				if x.Bit(i) != ref.Bit(i) {
+					return false
+				}
+			}
+			if !invariantOK(Not(x)) || !Not(x).Equal(Not(ref)) {
+				return false
+			}
+			// Bytes/FromBytes round-trip preserves value in either form.
+			rt := FromBytes(x.Bytes(), x.Len())
+			if !invariantOK(rt) || !rt.Equal(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReprAgreementBinary(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomPair(r)
+		refOr := Or(a, b)
+		refAnd := And(a, b)
+		refXor := Xor(a, b)
+		refCmp := Compare(a, b)
+		for _, x := range reprs(a) {
+			for _, y := range reprs(b) {
+				if !x.Equal(y) == a.Equal(b) {
+					return false
+				}
+				if Compare(x, y) != refCmp {
+					return false
+				}
+				for _, got := range []struct{ g, want BitString }{
+					{Or(x, y), refOr}, {And(x, y), refAnd}, {Xor(x, y), refXor},
+				} {
+					if !invariantOK(got.g) || !got.g.Equal(got.want) {
+						return false
+					}
+				}
+				acc := x.Clone()
+				acc.OrInPlace(y)
+				if !invariantOK(acc) || !acc.Equal(refOr) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReprAgreementConcatSlice(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomBits(r)
+		b := randomBits(r)
+		refCat := Concat(a, b)
+		if !invariantOK(refCat) {
+			return false
+		}
+		for _, x := range reprs(a) {
+			for _, y := range reprs(b) {
+				cat := Concat(x, y)
+				if !invariantOK(cat) || !cat.Equal(refCat) {
+					return false
+				}
+				if !cat.HasPrefix(x) {
+					return false
+				}
+			}
+		}
+		// Random sub-slices agree across representations and with
+		// Uint64Range on widths <= 64.
+		for trial := 0; trial < 4; trial++ {
+			lo := r.Intn(refCat.Len() + 1)
+			hi := lo + r.Intn(refCat.Len()-lo+1)
+			ref := refCat.Slice(lo, hi)
+			if !invariantOK(ref) {
+				return false
+			}
+			for _, x := range reprs(refCat) {
+				got := x.Slice(lo, hi)
+				if !invariantOK(got) || !got.Equal(ref) {
+					return false
+				}
+				if hi-lo > 0 && hi-lo <= 64 && x.Uint64Range(lo, hi) != ref.Uint64() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntoVariantsMatchAllocating checks NotInto/ConcatInto/SliceInto
+// against their allocating counterparts while reusing one scratch value
+// across iterations, as the slot engine does.
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var scratch BitString
+	for trial := 0; trial < 500; trial++ {
+		a := randomBits(r)
+		b := randomBits(r)
+
+		if got := NotInto(&scratch, a); !invariantOK(got) || !got.Equal(Not(a)) {
+			t.Fatalf("NotInto(%v) = %v, want %v", a, got, Not(a))
+		}
+		if got := ConcatInto(&scratch, a, b); !invariantOK(got) || !got.Equal(Concat(a, b)) {
+			t.Fatalf("ConcatInto(%v, %v) = %v", a, b, got)
+		}
+		lo := r.Intn(a.Len() + 1)
+		hi := lo + r.Intn(a.Len()-lo+1)
+		if got := a.SliceInto(&scratch, lo, hi); !invariantOK(got) || !got.Equal(a.Slice(lo, hi)) {
+			t.Fatalf("SliceInto(%v, %d, %d) = %v", a, lo, hi, got)
+		}
+
+		var buf []byte
+		for _, src := range reprs(a) {
+			var c BitString
+			c, buf = CloneInto(buf, src)
+			if !invariantOK(c) || !c.Equal(a) {
+				t.Fatalf("CloneInto(%v) = %v", src, c)
+			}
+		}
+	}
+}
+
+// FuzzReprAgreement drives the word and slice forms of the same value
+// through Concat/Slice/Not/Uint64 and requires bit-identical results.
+func FuzzReprAgreement(f *testing.F) {
+	f.Add(uint64(0), 1, 0, 1)
+	f.Add(^uint64(0), 64, 3, 61)
+	f.Add(uint64(0xA5A5A5A5A5A5A5A5), 33, 5, 20)
+	f.Fuzz(func(t *testing.T, v uint64, n, lo, hi int) {
+		if n < 0 || n > 64 {
+			return
+		}
+		inline := FromUint64(v, n)
+		slice := asSliceRepr(inline)
+		if !inline.Equal(slice) || !slice.Equal(inline) {
+			t.Fatalf("representations unequal for v=%#x n=%d", v, n)
+		}
+		if inline.Uint64() != slice.Uint64() {
+			t.Fatal("Uint64 disagrees across representations")
+		}
+		if !Not(inline).Equal(Not(slice)) {
+			t.Fatal("Not disagrees across representations")
+		}
+		cat := Concat(slice, inline) // 2n bits, exercises >64 when n > 32
+		if !cat.Slice(0, n).Equal(inline) || !cat.Slice(n, 2*n).Equal(inline) {
+			t.Fatal("Concat halves do not round-trip")
+		}
+		if !invariantOK(cat) {
+			t.Fatal("Concat result violates representation invariant")
+		}
+		if lo < 0 || hi > 2*n || lo > hi {
+			return
+		}
+		want := cat.Slice(lo, hi)
+		if got := asSliceRepr(cat).Slice(lo, hi); !got.Equal(want) {
+			t.Fatalf("Slice(%d,%d) disagrees across representations", lo, hi)
+		}
+		if hi-lo > 0 && hi-lo <= 64 && cat.Uint64Range(lo, hi) != want.Uint64() {
+			t.Fatalf("Uint64Range(%d,%d) != Slice().Uint64()", lo, hi)
+		}
+	})
+}

@@ -16,9 +16,11 @@ func (s BitString) String() string {
 // not byte multiples are zero-padded on the right, matching Bytes().
 func (s BitString) Hex() string {
 	const digits = "0123456789abcdef"
+	nb := s.byteLen()
 	var sb strings.Builder
-	sb.Grow(2 * len(s.b))
-	for _, x := range s.b {
+	sb.Grow(2 * nb)
+	for i := 0; i < nb; i++ {
+		x := s.byteAt(i)
 		sb.WriteByte(digits[x>>4])
 		sb.WriteByte(digits[x&0xf])
 	}

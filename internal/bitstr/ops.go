@@ -1,6 +1,10 @@
 package bitstr
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
 
 // Or returns the bitwise Boolean sum of s and t. This is the paper's ∨
 // operator: the signal a reader receives when two tags transmit
@@ -9,6 +13,9 @@ import "fmt"
 func Or(s, t BitString) BitString {
 	if s.n != t.n {
 		panic(fmt.Sprintf("bitstr: Or length mismatch %d vs %d", s.n, t.n))
+	}
+	if s.n <= 64 {
+		return BitString{w: s.word() | t.word(), n: s.n}
 	}
 	out := s.Clone()
 	orBytes(out.b, t.b)
@@ -21,6 +28,16 @@ func OrAll(ss ...BitString) BitString {
 	if len(ss) == 0 {
 		panic("bitstr: OrAll of no operands")
 	}
+	if ss[0].n <= 64 {
+		out := BitString{n: ss[0].n}
+		for _, t := range ss {
+			if t.n != out.n {
+				panic(fmt.Sprintf("bitstr: OrAll length mismatch %d vs %d", out.n, t.n))
+			}
+			out.w |= t.word()
+		}
+		return out
+	}
 	out := ss[0].Clone()
 	for _, t := range ss[1:] {
 		if t.n != out.n {
@@ -31,19 +48,32 @@ func OrAll(ss ...BitString) BitString {
 	return out
 }
 
-// OrInPlace accumulates t into s (s |= t) and returns s. It is the hot-path
-// form used by the channel model; s must have been created by this package.
+// OrInPlace accumulates t into s (s |= t). It is the hot-path form used by
+// the channel model and never allocates.
 func (s *BitString) OrInPlace(t BitString) {
 	if s.n != t.n {
 		panic(fmt.Sprintf("bitstr: OrInPlace length mismatch %d vs %d", s.n, t.n))
 	}
-	orBytes(s.b, t.b)
+	if s.b == nil {
+		s.w |= t.word()
+		return
+	}
+	if t.b != nil {
+		orBytes(s.b, t.b)
+		return
+	}
+	for i := range s.b {
+		s.b[i] |= t.byteAt(i)
+	}
 }
 
 // And returns the bitwise AND of s and t.
 func And(s, t BitString) BitString {
 	if s.n != t.n {
 		panic(fmt.Sprintf("bitstr: And length mismatch %d vs %d", s.n, t.n))
+	}
+	if s.n <= 64 {
+		return BitString{w: s.word() & t.word(), n: s.n}
 	}
 	out := s.Clone()
 	andBytes(out.b, t.b)
@@ -55,6 +85,9 @@ func Xor(s, t BitString) BitString {
 	if s.n != t.n {
 		panic(fmt.Sprintf("bitstr: Xor length mismatch %d vs %d", s.n, t.n))
 	}
+	if s.n <= 64 {
+		return BitString{w: s.word() ^ t.word(), n: s.n}
+	}
 	out := s.Clone()
 	xorBytes(out.b, t.b)
 	out.clearPad()
@@ -64,65 +97,224 @@ func Xor(s, t BitString) BitString {
 // Not returns the bitwise complement of s. This is the QCD collision
 // function f(r) = ~r (Theorem 1 of the paper).
 func Not(s BitString) BitString {
+	if s.n <= 64 {
+		return BitString{w: ^s.word() & maskTop(s.n), n: s.n}
+	}
 	out := s.Clone()
 	notBytes(out.b)
 	out.clearPad()
 	return out
 }
 
-// Concat returns the concatenation s ⊕ t (s's bits first).
-func Concat(s, t BitString) BitString {
-	out := New(s.n + t.n)
-	copy(out.b, s.b)
-	if s.n%8 == 0 {
-		copy(out.b[s.n/8:], t.b)
-	} else {
-		for i := 0; i < t.n; i++ {
-			if t.Bit(i) == 1 {
-				out.setBit(s.n + i)
-			}
-		}
+// NotInto stores the complement of s into dst, reusing dst's backing
+// storage when possible, and returns the result (which *dst now holds).
+// Results of 64 bits or fewer are inline and never allocate; longer
+// results allocate only if dst's buffer is too small. dst must not alias s.
+func NotInto(dst *BitString, s BitString) BitString {
+	if s.n <= 64 {
+		*dst = BitString{w: ^s.word() & maskTop(s.n), n: s.n}
+		return *dst
 	}
+	b := dst.grow(len(s.b))
+	for i := range s.b {
+		b[i] = ^s.b[i]
+	}
+	out := BitString{b: b, n: s.n}
+	out.clearPad()
+	*dst = out
 	return out
 }
 
+// Concat returns the concatenation s ⊕ t (s's bits first).
+func Concat(s, t BitString) BitString {
+	total := s.n + t.n
+	if total <= 64 {
+		return BitString{w: s.word() | t.word()>>uint(s.n), n: total}
+	}
+	out := BitString{b: make([]byte, (total+7)/8), n: total}
+	writeBits(out.b, 0, s)
+	writeBits(out.b, s.n, t)
+	return out
+}
+
+// ConcatInto stores s ⊕ t into dst, reusing dst's backing storage when
+// possible, and returns the result. Results of 64 bits or fewer are inline
+// and never allocate. dst must not alias s or t.
+func ConcatInto(dst *BitString, s, t BitString) BitString {
+	total := s.n + t.n
+	if total <= 64 {
+		*dst = BitString{w: s.word() | t.word()>>uint(s.n), n: total}
+		return *dst
+	}
+	b := dst.grow((total + 7) / 8)
+	clear(b)
+	writeBits(b, 0, s)
+	writeBits(b, s.n, t)
+	*dst = BitString{b: b, n: total}
+	return *dst
+}
+
 // Slice returns the sub-string of bits [lo, hi). It panics if the range is
-// invalid.
+// invalid. Sub-strings of 64 bits or fewer are extracted with shifted word
+// reads and returned inline without allocating.
 func (s BitString) Slice(lo, hi int) BitString {
 	if lo < 0 || hi > s.n || lo > hi {
 		panic(fmt.Sprintf("bitstr: slice [%d,%d) of %d-bit string", lo, hi, s.n))
 	}
-	out := New(hi - lo)
-	if lo%8 == 0 {
-		copy(out.b, s.b[lo/8:])
-		out.clearPad()
-		return out
-	}
-	for i := lo; i < hi; i++ {
-		if s.Bit(i) == 1 {
-			out.setBit(i - lo)
+	m := hi - lo
+	if m <= 64 {
+		if m == 0 {
+			return BitString{}
 		}
+		return BitString{w: s.extractWord(lo, m), n: m}
 	}
+	out := BitString{b: make([]byte, (m+7)/8), n: m}
+	s.sliceBytes(out.b, lo, m)
 	return out
 }
 
-// HasPrefix reports whether s begins with prefix p.
+// SliceInto stores the sub-string [lo, hi) of s into dst, reusing dst's
+// backing storage when possible, and returns the result. dst must not
+// alias s.
+func (s BitString) SliceInto(dst *BitString, lo, hi int) BitString {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic(fmt.Sprintf("bitstr: slice [%d,%d) of %d-bit string", lo, hi, s.n))
+	}
+	m := hi - lo
+	if m <= 64 {
+		if m == 0 {
+			*dst = BitString{}
+			return *dst
+		}
+		*dst = BitString{w: s.extractWord(lo, m), n: m}
+		return *dst
+	}
+	b := dst.grow((m + 7) / 8)
+	s.sliceBytes(b, lo, m)
+	*dst = BitString{b: b, n: m}
+	return *dst
+}
+
+// sliceBytes writes the m bits of s starting at lo into dst (which must be
+// exactly ceil(m/8) bytes) as whole shifted words. Pad bits come out zero
+// because extractWord masks.
+func (s BitString) sliceBytes(dst []byte, lo, m int) {
+	j := 0
+	for ; (j+1)*64 <= m; j++ {
+		binary.BigEndian.PutUint64(dst[j*8:], s.extractWord(lo+64*j, 64))
+	}
+	if rem := m - 64*j; rem > 0 {
+		w := s.extractWord(lo+64*j, rem)
+		for k := 0; k*8 < rem; k++ {
+			dst[j*8+k] = byte(w >> (56 - 8*uint(k)))
+		}
+	}
+}
+
+// CloneInto deep-copies src using buf as backing storage when src is
+// slice-backed, growing buf only if its capacity is insufficient. It
+// returns the copy and the (possibly grown) buffer for the caller to
+// retain. Inline sources are returned as value copies and buf is passed
+// through untouched, so steady-state reuse performs no allocation.
+func CloneInto(buf []byte, src BitString) (BitString, []byte) {
+	if src.b == nil {
+		return src, buf
+	}
+	nb := len(src.b)
+	if cap(buf) < nb {
+		buf = make([]byte, nb)
+	}
+	buf = buf[:nb]
+	copy(buf, src.b)
+	return BitString{b: buf, n: src.n}, buf
+}
+
+// grow returns a slice of nb bytes for dst's result, reusing dst's backing
+// array when its capacity allows. Contents are unspecified.
+func (dst *BitString) grow(nb int) []byte {
+	if cap(dst.b) >= nb {
+		return dst.b[:nb]
+	}
+	return make([]byte, nb)
+}
+
+// writeBits ORs the bits of src into dst starting at bit offset off.
+// The target bit positions must currently be zero.
+func writeBits(dst []byte, off int, src BitString) {
+	if src.n == 0 {
+		return
+	}
+	if src.b == nil {
+		writeWordBits(dst, off, src.w, src.n)
+		return
+	}
+	if off&7 == 0 {
+		base := off >> 3
+		for i, x := range src.b {
+			dst[base+i] |= x
+		}
+		return
+	}
+	i := 0
+	for ; (i+1)*64 <= src.n; i++ {
+		writeWordBits(dst, off+64*i, binary.BigEndian.Uint64(src.b[i*8:]), 64)
+	}
+	if rem := src.n - 64*i; rem > 0 {
+		var w uint64
+		for j := i * 8; j < len(src.b); j++ {
+			w |= uint64(src.b[j]) << (56 - 8*uint(j-i*8))
+		}
+		writeWordBits(dst, off+64*i, w, rem)
+	}
+}
+
+// writeWordBits ORs the top m bits of w into dst at bit offset off using
+// shifted whole-byte stores; a 64-bit unaligned write touches at most nine
+// bytes. The target bit positions must currently be zero.
+func writeWordBits(dst []byte, off int, w uint64, m int) {
+	w &= maskTop(m)
+	base := off >> 3
+	shift := uint(off & 7)
+	nb := (int(shift) + m + 7) / 8
+	p := w >> shift
+	for j := 0; j < nb && j < 8; j++ {
+		dst[base+j] |= byte(p >> (56 - 8*uint(j)))
+	}
+	if nb == 9 {
+		dst[base+8] |= byte(w << (64 - shift) >> 56)
+	}
+}
+
+// HasPrefix reports whether s begins with prefix p, comparing whole words
+// rather than individual bits.
 func (s BitString) HasPrefix(p BitString) bool {
 	if p.n > s.n {
 		return false
 	}
-	for i := 0; i < p.n; i++ {
-		if s.Bit(i) != p.Bit(i) {
+	i := 0
+	for ; i+64 <= p.n; i += 64 {
+		if s.extractWord(i, 64) != p.extractWord(i, 64) {
 			return false
 		}
+	}
+	if rem := p.n - i; rem > 0 {
+		return s.extractWord(i, rem) == p.extractWord(i, rem)
 	}
 	return true
 }
 
 // Append returns s with a single bit appended.
 func (s BitString) Append(bit byte) BitString {
-	out := New(s.n + 1)
-	copy(out.b, s.b)
+	total := s.n + 1
+	if total <= 64 {
+		w := s.word()
+		if bit != 0 {
+			w |= 1 << (63 - uint(s.n))
+		}
+		return BitString{w: w, n: total}
+	}
+	out := BitString{b: make([]byte, (total+7)/8), n: total}
+	s.PutBytes(out.b)
 	if bit != 0 {
 		out.setBit(s.n)
 	}
@@ -136,7 +328,9 @@ func HammingDistance(s, t BitString) int {
 }
 
 // Compare orders bit strings first by length, then lexicographically by
-// bits; it returns -1, 0 or +1 in the manner of bytes.Compare.
+// bits; it returns -1, 0 or +1 in the manner of bytes.Compare. Because the
+// inline word is MSB-aligned with zero pad bits, numeric word comparison
+// coincides with lexicographic bit order.
 func Compare(s, t BitString) int {
 	switch {
 	case s.n < t.n:
@@ -144,13 +338,15 @@ func Compare(s, t BitString) int {
 	case s.n > t.n:
 		return 1
 	}
-	for i := range s.b {
+	if s.n <= 64 {
+		sw, tw := s.word(), t.word()
 		switch {
-		case s.b[i] < t.b[i]:
+		case sw < tw:
 			return -1
-		case s.b[i] > t.b[i]:
+		case sw > tw:
 			return 1
 		}
+		return 0
 	}
-	return 0
+	return bytes.Compare(s.b, t.b)
 }

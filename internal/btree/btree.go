@@ -100,6 +100,7 @@ func Run(pop tagmodel.Population, det detect.Detector, tm timing.Model) *metrics
 func run(g *groupStack, n int, det detect.Detector, tm timing.Model, onIdentify func(*tagmodel.Tag)) *metrics.Session {
 	s := &metrics.Session{}
 	now := 0.0
+	var sc air.SlotScratch
 	var slots int64
 	remaining := 0
 	for i := g.head; i < len(g.stack); i++ {
@@ -116,7 +117,7 @@ func run(g *groupStack, n int, det detect.Detector, tm timing.Model, onIdentify 
 			panic("btree: group stack drained with tags remaining")
 		}
 		responders := g.top()
-		o := air.RunSlot(det, responders, now, tm.TauMicros)
+		o := sc.RunSlot(det, responders, now, tm.TauMicros)
 		now += float64(o.Bits) * tm.TauMicros
 		s.Record(o, now)
 		s.Census.Frames++

@@ -58,6 +58,31 @@ type Detector interface {
 	ExtractID(contention, idPhase signal.Reception) (id bitstr.BitString, ok bool)
 }
 
+// ScratchPayloader is an optional extension of Detector for the
+// zero-allocation slot path. ContentionPayloadInto behaves exactly like
+// ContentionPayload — same bits, same draws from t.Rng — but may reuse
+// scratch's backing storage to build the payload. The caller passes the
+// previous return value back in as scratch on the next call; the payload
+// is only valid until then, so the slot engine copies it into the channel
+// before reuse. Scratch travels by value (not by pointer) so that this
+// interface call never forces the caller's slot state onto the heap.
+// Wrappers that decorate a Detector should forward this interface so the
+// fast path survives instrumentation.
+type ScratchPayloader interface {
+	ContentionPayloadInto(t *tagmodel.Tag, scratch bitstr.BitString) bitstr.BitString
+}
+
+// PayloadInto dispatches to ContentionPayloadInto when d implements
+// ScratchPayloader, threading *scratch through it, and falls back to
+// ContentionPayload otherwise.
+func PayloadInto(d Detector, t *tagmodel.Tag, scratch *bitstr.BitString) bitstr.BitString {
+	if sp, ok := d.(ScratchPayloader); ok {
+		*scratch = sp.ContentionPayloadInto(t, *scratch)
+		return *scratch
+	}
+	return d.ContentionPayload(t)
+}
+
 // SlotBits returns the total airtime in bits of a slot classified as
 // typ under detector d. This is the quantity the paper's timing analysis
 // integrates: CRC-CD pays ContentionBits for every slot type, QCD pays

@@ -15,6 +15,7 @@ import (
 type Oracle struct {
 	contentionBits int // configurable floor, usually 1 (a minimal RN burst)
 	idBits         int
+	burst          bitstr.BitString // precomputed all-ones contention burst
 }
 
 // NewOracle returns an oracle detector. contentionBits models the shortest
@@ -24,7 +25,11 @@ func NewOracle(contentionBits, idBits int) *Oracle {
 		panic("detect: oracle contention must be at least 1 bit")
 	}
 	checkIDBits(idBits)
-	return &Oracle{contentionBits: contentionBits, idBits: idBits}
+	return &Oracle{
+		contentionBits: contentionBits,
+		idBits:         idBits,
+		burst:          bitstr.Not(bitstr.New(contentionBits)),
+	}
 }
 
 // Name implements Detector.
@@ -33,7 +38,7 @@ func (o *Oracle) Name() string { return "Oracle" }
 // ContentionPayload is a minimal constant burst; content is irrelevant
 // because classification uses ground truth.
 func (o *Oracle) ContentionPayload(*tagmodel.Tag) bitstr.BitString {
-	return bitstr.Not(bitstr.New(o.contentionBits)) // all-ones burst
+	return o.burst
 }
 
 // Classify reads the ground-truth responder count.

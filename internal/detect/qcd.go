@@ -45,6 +45,14 @@ func (q *QCD) ContentionPayload(t *tagmodel.Tag) bitstr.BitString {
 	return bitstr.Concat(r, bitstr.Not(r))
 }
 
+// ContentionPayloadInto implements ScratchPayloader. It draws exactly the
+// same random integer as ContentionPayload; the preamble is assembled in
+// scratch, which for strengths up to 32 stays inline and costs nothing.
+func (q *QCD) ContentionPayloadInto(t *tagmodel.Tag, scratch bitstr.BitString) bitstr.BitString {
+	r := bitstr.FromUint64(t.Rng.Bits(q.strength), q.strength)
+	return bitstr.ConcatInto(&scratch, r, bitstr.Not(r))
+}
+
 // Classify implements Algorithm 1 of the paper:
 //
 //	if s = 0 (no energy)      -> idle
@@ -60,9 +68,12 @@ func (q *QCD) Classify(rx signal.Reception) signal.SlotType {
 		// cannot be a clean single response.
 		return signal.Collided
 	}
-	r := rx.Signal.Slice(0, q.strength)
-	c := rx.Signal.Slice(q.strength, 2*q.strength)
-	if c.Equal(bitstr.Not(r)) {
+	// c = r̄ compared as machine words: both halves of the preamble fit in
+	// 64 bits (strength <= 64), so no sub-string is materialised.
+	r := rx.Signal.Uint64Range(0, q.strength)
+	c := rx.Signal.Uint64Range(q.strength, 2*q.strength)
+	mask := ^uint64(0) >> (64 - uint(q.strength))
+	if c == ^r&mask {
 		return signal.Single
 	}
 	return signal.Collided

@@ -22,17 +22,22 @@ type Source struct {
 // or similar seeds yield well-mixed initial states.
 func New(seed uint64) *Source {
 	var src Source
+	src.seed(seed)
+	return &src
+}
+
+// seed initialises s from seed via SplitMix64.
+func (s *Source) seed(seed uint64) {
 	sm := seed
-	src.s0 = splitmix64(&sm)
-	src.s1 = splitmix64(&sm)
-	src.s2 = splitmix64(&sm)
-	src.s3 = splitmix64(&sm)
+	s.s0 = splitmix64(&sm)
+	s.s1 = splitmix64(&sm)
+	s.s2 = splitmix64(&sm)
+	s.s3 = splitmix64(&sm)
 	// The all-zero state is invalid for xoshiro; SplitMix64 cannot emit
 	// four zeros in a row, but keep the guard for safety.
-	if src.s0|src.s1|src.s2|src.s3 == 0 {
-		src.s0 = 1
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s0 = 1
 	}
-	return &src
 }
 
 func splitmix64(x *uint64) uint64 {
@@ -62,6 +67,14 @@ func (s *Source) Split() *Source {
 	// Seeding a fresh SplitMix64 chain from the parent's output gives
 	// streams that do not overlap in practice for simulation workloads.
 	return New(s.Uint64())
+}
+
+// SplitInto seeds dst with a new independent stream, advancing s exactly
+// as Split does. It exists so callers creating many streams (one per tag)
+// can batch-allocate the Sources instead of paying one heap allocation
+// per Split.
+func (s *Source) SplitInto(dst *Source) {
+	dst.seed(s.Uint64())
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.

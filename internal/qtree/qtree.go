@@ -77,6 +77,10 @@ type Options struct {
 	// 1 = the paper's binary query tree, 2 = a 4-ary tree (fewer collided
 	// levels through shared prefixes, more idle probes). Default 1.
 	FanoutBits int
+	// Scratch, if non-nil, supplies the reusable slot state so that one
+	// buffer set serves many sessions; nil means the session allocates its
+	// own.
+	Scratch *air.SlotScratch
 }
 
 func (o Options) fanoutBits() int {
@@ -132,6 +136,10 @@ func Run(pop tagmodel.Population, det detect.Detector, tm timing.Model, opt Opti
 		maxSlots = slotCap(len(pop))
 	}
 
+	sc := opt.Scratch
+	if sc == nil {
+		sc = new(air.SlotScratch)
+	}
 	fanout := opt.fanoutBits()
 	queue := opt.StartQueries
 	if queue == nil {
@@ -163,7 +171,7 @@ func Run(pop tagmodel.Population, det detect.Detector, tm timing.Model, opt Opti
 			}
 		}
 
-		o := runQuerySlot(det, responders, opt.Blocker, prefix, now, tm.TauMicros)
+		o := runQuerySlot(sc, det, responders, opt.Blocker, prefix, now, tm.TauMicros)
 		now += float64(o.Bits) * tm.TauMicros
 		s.Record(o, now)
 		slots++
@@ -188,6 +196,7 @@ func Run(pop tagmodel.Population, det detect.Detector, tm timing.Model, opt Opti
 		// survivors — this is the reader starting a new inventory round.
 		next := Run(pop, det, tm, Options{
 			Blocker: opt.Blocker, MaxSlots: maxSlots - slots, FanoutBits: opt.FanoutBits,
+			Scratch: sc,
 		})
 		mergeInto(s, next.Session)
 		res.LeafQueries = append(res.LeafQueries, next.LeafQueries...)
@@ -197,9 +206,9 @@ func Run(pop tagmodel.Population, det detect.Detector, tm timing.Model, opt Opti
 }
 
 // runQuerySlot is air.RunSlot plus the optional blocker transmission.
-func runQuerySlot(det detect.Detector, responders []*tagmodel.Tag, blocker *Blocker, prefix bitstr.BitString, now, tau float64) air.Outcome {
+func runQuerySlot(sc *air.SlotScratch, det detect.Detector, responders []*tagmodel.Tag, blocker *Blocker, prefix bitstr.BitString, now, tau float64) air.Outcome {
 	if blocker == nil || !blocker.blocks(prefix) {
-		return air.RunSlot(det, responders, now, tau)
+		return sc.RunSlot(det, responders, now, tau)
 	}
 	// Rebuild the slot with the blocker's garbage overlapped onto the
 	// contention (and ID) phases. The blocker counts as a responder for

@@ -67,12 +67,21 @@ type Reception struct {
 // The zero value is an empty channel. Channel is not safe for concurrent
 // use; the simulator runs each reader's slots sequentially and
 // parallelises across Monte-Carlo rounds instead.
+//
+// A Channel retains its internal signal buffer across Reset so that a
+// reused channel performs no allocation in steady state. Consequently the
+// Reception returned by Receive aliases that buffer: its Signal is valid
+// only until the next Transmit after a Reset. The slot engine finishes
+// classifying a phase before reusing the channel, so this is safe there;
+// callers that need the signal to outlive the channel must Clone it.
 type Channel struct {
 	sig   bitstr.BitString
+	buf   []byte // retained backing storage for sig (slice-backed payloads)
 	count int
 }
 
-// Reset clears the channel for the next phase.
+// Reset clears the channel for the next phase, keeping the signal buffer
+// for reuse.
 func (c *Channel) Reset() {
 	c.sig = bitstr.BitString{}
 	c.count = 0
@@ -82,7 +91,7 @@ func (c *Channel) Reset() {
 // must have equal length; the air interface enforces equal slot formats.
 func (c *Channel) Transmit(b bitstr.BitString) {
 	if c.count == 0 {
-		c.sig = b.Clone()
+		c.sig, c.buf = bitstr.CloneInto(c.buf, b)
 		c.count = 1
 		return
 	}

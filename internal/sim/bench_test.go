@@ -1,0 +1,32 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkRunRoundCaseII is the acceptance benchmark for the slot-engine
+// fast path: one complete FSA round at the paper's case-II scale (n=500,
+// F=256) under QCD-8 and CRC-CD. It exercises population setup, frame
+// bucketing, and every per-slot kernel end to end.
+func BenchmarkRunRoundCaseII(b *testing.B) {
+	for _, d := range []struct{ name, det string }{
+		{"qcd", sim.DetQCD},
+		{"crccd", sim.DetCRCCD},
+	} {
+		b.Run(d.name, func(b *testing.B) {
+			c := sim.Config{
+				Tags: 500, Seed: 1, Rounds: 1,
+				Algorithm: sim.AlgFSA, FrameSize: 256,
+				Detector: d.det, Strength: 8,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunRound(c, uint64(i)+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -226,6 +226,9 @@ func runRound(c Config, roundSeed uint64, tr *obs.Tracer, tid int) (*metrics.Ses
 		det = timedDetector{Detector: det, h: m.detLatency}
 	}
 	tm := timing.Model{TauMicros: c.TauMicros}
+	// One scratch per round: slot channels and payload buffers are
+	// allocated at most once here and reused for every slot of the session.
+	scratch := new(air.SlotScratch)
 
 	var s *metrics.Session
 	switch c.Algorithm {
@@ -234,7 +237,7 @@ func runRound(c Config, roundSeed uint64, tr *obs.Tracer, tid int) (*metrics.Ses
 		if err != nil {
 			return nil, err
 		}
-		opts := aloha.Options{ConfirmEmpty: c.ConfirmEmpty}
+		opts := aloha.Options{ConfirmEmpty: c.ConfirmEmpty, Scratch: scratch}
 		if c.BER > 0 || c.CaptureProb > 0 {
 			opts.Impairment = &air.Impairment{
 				BER: c.BER, CaptureProb: c.CaptureProb, Rng: rng.Split(),
@@ -251,7 +254,7 @@ func runRound(c Config, roundSeed uint64, tr *obs.Tracer, tid int) (*metrics.Ses
 	case AlgQAdaptive:
 		s = aloha.RunQAdaptive(pop, det, aloha.DefaultQConfig(), tm)
 	case AlgQT:
-		s = qtree.Run(pop, det, tm, qtree.Options{}).Session
+		s = qtree.Run(pop, det, tm, qtree.Options{Scratch: scratch}).Session
 	default:
 		return nil, fmt.Errorf("sim: unknown algorithm %q", c.Algorithm)
 	}

@@ -70,8 +70,35 @@ func NewPopulation(n, idBits int, rng *prng.Source) Population {
 	if idBits < 63 && n > 0 && uint64(n) > (uint64(1)<<uint(idBits)) {
 		panic(fmt.Sprintf("tagmodel: %d tags cannot have unique %d-bit IDs", n, idBits))
 	}
-	seen := make(map[string]bool, n)
 	pop := make(Population, 0, n)
+	// Tags and their random streams are batch-allocated: two slice
+	// allocations for the whole population instead of 2n individual ones.
+	// Population setup otherwise dominates the allocation profile of
+	// small-round sweeps.
+	tags := make([]Tag, n)
+	srcs := make([]prng.Source, n)
+	accept := func(id bitstr.BitString) {
+		i := len(pop)
+		rng.SplitInto(&srcs[i])
+		tags[i] = Tag{Index: i, ID: id, Rng: &srcs[i]}
+		pop = append(pop, &tags[i])
+	}
+	if idBits <= 64 {
+		// Word-sized IDs dedup on the raw integer — no Key() string per
+		// draw. The draw sequence is identical to randomID's single-chunk
+		// path, so populations are bit-for-bit the same as before.
+		seen := make(map[uint64]bool, n)
+		for len(pop) < n {
+			v := rng.Bits(idBits)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			accept(bitstr.FromUint64(v, idBits))
+		}
+		return pop
+	}
+	seen := make(map[string]bool, n)
 	for len(pop) < n {
 		id := randomID(idBits, rng)
 		k := id.Key()
@@ -79,7 +106,7 @@ func NewPopulation(n, idBits int, rng *prng.Source) Population {
 			continue
 		}
 		seen[k] = true
-		pop = append(pop, New(len(pop), id, rng.Split()))
+		accept(id)
 	}
 	return pop
 }

