@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-json trace-demo
+.PHONY: check build test race vet bench bench-json bench-gate trace-demo
 
 check:
 	./scripts/check.sh
@@ -27,6 +27,13 @@ bench:
 # Tune with BENCH_COUNT / BENCH_TIME / BENCH_FILTER.
 bench-json:
 	./scripts/bench.sh
+
+# bench-gate re-runs the slot-path suite and fails on a >25% ns/op or
+# ANY allocs/op regression against the committed BENCH_slotpath.json.
+# After an intentional perf change, refresh the baseline with
+# `make bench-json` and commit the result.
+bench-gate:
+	./scripts/bench_gate.sh
 
 # trace-demo runs a small traced experiment and validates that the
 # emitted Chrome trace-event JSON has the shape chrome://tracing loads.

@@ -11,6 +11,8 @@
 //	     http://localhost:8080/v1/experiments
 //	curl http://localhost:8080/v1/experiments/exp-1
 //	curl http://localhost:8080/v1/experiments/exp-1/trace
+//	curl -N http://localhost:8080/v1/experiments/exp-1/events   # live SSE telemetry
+//	curl http://localhost:8080/v1/audit                         # with -audit
 //	curl http://localhost:8080/metrics
 //
 // Observability: requests and worker lifecycle are logged through
@@ -47,6 +49,11 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-experiment run limit (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain limit")
 		traceCap     = flag.Int("trace-cap", 4096, "per-experiment trace ring capacity in events (0 disables tracing)")
+		eventHistory = flag.Int("event-history", 256, "per-experiment SSE replay ring in events (0 disables streaming)")
+		eventBuffer  = flag.Int("event-buffer", 256, "events an SSE subscriber may lag before being dropped")
+		heartbeat    = flag.Duration("heartbeat", 15*time.Second, "SSE comment-heartbeat interval")
+		auditFlag    = flag.Bool("audit", false, "shadow every verdict with the ground-truth oracle (GET /v1/audit)")
+		auditCap     = flag.Int("audit-exemplars", 64, "audit misclassification exemplar ring capacity")
 		pprof        = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		logFormat    = flag.String("log-format", "text", "log output format: text | json")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
@@ -59,19 +66,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Options.TraceCapacity: 0 means default, negative disables.
+	// Options.TraceCapacity / EventHistory: 0 means default, negative
+	// disables, so a 0 flag value maps to -1.
 	tc := *traceCap
 	if tc == 0 {
 		tc = -1
 	}
+	eh := *eventHistory
+	if eh == 0 {
+		eh = -1
+	}
 	svc := server.New(server.Options{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		CacheSize:     *cacheSize,
-		JobTimeout:    *jobTimeout,
-		TraceCapacity: tc,
-		Logger:        logger,
-		EnablePprof:   *pprof,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheSize:         *cacheSize,
+		JobTimeout:        *jobTimeout,
+		TraceCapacity:     tc,
+		EventHistory:      eh,
+		EventBuffer:       *eventBuffer,
+		HeartbeatInterval: *heartbeat,
+		EnableAudit:       *auditFlag,
+		AuditExemplars:    *auditCap,
+		Logger:            logger,
+		EnablePprof:       *pprof,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

@@ -59,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceJSONL = fs.String("trace-jsonl", "", "write the run trace as JSONL to this file")
 		traceCap   = fs.Int("trace-cap", 1<<16, "trace ring-buffer capacity in events")
 		traceSamp  = fs.Int("trace-sample", 1, "record 1 in N round spans (1 = all)")
+		progress   = fs.Bool("progress", false, "render a live per-round status line on stderr")
+		auditFlag  = fs.Bool("audit", false, "shadow every verdict with the ground-truth oracle and report the confusion summary")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -77,6 +79,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tracer.SetSampling(*traceSamp)
 		ctx = obs.WithTracer(ctx, tracer)
 	}
+
+	var auditor *rfid.Auditor
+	if *auditFlag {
+		auditor = rfid.EnableAudit(0)
+		defer rfid.DisableAudit()
+	}
+	var bus *rfid.TelemetryBus
+	var progressDone chan struct{}
+	if *progress {
+		bus = rfid.NewTelemetryBus(1024)
+		ctx = rfid.WithTelemetry(ctx, bus)
+		sub := bus.Subscribe(4096, 0)
+		progressDone = make(chan struct{})
+		go renderProgress(stderr, sub, progressDone)
+	}
+	// finishProgress retires the status line once the experiment (and,
+	// with -compare, its baseline) is over, before the report prints.
+	finishProgress := func() {
+		if bus != nil {
+			bus.Close()
+			<-progressDone
+			bus = nil
+		}
+	}
+	defer finishProgress()
 	flushTrace := func() bool {
 		ok := true
 		if *traceOut != "" {
@@ -102,12 +129,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		BER: *ber, CaptureProb: *capture,
 	}
 	agg, err := rfid.RunContext(ctx, cfg)
+	finishProgress()
 	if errors.Is(err, context.DeadlineExceeded) {
 		// Flush whatever completed before the -timeout abort.
 		fmt.Fprintf(stderr, "rfidsim: experiment aborted: exceeded -timeout %s; flushing partial results (%d/%d rounds)\n",
 			*timeout, agg.Completed, cfg.Rounds)
 		if *jsonOut {
-			printJSON(stdout, stderr, ctx, cfg, agg, false, *timeout)
+			printJSON(stdout, stderr, ctx, cfg, agg, false, *timeout, auditor)
 		} else if agg.Completed > 0 {
 			printAggregate(stdout, cfg, agg)
 		}
@@ -120,7 +148,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *jsonOut {
-		if code := printJSON(stdout, stderr, ctx, cfg, agg, *compare, *timeout); code != 0 {
+		if code := printJSON(stdout, stderr, ctx, cfg, agg, *compare, *timeout, auditor); code != 0 {
 			return code
 		}
 	} else {
@@ -138,6 +166,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ei := (baseAgg.TimeMicros.Mean() - agg.TimeMicros.Mean()) / baseAgg.TimeMicros.Mean()
 			fmt.Fprintf(stdout, "\nbaseline CRC-CD time: %.4g μs\nefficiency improvement (EI): %.2f%%\n",
 				baseAgg.TimeMicros.Mean(), 100*ei)
+		}
+		if auditor != nil {
+			printAuditReport(stdout, auditor.Report())
 		}
 	}
 	if !flushTrace() {
@@ -170,20 +201,66 @@ func baselineErr(stderr io.Writer, err error, timeout time.Duration) int {
 	return 1
 }
 
-// jsonSummary wraps the shared aggregate encoding with the CLI-only
-// baseline comparison and partial-run marker.
-type jsonSummary struct {
-	report.AggregateSummary
-	BaselineEI      *float64 `json:"baseline_ei,omitempty"`
-	Partial         bool     `json:"partial,omitempty"`
-	RoundsCompleted int      `json:"rounds_completed"`
+// renderProgress consumes the telemetry stream and keeps one live
+// status line on w, rewritten in place per completed round.
+func renderProgress(w io.Writer, sub *rfid.TelemetrySubscription, done chan<- struct{}) {
+	defer close(done)
+	audits := 0
+	printed := false
+	for ev := range sub.Events() {
+		switch ev.Type {
+		case "audit":
+			audits++
+		case "round":
+			fmt.Fprintf(w, "\rround %v/%v  slots %v  identified %v  audit hits %d    ",
+				ev.Data["completed"], ev.Data["rounds"], ev.Data["slots"], ev.Data["identified"], audits)
+			printed = true
+		}
+	}
+	if printed {
+		fmt.Fprintln(w)
+	}
 }
 
-func printJSON(stdout, stderr io.Writer, ctx context.Context, cfg rfid.Config, a *rfid.Aggregate, compare bool, timeout time.Duration) int {
+// printAuditReport renders the verdict confusion summary per detector.
+func printAuditReport(w io.Writer, rep rfid.AuditReport) {
+	t := report.NewTable("verdict audit (oracle shadow)",
+		"detector", "correct", "false single", "false collided", "false idle",
+		"fs rate", "fs rate expected")
+	for _, d := range rep.Detectors {
+		t.AddRow(d.Detector,
+			fmt.Sprintf("%d", d.Correct),
+			fmt.Sprintf("%d", d.FalseSingle),
+			fmt.Sprintf("%d", d.FalseCollision),
+			fmt.Sprintf("%d", d.FalseIdle),
+			report.F(d.FalseSingleRate, 6),
+			report.F(d.ExpectedFalseSingleRate, 6))
+	}
+	fmt.Fprint(w, "\n"+t.Render())
+	if n := len(rep.Exemplars); n > 0 {
+		fmt.Fprintf(w, "%d misclassified slot(s) captured; first: %+v\n", n, rep.Exemplars[0])
+	}
+}
+
+// jsonSummary wraps the shared aggregate encoding with the CLI-only
+// baseline comparison, partial-run marker and optional audit report.
+type jsonSummary struct {
+	report.AggregateSummary
+	BaselineEI      *float64          `json:"baseline_ei,omitempty"`
+	Partial         bool              `json:"partial,omitempty"`
+	RoundsCompleted int               `json:"rounds_completed"`
+	Audit           *rfid.AuditReport `json:"audit,omitempty"`
+}
+
+func printJSON(stdout, stderr io.Writer, ctx context.Context, cfg rfid.Config, a *rfid.Aggregate, compare bool, timeout time.Duration, auditor *rfid.Auditor) int {
 	out := jsonSummary{
 		AggregateSummary: report.NewAggregateSummary(cfg, a),
 		Partial:          a.Completed < a.Cfg.Rounds,
 		RoundsCompleted:  a.Completed,
+	}
+	if auditor != nil {
+		rep := auditor.Report()
+		out.Audit = &rep
 	}
 	if compare {
 		base := cfg

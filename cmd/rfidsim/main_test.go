@@ -41,6 +41,99 @@ func TestRunJSONReportsCompletion(t *testing.T) {
 	}
 }
 
+// TestRunAuditTable checks the -audit flag end to end in table mode:
+// a low-strength QCD run must print the confusion summary with real
+// false-single counts.
+func TestRunAuditTable(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-tags", "200", "-rounds", "10", "-frame", "64",
+		"-detector", "qcd", "-strength", "4", "-audit",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "verdict audit (oracle shadow)") {
+		t.Fatalf("audit table missing:\n%s", got)
+	}
+	for _, col := range []string{"false single", "fs rate expected", "QCD-4"} {
+		if !strings.Contains(got, col) {
+			t.Errorf("audit table missing %q:\n%s", col, got)
+		}
+	}
+}
+
+// TestRunAuditJSON checks the machine-readable audit report: the JSON
+// summary grows an "audit" object whose confusion counts are populated
+// and whose expected false-single mass is positive.
+func TestRunAuditJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-tags", "200", "-rounds", "10", "-frame", "64",
+		"-detector", "qcd", "-strength", "4", "-audit", "-json",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	var got struct {
+		Audit *struct {
+			Detectors []map[string]any `json:"detectors"`
+			Exemplars []map[string]any `json:"exemplars"`
+		} `json:"audit"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if got.Audit == nil || len(got.Audit.Detectors) != 1 {
+		t.Fatalf("audit block = %+v", got.Audit)
+	}
+	d := got.Audit.Detectors[0]
+	if d["detector"] != "QCD-4" {
+		t.Errorf("detector = %v", d["detector"])
+	}
+	if c, _ := d["correct"].(float64); c == 0 {
+		t.Errorf("correct = %v, want > 0", d["correct"])
+	}
+	if e, _ := d["expected_false_singles"].(float64); e <= 0 {
+		t.Errorf("expected_false_singles = %v, want > 0", d["expected_false_singles"])
+	}
+	// Without -audit the key must be absent entirely.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-tags", "50", "-rounds", "2", "-frame", "32", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	var plain map[string]any
+	if err := json.Unmarshal(out.Bytes(), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain["audit"]; ok {
+		t.Error("audit key present without -audit")
+	}
+}
+
+// TestRunProgress checks the -progress live status line: it renders on
+// stderr with carriage-return rewrites and reaches the final round.
+func TestRunProgress(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-tags", "50", "-rounds", "3", "-frame", "32", "-progress"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	got := errb.String()
+	if !strings.Contains(got, "\rround ") {
+		t.Fatalf("no status-line rewrites on stderr:\n%q", got)
+	}
+	if !strings.Contains(got, "round 3/3") {
+		t.Fatalf("status line never reached the final round:\n%q", got)
+	}
+	// The result table still lands intact on stdout.
+	if !strings.Contains(out.String(), "throughput") {
+		t.Fatalf("table output missing after -progress:\n%s", out.String())
+	}
+}
+
 func TestRunBadFlagExits2(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {

@@ -58,12 +58,33 @@ func ProportionalCost(bitsOf func(signal.SlotType) int, tauMicros float64) SlotC
 	}
 }
 
-// Validate checks the internal consistency of a slot log against a census
-// (used by tests and the replay tooling). Beyond the census match it
-// rejects physically impossible records: an identification in a
-// ground-truth idle slot (nobody transmitted), or in a slot the reader
-// never declared single (no ACK was issued).
-func ValidateLog(log []SlotRecord, c Census) error {
+// ValidateOption tightens ValidateLog with extra channel assumptions.
+type ValidateOption func(*validateOpts)
+
+type validateOpts struct{ ideal bool }
+
+// IdealChannel asserts the log came from an ideal (noise- and
+// capture-free) channel. On such a channel a ground-truth single slot
+// that the reader declares single always identifies its tag — the lone
+// ID arrives intact and matches the ACK — so a single/single record
+// with no identification is impossible and rejected. (A ground-truth
+// collided slot declared single remains legal even ideally: that is a
+// detector miss, and its garbled ID phase yields a phantom instead.)
+func IdealChannel() ValidateOption {
+	return func(o *validateOpts) { o.ideal = true }
+}
+
+// ValidateLog checks the internal consistency of a slot log against a
+// census (used by tests and the replay tooling). Beyond the census
+// match it rejects physically impossible records: an identification in
+// a ground-truth idle slot (nobody transmitted), or in a slot the
+// reader never declared single (no ACK was issued). Options add
+// channel-specific impossibility checks (see IdealChannel).
+func ValidateLog(log []SlotRecord, c Census, opts ...ValidateOption) error {
+	var vo validateOpts
+	for _, o := range opts {
+		o(&vo)
+	}
 	var idle, single, collided int64
 	for i, r := range log {
 		if r.Identified {
@@ -73,6 +94,9 @@ func ValidateLog(log []SlotRecord, c Census) error {
 			if r.Declared != signal.Single {
 				return fmt.Errorf("metrics: slot %d identified a tag but was declared %v, not single", i, r.Declared)
 			}
+		}
+		if vo.ideal && !r.Identified && r.Truth == signal.Single && r.Declared == signal.Single {
+			return fmt.Errorf("metrics: slot %d declared single with one responder on an ideal channel but identified no tag", i)
 		}
 		switch r.Truth {
 		case signal.Idle:

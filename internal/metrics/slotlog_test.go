@@ -143,3 +143,35 @@ func TestValidateLogImpossibleStates(t *testing.T) {
 		t.Errorf("legal identification rejected: %v", err)
 	}
 }
+
+// TestValidateLogIdealChannel covers the stricter invariant that only
+// holds without channel impairments: a truly-single slot the reader
+// declared single always yields an identification (nothing can corrupt
+// the ID exchange). A false single on a collided slot still legally
+// identifies nobody — the overlapped ID phase produces a phantom.
+func TestValidateLogIdealChannel(t *testing.T) {
+	unidentifiedSingle := SlotRecord{Truth: signal.Single, Declared: signal.Single}
+
+	// Without the option the record is tolerated (an impaired channel can
+	// garble the ID phase of a real single).
+	if err := ValidateLog([]SlotRecord{unidentifiedSingle}, Census{Single: 1}); err != nil {
+		t.Errorf("default validation rejected impaired-channel shape: %v", err)
+	}
+	// With IdealChannel it is impossible and must be rejected.
+	if err := ValidateLog([]SlotRecord{unidentifiedSingle}, Census{Single: 1}, IdealChannel()); err == nil {
+		t.Error("ideal channel accepted a declared single that identified nobody")
+	}
+
+	// A QCD miss — collided slot declared single, phantom in the ID
+	// phase, no identification — stays legal even on an ideal channel.
+	phantom := SlotRecord{Truth: signal.Collided, Declared: signal.Single}
+	if err := ValidateLog([]SlotRecord{phantom}, Census{Collided: 1}, IdealChannel()); err != nil {
+		t.Errorf("ideal channel rejected a legal false-single phantom: %v", err)
+	}
+
+	// And an identified true single is of course still fine.
+	ok := SlotRecord{Truth: signal.Single, Declared: signal.Single, Identified: true}
+	if err := ValidateLog([]SlotRecord{ok}, Census{Single: 1}, IdealChannel()); err != nil {
+		t.Errorf("ideal channel rejected a legal identification: %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func collect(sub *Subscription) []StreamEvent {
+	var out []StreamEvent
+	for ev := range sub.Events() {
+		out = append(out, ev)
+	}
+	return out
+}
+
+func TestBusPublishSubscribe(t *testing.T) {
+	b := NewBus(16)
+	sub := b.Subscribe(8, 0)
+	b.Publish("round", map[string]any{"round": 0})
+	b.Publish("frame", nil)
+	b.Close()
+	got := collect(sub)
+	if len(got) != 2 {
+		t.Fatalf("events = %d, want 2", len(got))
+	}
+	if got[0].ID != 1 || got[0].Type != "round" || got[0].Data["round"] != 0 {
+		t.Errorf("first event = %+v", got[0])
+	}
+	if got[1].ID != 2 || got[1].Type != "frame" {
+		t.Errorf("second event = %+v", got[1])
+	}
+}
+
+func TestBusReplayAfterID(t *testing.T) {
+	b := NewBus(16)
+	for i := 0; i < 5; i++ {
+		b.Publish("round", nil)
+	}
+	sub := b.Subscribe(8, 3) // resume after event 3
+	b.Close()
+	got := collect(sub)
+	if len(got) != 2 || got[0].ID != 4 || got[1].ID != 5 {
+		t.Fatalf("replay after 3 = %+v, want IDs 4,5", got)
+	}
+}
+
+func TestBusHistoryRingBounds(t *testing.T) {
+	b := NewBus(3)
+	for i := 0; i < 10; i++ {
+		b.Publish("round", nil)
+	}
+	sub := b.Subscribe(8, 0)
+	b.Close()
+	got := collect(sub)
+	if len(got) != 3 || got[0].ID != 8 || got[2].ID != 10 {
+		t.Fatalf("ring replay = %+v, want the 3 newest (8..10)", got)
+	}
+}
+
+func TestBusSubscribeAfterCloseDrainsHistory(t *testing.T) {
+	b := NewBus(16)
+	b.Publish("round", nil)
+	b.Publish("job", map[string]any{"to": "done"})
+	b.Close()
+	got := collect(b.Subscribe(4, 0)) // late subscriber: replay then EOF
+	if len(got) != 2 || got[1].Type != "job" {
+		t.Fatalf("post-close replay = %+v", got)
+	}
+	b.Publish("round", nil) // ignored
+	if got := collect(b.Subscribe(4, 0)); len(got) != 2 {
+		t.Fatalf("publish after close leaked: %+v", got)
+	}
+}
+
+func TestBusDropsSlowSubscriber(t *testing.T) {
+	reg := NewRegistry()
+	shared := reg.Counter("dropped_total", "x")
+	b := NewBus(16)
+	b.CountDropsInto(shared)
+
+	slow := b.Subscribe(1, 0) // can hold 1 unread event
+	fast := b.Subscribe(8, 0)
+	b.Publish("round", nil)
+	b.Publish("round", nil) // slow's buffer is full: dropped here
+	b.Publish("round", nil)
+	if b.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", b.Dropped())
+	}
+	if shared.Value() != 1 {
+		t.Fatalf("shared drop counter = %d, want 1", shared.Value())
+	}
+	if got := collect(slow); len(got) != 1 {
+		t.Fatalf("slow subscriber saw %d events, want the 1 it buffered", len(got))
+	}
+	b.Close()
+	if got := collect(fast); len(got) != 3 {
+		t.Fatalf("fast subscriber saw %d events, want 3", len(got))
+	}
+}
+
+func TestBusSubscriptionClose(t *testing.T) {
+	b := NewBus(4)
+	sub := b.Subscribe(2, 0)
+	sub.Close()
+	sub.Close() // idempotent
+	b.Publish("round", nil)
+	if b.Dropped() != 0 {
+		t.Errorf("closed subscription counted as slow drop")
+	}
+	b.Close()
+}
+
+func TestNilBusIsSafe(t *testing.T) {
+	var b *Bus
+	if b.Enabled() {
+		t.Error("nil bus reports enabled")
+	}
+	b.Publish("round", nil)
+	b.Close()
+	b.CountDropsInto(nil)
+	if b.Dropped() != 0 {
+		t.Error("nil bus dropped something")
+	}
+	if got := collect(b.Subscribe(4, 0)); got != nil {
+		t.Errorf("nil bus delivered events: %+v", got)
+	}
+}
+
+func TestBusContextRoundTrip(t *testing.T) {
+	if BusFrom(context.Background()) != nil {
+		t.Error("empty context yields a bus")
+	}
+	b := NewBus(4)
+	if BusFrom(WithBus(context.Background(), b)) != b {
+		t.Error("bus lost in context round trip")
+	}
+}
+
+// TestBusConcurrentPublishers exercises the bus under the race detector:
+// parallel publishers, a consumer, churned subscriptions.
+func TestBusConcurrentPublishers(t *testing.T) {
+	b := NewBus(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Publish("round", map[string]any{"i": i})
+			}
+		}()
+	}
+	sub := b.Subscribe(1024, 0)
+	done := make(chan int)
+	go func() {
+		n := 0
+		for range sub.Events() {
+			n++
+		}
+		done <- n
+	}()
+	for i := 0; i < 20; i++ {
+		b.Subscribe(1, 0).Close()
+	}
+	wg.Wait()
+	b.Close()
+	if n := <-done; n+int(b.Dropped()) == 0 {
+		t.Errorf("consumer saw nothing: n=%d dropped=%d", n, b.Dropped())
+	}
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus checks a full text-format exposition for structural
+// conformance and returns every violation found (nil when clean). It
+// enforces what the Prometheus text format (version 0.0.4) requires and
+// what this registry promises on top:
+//
+//   - every sample line belongs to a family introduced by a
+//     `# HELP` line immediately followed by its `# TYPE` line;
+//   - a family's metadata appears exactly once, before its samples;
+//   - sample names match the family (histograms may add the
+//     _bucket/_sum/_count suffixes, and only histograms may);
+//   - histogram `le` bucket bounds are strictly increasing per series
+//     and end at +Inf;
+//   - sample values parse as floats and the exposition ends with a
+//     final newline.
+//
+// It is the conformance oracle behind the /metrics tests, replacing
+// per-series spot checks.
+func LintPrometheus(exposition string) []error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if exposition == "" {
+		return []error{fmt.Errorf("promlint: empty exposition")}
+	}
+	if !strings.HasSuffix(exposition, "\n") {
+		fail("promlint: exposition does not end with a newline")
+	}
+
+	type familyMeta struct {
+		typ     string
+		samples int
+	}
+	families := make(map[string]*familyMeta)
+	// buckets tracks the last-seen le bound per bucket series (name +
+	// labels minus le), to enforce monotone ordering.
+	buckets := make(map[string]float64)
+	var cur *familyMeta
+	curName := ""
+	pendingHelp := "" // HELP seen, awaiting its TYPE line
+
+	lines := strings.Split(strings.TrimSuffix(exposition, "\n"), "\n")
+	for i, line := range lines {
+		lineNo := i + 1
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if pendingHelp != "" {
+				fail("promlint: line %d: HELP for %q while HELP for %q still awaits its TYPE", lineNo, line, pendingHelp)
+			}
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				fail("promlint: line %d: malformed HELP line %q", lineNo, line)
+				continue
+			}
+			if _, seen := families[name]; seen {
+				fail("promlint: line %d: duplicate HELP for family %q", lineNo, name)
+			}
+			pendingHelp = name
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				fail("promlint: line %d: malformed TYPE line %q", lineNo, line)
+				continue
+			}
+			name, typ := parts[0], parts[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				fail("promlint: line %d: unknown metric type %q", lineNo, typ)
+			}
+			if pendingHelp != name {
+				fail("promlint: line %d: TYPE for %q not immediately preceded by its HELP", lineNo, name)
+			}
+			pendingHelp = ""
+			if _, seen := families[name]; seen {
+				fail("promlint: line %d: duplicate TYPE for family %q", lineNo, name)
+				continue
+			}
+			cur = &familyMeta{typ: typ}
+			curName = name
+			families[name] = cur
+		case strings.HasPrefix(line, "#"):
+			fail("promlint: line %d: unexpected comment %q", lineNo, line)
+		case line == "":
+			fail("promlint: line %d: blank line inside exposition", lineNo)
+		default:
+			if pendingHelp != "" {
+				fail("promlint: line %d: sample before TYPE of family %q", lineNo, pendingHelp)
+				pendingHelp = ""
+			}
+			name, labels, value, err := splitSample(line)
+			if err != nil {
+				fail("promlint: line %d: %v", lineNo, err)
+				continue
+			}
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				fail("promlint: line %d: sample value %q is not a float", lineNo, value)
+			}
+			if cur == nil || !sampleBelongs(name, curName, cur.typ) {
+				fail("promlint: line %d: sample %q outside its family's block (current family %q)", lineNo, name, curName)
+				continue
+			}
+			cur.samples++
+			if cur.typ == "histogram" && name == curName+"_bucket" {
+				le, rest, err := extractLE(labels)
+				if err != nil {
+					fail("promlint: line %d: %v", lineNo, err)
+					continue
+				}
+				key := name + rest
+				if prev, seen := buckets[key]; seen && le <= prev {
+					fail("promlint: line %d: le=%g not greater than previous bound %g for %s", lineNo, le, prev, key)
+				}
+				buckets[key] = le
+			}
+		}
+	}
+	if pendingHelp != "" {
+		fail("promlint: HELP for %q has no TYPE line", pendingHelp)
+	}
+	for key, last := range buckets {
+		if !isInf(last) {
+			fail("promlint: bucket series %s does not end at le=\"+Inf\"", key)
+		}
+	}
+	for name, f := range families {
+		if f.samples == 0 {
+			fail("promlint: family %q declares metadata but exposes no samples", name)
+		}
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errs
+}
+
+func isInf(v float64) bool { return math.IsInf(v, 1) }
+
+// splitSample parses `name{labels} value` (labels optional) into parts.
+func splitSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced braces in sample %q", line)
+		}
+		name = line[:i]
+		labels = line[i : j+1]
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(line, " ")
+		if !ok {
+			return "", "", "", fmt.Errorf("sample %q has no value", line)
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", "", "", fmt.Errorf("sample %q has a malformed value", line)
+	}
+	if name == "" {
+		return "", "", "", fmt.Errorf("sample %q has an empty name", line)
+	}
+	return name, labels, fields[0], nil
+}
+
+// sampleBelongs reports whether a sample name is legal inside family's
+// block: the bare name, or for histograms the three suffixed forms.
+func sampleBelongs(name, family, typ string) bool {
+	if name == family {
+		return typ != "histogram" // histograms expose only suffixed samples
+	}
+	if typ == "histogram" || typ == "summary" {
+		switch name {
+		case family + "_bucket":
+			return typ == "histogram"
+		case family + "_sum", family + "_count":
+			return true
+		}
+	}
+	return false
+}
+
+// extractLE pulls the `le` label out of a bucket label set, returning
+// its bound and the label set with le removed (the series identity).
+func extractLE(labels string) (float64, string, error) {
+	if labels == "" {
+		return 0, "", fmt.Errorf("bucket sample has no le label")
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	parts := strings.Split(inner, ",")
+	le := ""
+	kept := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if v, ok := strings.CutPrefix(p, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if le == "" {
+		return 0, "", fmt.Errorf("bucket labels %s have no le label", labels)
+	}
+	if le == "+Inf" {
+		return math.Inf(1), "{" + strings.Join(kept, ",") + "}", nil
+	}
+	bound, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("bucket le %q is not a float", le)
+	}
+	return bound, "{" + strings.Join(kept, ",") + "}", nil
+}

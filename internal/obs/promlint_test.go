@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintPrometheus is the table-driven conformance suite for the
+// exposition linter: each case is a hand-built exposition plus the
+// substring every returned error must be matched against.
+func TestLintPrometheus(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // "" means the exposition must lint clean
+	}{
+		{
+			name: "clean counter and gauge",
+			text: "# HELP a_total things\n# TYPE a_total counter\na_total 3\n" +
+				"# HELP b ratio\n# TYPE b gauge\nb{k=\"v\"} 0.5\n",
+		},
+		{
+			name: "clean histogram",
+			text: "# HELP h_us latency\n# TYPE h_us histogram\n" +
+				"h_us_bucket{le=\"1\"} 2\nh_us_bucket{le=\"5\"} 4\nh_us_bucket{le=\"+Inf\"} 4\n" +
+				"h_us_sum 7.5\nh_us_count 4\n",
+		},
+		{
+			name: "missing final newline",
+			text: "# HELP a x\n# TYPE a counter\na 1",
+			want: "does not end with a newline",
+		},
+		{
+			name: "TYPE without preceding HELP",
+			text: "# TYPE a counter\na 1\n",
+			want: "not immediately preceded by its HELP",
+		},
+		{
+			name: "HELP without TYPE",
+			text: "# HELP a x\n# HELP b y\n# TYPE b counter\nb 1\n",
+			want: "still awaits its TYPE",
+		},
+		{
+			name: "duplicate family metadata",
+			text: "# HELP a x\n# TYPE a counter\na 1\n# HELP a x\n# TYPE a counter\na 2\n",
+			want: "duplicate HELP",
+		},
+		{
+			name: "unknown metric type",
+			text: "# HELP a x\n# TYPE a enum\na 1\n",
+			want: "unknown metric type",
+		},
+		{
+			name: "sample outside its family block",
+			text: "# HELP a x\n# TYPE a counter\nb 1\n",
+			want: "outside its family's block",
+		},
+		{
+			name: "bare sample under histogram family",
+			text: "# HELP h x\n# TYPE h histogram\nh 1\n",
+			want: "outside its family's block",
+		},
+		{
+			name: "non-float value",
+			text: "# HELP a x\n# TYPE a counter\na yes\n",
+			want: "is not a float",
+		},
+		{
+			name: "non-monotone le bounds",
+			text: "# HELP h x\n# TYPE h histogram\n" +
+				"h_bucket{le=\"5\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\n" +
+				"h_sum 1\nh_count 2\n",
+			want: "not greater than previous bound",
+		},
+		{
+			name: "bucket series missing +Inf",
+			text: "# HELP h x\n# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			want: "does not end at le=\"+Inf\"",
+		},
+		{
+			name: "family with no samples",
+			text: "# HELP a x\n# TYPE a counter\n# HELP b y\n# TYPE b counter\nb 1\n",
+			want: "exposes no samples",
+		},
+		{
+			name: "blank line inside exposition",
+			text: "# HELP a x\n# TYPE a counter\n\na 1\n",
+			want: "blank line",
+		},
+		{
+			name: "stray comment",
+			text: "# HELP a x\n# TYPE a counter\n# a note\na 1\n",
+			want: "unexpected comment",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := LintPrometheus(tc.text)
+			if tc.want == "" {
+				if len(errs) != 0 {
+					t.Fatalf("want clean, got %v", errs)
+				}
+				return
+			}
+			if len(errs) == 0 {
+				t.Fatalf("want an error containing %q, got none", tc.want)
+			}
+			found := false
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no error contains %q: %v", tc.want, errs)
+			}
+		})
+	}
+}
+
+// TestLintPrometheusAcceptsRegistryOutput pins the linter to the
+// registry's own renderer: whatever WritePrometheus emits must lint
+// clean, across every metric kind the registry supports.
+func TestLintPrometheusAcceptsRegistryOutput(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total", "Jobs.", L("state", "done")).Add(3)
+	reg.Counter("jobs_total", "Jobs.", L("state", "failed"))
+	reg.Gauge("queue_depth", "Depth.").Set(2)
+	reg.CounterFunc("drops_total", "Drops.", func() uint64 { return 7 })
+	reg.GaugeFunc("rate", "Rate.", func() float64 { return 0.25 })
+	h := reg.Histogram("lat_us", "Latency.", []float64{10, 100, 1000})
+	h.Observe(12)
+	h.Observe(450)
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if errs := LintPrometheus(sb.String()); len(errs) != 0 {
+		t.Fatalf("registry output fails its own linter:\n%s\nerrors: %v", sb.String(), errs)
+	}
+}

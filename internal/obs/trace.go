@@ -36,11 +36,14 @@ type Tracer struct {
 	sample atomic.Int64  // keep 1 in N spans; <= 1 keeps all
 	seq    atomic.Uint64 // span sequence, drives the sampling decision
 
-	mu      sync.Mutex
-	ring    []Event
-	next    int // overwrite cursor once the ring is full
-	full    bool
-	dropped uint64
+	mu   sync.Mutex
+	ring []Event
+	next int // overwrite cursor once the ring is full
+	full bool
+
+	// dropped is atomic (not guarded by mu) so registry exposition
+	// callbacks can read it lock-free; see Register.
+	dropped atomic.Uint64
 }
 
 // NewTracer returns an enabled tracer holding at most capacity events
@@ -93,7 +96,7 @@ func (t *Tracer) push(e Event) {
 	t.full = true
 	t.ring[t.next] = e
 	t.next = (t.next + 1) % len(t.ring)
-	t.dropped++
+	t.dropped.Add(1)
 }
 
 // Span is an in-flight interval started by StartSpan; End records it.
@@ -178,9 +181,18 @@ func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.dropped
+	return t.dropped.Load()
+}
+
+// Register exposes the tracer's ring overflow as the
+// obs_trace_dropped_spans_total counter on reg, so silent span loss is
+// visible on /metrics. The callback is lock-free (an atomic load), as
+// the registry's exposition contract requires. A nil tracer registers
+// a constant-zero series, keeping the exposition shape stable.
+func (t *Tracer) Register(reg *Registry, labels ...Label) {
+	reg.CounterFunc("obs_trace_dropped_spans_total",
+		"Trace events overwritten by ring-buffer wraparound.",
+		t.Dropped, labels...)
 }
 
 // WriteJSONL writes one event per line as JSON.

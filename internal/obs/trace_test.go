@@ -133,6 +133,37 @@ func TestWriteJSONL(t *testing.T) {
 	}
 }
 
+// TestRegisterExposesDroppedSpans pins the satellite contract: a tracer
+// registered on a metrics registry exposes its ring-overwrite count as
+// the obs_trace_dropped_spans_total counter, live (no snapshotting).
+func TestRegisterExposesDroppedSpans(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(2)
+	tr.Register(reg, L("tracer", "test"))
+
+	render := func() string {
+		var sb strings.Builder
+		reg.WritePrometheus(&sb)
+		return sb.String()
+	}
+	if got := render(); !strings.Contains(got, `obs_trace_dropped_spans_total{tracer="test"} 0`) {
+		t.Fatalf("fresh tracer exposition:\n%s", got)
+	}
+	for i := 0; i < 5; i++ { // capacity 2: three events overwritten
+		tr.Instant("c", "e", 0, nil)
+	}
+	got := render()
+	if !strings.Contains(got, `obs_trace_dropped_spans_total{tracer="test"} 3`) {
+		t.Fatalf("after 5 events into a 2-ring, exposition:\n%s", got)
+	}
+	if !strings.Contains(got, "# TYPE obs_trace_dropped_spans_total counter") {
+		t.Fatalf("missing TYPE metadata:\n%s", got)
+	}
+	if errs := LintPrometheus(got); len(errs) != 0 {
+		t.Fatalf("exposition fails lint: %v", errs)
+	}
+}
+
 func TestContextRoundTrip(t *testing.T) {
 	if TracerFrom(context.Background()) != nil {
 		t.Error("empty context yielded a tracer")

@@ -1,12 +1,15 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/sim"
@@ -130,6 +133,123 @@ func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (E
 			return resp, ctx.Err()
 		}
 	}
+}
+
+// WatchEvent is one telemetry event received by Watch.
+type WatchEvent struct {
+	// ID is the bus sequence number (the SSE id field).
+	ID uint64
+	// Type is the event type: "round", "frame", "audit" or "job".
+	Type string
+	// Data is the decoded event payload.
+	Data map[string]any
+}
+
+// terminalJobEvent reports whether ev announces a terminal job state.
+func terminalJobEvent(ev WatchEvent) bool {
+	if ev.Type != "job" {
+		return false
+	}
+	switch ev.Data["to"] {
+	case "done", "failed", "canceled":
+		return true
+	}
+	return false
+}
+
+// Watch streams an experiment's live telemetry over SSE, invoking fn
+// for every event (heartbeat comments are filtered out). It returns nil
+// once the experiment reaches a terminal state, or fn's error if fn
+// returns one. Transient stream drops are survived by reconnecting with
+// Last-Event-ID, so fn sees every event still in the server's replay
+// ring exactly once.
+func (c *Client) Watch(ctx context.Context, id string, fn func(WatchEvent) error) error {
+	var last uint64
+	for {
+		terminal, err := c.watchOnce(ctx, id, &last, fn)
+		if terminal || err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// The stream ended without a terminal event (e.g. this consumer
+		// was dropped for lagging). Poll once: if the job already ended
+		// we are done, otherwise reconnect and resume.
+		resp, err := c.Get(ctx, id)
+		if err != nil {
+			return err
+		}
+		switch resp.Status {
+		case "done", "failed", "canceled":
+			return nil
+		}
+	}
+}
+
+// watchOnce runs one SSE connection until the stream ends. It reports
+// whether a terminal job event was seen; a non-nil error is fatal to
+// the whole watch (API errors, fn failures, context cancellation).
+func (c *Client) watchOnce(ctx context.Context, id string, last *uint64, fn func(WatchEvent) error) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/experiments/"+id+"/events", nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *last > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(*last, 10))
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		var e errorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return false, &apiError{StatusCode: resp.StatusCode, Message: e.Error}
+		}
+		return false, &apiError{StatusCode: resp.StatusCode, Message: string(raw)}
+	}
+
+	var ev WatchEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Blank line dispatches the accumulated event.
+			if ev.Type != "" || ev.ID != 0 {
+				if ev.ID > *last {
+					*last = ev.ID
+				}
+				if err := fn(ev); err != nil {
+					return false, err
+				}
+				if terminalJobEvent(ev) {
+					return true, nil
+				}
+			}
+			ev = WatchEvent{}
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "id: "):
+			ev.ID, _ = strconv.ParseUint(line[len("id: "):], 10, 64)
+		case strings.HasPrefix(line, "event: "):
+			ev.Type = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			_ = json.Unmarshal([]byte(line[len("data: "):]), &ev.Data)
+		}
+	}
+	if ctx.Err() != nil {
+		return false, ctx.Err()
+	}
+	return false, nil // stream ended; caller decides whether to resume
 }
 
 // Health probes /healthz.

@@ -13,6 +13,8 @@
 //	GET    /v1/experiments              list of experiment summaries
 //	GET    /v1/experiments/{id}         status and, when done, the aggregate
 //	GET    /v1/experiments/{id}/trace   run trace (Chrome trace-event JSON; ?format=jsonl for JSONL)
+//	GET    /v1/experiments/{id}/events  live telemetry stream (text/event-stream; Last-Event-ID resume)
+//	GET    /v1/audit                    shadow-oracle audit report (when Options.EnableAudit)
 //	DELETE /v1/experiments/{id}         cancel a queued or running experiment
 //	GET    /healthz                     liveness probe
 //	GET    /metrics                     Prometheus text format (single obs registry walk)
@@ -35,6 +37,7 @@ import (
 
 	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/obs/audit"
 	"repro/internal/report"
 	"repro/internal/rescache"
 	"repro/internal/sim"
@@ -62,6 +65,24 @@ type Options struct {
 	Logger *slog.Logger
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+
+	// EventHistory bounds each experiment's telemetry event ring, in
+	// events, for SSE Last-Event-ID replay (default 256; negative
+	// disables event streaming).
+	EventHistory int
+	// EventBuffer bounds how far one SSE subscriber may lag, in
+	// events, before it is dropped as a slow consumer (default 256).
+	EventBuffer int
+	// HeartbeatInterval paces SSE comment heartbeats so idle streams
+	// stay provably alive through proxies (default 15s).
+	HeartbeatInterval time.Duration
+	// EnableAudit turns on shadow-oracle verdict auditing for every
+	// experiment (sim.InstrumentAudit is process-global: the most
+	// recently constructed audit-enabled Server receives the verdicts).
+	// The confusion matrix lands on /metrics and GET /v1/audit.
+	EnableAudit bool
+	// AuditExemplars bounds the audit exemplar ring (default 64).
+	AuditExemplars int
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +94,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TraceCapacity == 0 {
 		o.TraceCapacity = 4096
+	}
+	if o.EventHistory == 0 {
+		o.EventHistory = 256
+	}
+	if o.EventBuffer <= 0 {
+		o.EventBuffer = 256
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 15 * time.Second
+	}
+	if o.AuditExemplars <= 0 {
+		o.AuditExemplars = 64
 	}
 	return o
 }
@@ -123,6 +156,7 @@ type experiment struct {
 	result    json.RawMessage // set for cache-served records
 	createdAt time.Time
 	tr        *obs.Tracer // per-run trace; nil for cached records or when disabled
+	bus       *obs.Bus    // live telemetry; nil for cached records or when disabled
 }
 
 // Server is the experiment service. Create it with New and expose
@@ -134,7 +168,9 @@ type Server struct {
 	mux       *http.ServeMux
 	reg       *obs.Registry
 	lat       *obs.Histogram
-	poolTrace *obs.Tracer // worker lifecycle spans; nil when tracing disabled
+	poolTrace *obs.Tracer    // worker lifecycle spans; nil when tracing disabled
+	auditor   *audit.Auditor // shadow-oracle auditor; nil unless EnableAudit
+	evDrops   *obs.Counter   // slow event subscribers dropped, all experiments
 	logger    *slog.Logger
 
 	mu       sync.Mutex
@@ -143,7 +179,8 @@ type Server struct {
 	inflight map[string]string // cache key → live experiment id
 	nextID   uint64
 
-	records atomic.Int64 // len(byID) mirror for the lock-free gauge
+	records       atomic.Int64  // len(byID) mirror for the lock-free gauge
+	expTraceDrops atomic.Uint64 // span drops folded in from finished experiment tracers
 }
 
 // New builds a Server and starts its worker pool.
@@ -160,6 +197,10 @@ func New(o Options) *Server {
 	if o.TraceCapacity > 0 {
 		s.poolTrace = obs.NewTracer(o.TraceCapacity)
 	}
+	if o.EnableAudit {
+		s.auditor = audit.New(s.reg, audit.Options{ExemplarCap: o.AuditExemplars})
+		sim.InstrumentAudit(s.auditor)
+	}
 	s.pool = jobs.NewPool(jobs.Options{
 		Workers:      o.Workers,
 		QueueDepth:   o.QueueDepth,
@@ -175,6 +216,8 @@ func New(o Options) *Server {
 	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/experiments/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/audit", s.handleAudit)
 	s.mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -215,6 +258,15 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the underlying writer so streaming responses
+// (the SSE event endpoint) work through the logging wrapper; the
+// embedded interface alone would hide the Flusher method set.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // loggingHandler emits one structured log line per request.
 func (s *Server) loggingHandler(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -246,10 +298,18 @@ func (s *Server) onTransition(t jobs.Transition) {
 	s.mu.Lock()
 	exp, ok := s.byID[t.ID]
 	s.mu.Unlock()
-	if ok && exp.tr != nil {
+	if !ok {
+		return
+	}
+	if exp.tr != nil {
 		exp.tr.Instant("jobs", "state:"+string(t.To),
 			0, map[string]any{"from": from, "attempts": t.Attempts})
 	}
+	// Mirror the lifecycle onto the experiment's event stream; the
+	// terminal transition is the watcher's cue to hang up.
+	exp.bus.Publish("job", map[string]any{
+		"id": t.ID, "from": from, "to": string(t.To), "attempts": t.Attempts,
+	})
 }
 
 // Shutdown stops accepting work and drains queued and running
@@ -275,6 +335,11 @@ func (s *Server) onJobDone(snap jobs.Snapshot) {
 			s.cache.Put(exp.key, body)
 		}
 	}
+	// The run is over: fold its tracer's overflow into the shared drop
+	// counter and retire the event stream (subscribers drain the replay
+	// ring, then their channels close).
+	s.expTraceDrops.Add(exp.tr.Dropped())
+	exp.bus.Close()
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -328,9 +393,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		tr.Instant("jobs", "submitted", 0, map[string]any{"id": exp.id})
 		exp.tr = tr
 	}
+	var bus *obs.Bus
+	if s.opts.EventHistory > 0 {
+		bus = obs.NewBus(s.opts.EventHistory)
+		bus.CountDropsInto(s.evDrops)
+		exp.bus = bus
+	}
 	runCfg := cfg
 	fn := func(ctx context.Context) (any, error) {
-		agg, err := sim.RunContext(obs.WithTracer(ctx, tr), runCfg)
+		agg, err := sim.RunContext(obs.WithBus(obs.WithTracer(ctx, tr), bus), runCfg)
 		if err != nil {
 			return nil, err
 		}

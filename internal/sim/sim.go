@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/air"
 	"repro/internal/aloha"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/audit"
 	"repro/internal/prng"
 	"repro/internal/qtree"
 	"repro/internal/stats"
@@ -203,14 +205,27 @@ func buildPolicy(c Config) (aloha.FramePolicy, error) {
 // RunRound executes one complete identification session for round index r
 // and returns its metrics. It is deterministic in (Config, roundSeed).
 func RunRound(c Config, roundSeed uint64) (*metrics.Session, error) {
-	return runRound(c, roundSeed, nil, 0)
+	return runRound(c, roundSeed, roundEnv{})
 }
 
-// runRound is RunRound with an optional tracer (nil = disabled) whose
-// track tid receives per-frame spans for the FSA reader. When metric
+// roundEnv carries per-round observability context into runRound: the
+// round's index, the run tracer (nil = disabled) with the worker's
+// track id, and the live event bus (nil = disabled). All of it is
+// optional and none of it affects the simulated outcome.
+type roundEnv struct {
+	round int
+	tr    *obs.Tracer
+	bus   *obs.Bus
+	tid   int
+}
+
+// runRound is RunRound with optional observability wiring. When metric
 // instrumentation is active (Instrument) the detector is wrapped to
-// time verdicts and the finished session is folded into the registry.
-func runRound(c Config, roundSeed uint64, tr *obs.Tracer, tid int) (*metrics.Session, error) {
+// time verdicts and the finished session is folded into the registry;
+// when auditing is active (InstrumentAudit) it is additionally wrapped
+// to shadow every verdict with the oracle; tracer and bus receive
+// per-frame spans and events for the FSA reader.
+func runRound(c Config, roundSeed uint64, env roundEnv) (*metrics.Session, error) {
 	c = c.withDefaults()
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -224,6 +239,15 @@ func runRound(c Config, roundSeed uint64, tr *obs.Tracer, tid int) (*metrics.Ses
 	m := instr.Load()
 	if m != nil {
 		det = timedDetector{Detector: det, h: m.detLatency}
+	}
+	var rec *audit.Recorder
+	if a := activeAuditor.Load(); a != nil {
+		strength := 0
+		if c.Detector == DetQCD {
+			strength = c.Strength
+		}
+		rec = a.Recorder(det.Name(), strength, env.round, env.bus)
+		det = auditedDetector{Detector: det, oracle: detect.NewOracle(1, c.IDBits), rec: rec}
 	}
 	tm := timing.Model{TauMicros: c.TauMicros}
 	// One scratch per round: slot channels and payload buffers are
@@ -243,9 +267,17 @@ func runRound(c Config, roundSeed uint64, tr *obs.Tracer, tid int) (*metrics.Ses
 				BER: c.BER, CaptureProb: c.CaptureProb, Rng: rng.Split(),
 			}
 		}
-		if tr.Enabled() {
-			opts.FrameHook = frameTracer(tr, tid)
+		var hooks []func(metrics.FrameInfo)
+		if env.tr.Enabled() {
+			hooks = append(hooks, frameTracer(env.tr, env.tid))
 		}
+		if rec != nil {
+			hooks = append(hooks, func(metrics.FrameInfo) { rec.EndFrame() })
+		}
+		if env.bus.Enabled() {
+			hooks = append(hooks, frameEvents(env.bus, env.round))
+		}
+		opts.FrameHook = combineFrameHooks(hooks)
 		s = aloha.RunWithOptions(pop, det, policy, tm, opts)
 	case AlgEDFSA:
 		s = aloha.RunEDFSA(pop, det, aloha.EDFSAConfig{MaxFrame: c.FrameSize}, tm)
@@ -307,13 +339,18 @@ func Run(c Config) (*Aggregate, error) {
 //
 // When the context carries an obs tracer (obs.WithTracer), the run
 // emits one experiment span plus per-round spans with slot censuses
-// attached — and per-frame spans for the FSA reader — onto it.
+// attached — and per-frame spans for the FSA reader — onto it. When it
+// carries an event bus (obs.WithBus), the run publishes one "round"
+// progress event per completed round and one "frame" event per FSA
+// frame (plus "audit" events when auditing is on), which is what the
+// server streams over SSE.
 func RunContext(ctx context.Context, c Config) (*Aggregate, error) {
 	c = c.withDefaults()
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	tr := obs.TracerFrom(ctx)
+	bus := obs.BusFrom(ctx)
 	expSpan := tr.StartSpan("sim", "experiment", 0)
 	// Pre-draw per-round seeds so parallel scheduling cannot affect them.
 	parent := prng.New(c.Seed)
@@ -324,6 +361,7 @@ func RunContext(ctx context.Context, c Config) (*Aggregate, error) {
 
 	results := make([]roundResult, c.Rounds)
 	var wg sync.WaitGroup
+	var completed atomic.Int64
 	work := make(chan int)
 	workers := c.Workers
 	if workers > c.Rounds {
@@ -338,13 +376,23 @@ func RunContext(ctx context.Context, c Config) (*Aggregate, error) {
 					continue // drain without computing
 				}
 				sp := tr.StartSpan("sim", "round", tid)
-				s, err := runRound(c, seeds[r], tr, tid)
+				s, err := runRound(c, seeds[r], roundEnv{round: r, tr: tr, bus: bus, tid: tid})
 				if s != nil {
 					sp.End(roundArgs(r, s))
 				} else {
 					sp.End(map[string]any{"round": r, "error": fmt.Sprint(err)})
 				}
 				results[r] = roundResult{session: s, err: err}
+				if bus.Enabled() && s != nil {
+					bus.Publish("round", map[string]any{
+						"round":      r,
+						"completed":  completed.Add(1),
+						"rounds":     c.Rounds,
+						"slots":      s.Census.Slots(),
+						"identified": s.TagsIdentified,
+						"sim_us":     s.TimeMicros,
+					})
+				}
 			}
 		}(w + 1) // track 0 is the experiment span
 	}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/obs/audit"
 	"repro/internal/sim"
 )
 
@@ -71,5 +72,27 @@ func TestDisabledInstrumentationAddsNoAllocations(t *testing.T) {
 	after := measure()
 	if before != after {
 		t.Errorf("disabled-path allocations changed: %v before, %v after toggling instrumentation", before, after)
+	}
+	// The same equality must hold across the audit toggle: a disabled
+	// auditor is one atomic pointer load per round, nothing per slot.
+	sim.InstrumentAudit(audit.New(obs.NewRegistry(), audit.Options{}))
+	sim.UninstrumentAudit()
+	afterAudit := measure()
+	if before != afterAudit {
+		t.Errorf("disabled-path allocations changed: %v before, %v after toggling auditing", before, afterAudit)
+	}
+}
+
+// BenchmarkRunRoundAudited measures the opt-in cost of shadow-oracle
+// auditing (run with -bench 'RunRound' -benchmem to compare all three).
+func BenchmarkRunRoundAudited(b *testing.B) {
+	sim.InstrumentAudit(audit.New(obs.NewRegistry(), audit.Options{}))
+	defer sim.UninstrumentAudit()
+	c := benchRoundCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunRound(c, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

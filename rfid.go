@@ -17,6 +17,8 @@ import (
 	"repro/internal/gen2"
 	"repro/internal/metrics"
 	"repro/internal/mobility"
+	"repro/internal/obs"
+	"repro/internal/obs/audit"
 	"repro/internal/privacy"
 	"repro/internal/prng"
 	"repro/internal/qtree"
@@ -81,6 +83,56 @@ func RunContext(ctx context.Context, c Config) (*Aggregate, error) { return sim.
 // RunRound executes one session with an explicit round seed; useful when
 // the caller wants the raw per-tag delays of a single run.
 func RunRound(c Config, roundSeed uint64) (*Session, error) { return sim.RunRound(c, roundSeed) }
+
+// ---- Observability: verdict auditing and live telemetry ----
+
+// Auditor accumulates the shadow-oracle verdict confusion matrix; see
+// EnableAudit and Auditor.Report.
+type Auditor = audit.Auditor
+
+// AuditReport is the auditor's JSON-ready snapshot: per-detector
+// confusion cells, measured vs analytic false-single rates, and the
+// captured misclassification exemplars.
+type AuditReport = audit.Report
+
+// AuditExemplar is one captured misclassified slot.
+type AuditExemplar = audit.Exemplar
+
+// EnableAudit turns on shadow-oracle verdict auditing process-wide:
+// every subsequent run re-classifies each slot with the ground-truth
+// oracle alongside its configured detector and folds the result into
+// the returned Auditor (retaining at most exemplarCap misclassified
+// slots; <= 0 uses the default 64). Auditing only observes — audited
+// runs stay bit-identical to unaudited ones — and costs nothing once
+// DisableAudit is called.
+func EnableAudit(exemplarCap int) *Auditor {
+	a := audit.New(obs.NewRegistry(), audit.Options{ExemplarCap: exemplarCap})
+	sim.InstrumentAudit(a)
+	return a
+}
+
+// DisableAudit turns shadow-oracle auditing back off.
+func DisableAudit() { sim.UninstrumentAudit() }
+
+// TelemetryBus is a bounded pub/sub stream of live experiment events
+// ("round" progress, "frame" censuses, "audit" hits); attach one to a
+// run with WithTelemetry and consume it via TelemetryBus.Subscribe.
+type TelemetryBus = obs.Bus
+
+// TelemetryEvent is one event on a TelemetryBus.
+type TelemetryEvent = obs.StreamEvent
+
+// TelemetrySubscription is one consumer's view of a TelemetryBus.
+type TelemetrySubscription = obs.Subscription
+
+// NewTelemetryBus returns a bus retaining historyCap events for replay.
+func NewTelemetryBus(historyCap int) *TelemetryBus { return obs.NewBus(historyCap) }
+
+// WithTelemetry returns a context that makes RunContext publish live
+// progress events onto bus (the rfidd service streams these over SSE).
+func WithTelemetry(ctx context.Context, bus *TelemetryBus) context.Context {
+	return obs.WithBus(ctx, bus)
+}
 
 // ---- Detection API (the paper's core) ----
 
