@@ -16,6 +16,7 @@ import (
 	"repro/internal/air"
 	"repro/internal/detect"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/signal"
 	"repro/internal/tagmodel"
 	"repro/internal/timing"
@@ -172,6 +173,55 @@ type Options struct {
 	// buffer set serves many sessions (the simulator allocates one per
 	// round). When nil the engine allocates its own per session.
 	Scratch *air.SlotScratch
+
+	// Frame, if non-nil, supplies the reusable frame scheduler that
+	// buckets tags into slots (see internal/sched); one instance can
+	// serve many sessions. When nil the engine allocates its own.
+	Frame *sched.Frame
+
+	// Groups, if non-nil, supplies a second reusable scheduler for
+	// EDFSA's group partition (unused by plain FSA). When nil the engine
+	// allocates its own.
+	Groups *sched.Frame
+
+	// Session, if non-nil, is Reset and used to accumulate this run's
+	// metrics instead of allocating a fresh one, so a pooled session's
+	// delay/log slices are reused across rounds. The returned session
+	// aliases it and is valid until the next run that reuses it.
+	Session *metrics.Session
+}
+
+// session returns the metrics session to accumulate into, pooled or fresh.
+func (o Options) session() *metrics.Session {
+	if o.Session == nil {
+		return &metrics.Session{}
+	}
+	o.Session.Reset()
+	return o.Session
+}
+
+// frame returns the frame scheduler to bucket with, pooled or fresh.
+func (o Options) frame() *sched.Frame {
+	if o.Frame == nil {
+		return new(sched.Frame)
+	}
+	return o.Frame
+}
+
+// groups returns the EDFSA group scheduler, pooled or fresh.
+func (o Options) groups() *sched.Frame {
+	if o.Groups == nil {
+		return new(sched.Frame)
+	}
+	return o.Groups
+}
+
+// scratch returns the slot scratch to run slots with, pooled or fresh.
+func (o Options) scratch() *air.SlotScratch {
+	if o.Scratch == nil {
+		return new(air.SlotScratch)
+	}
+	return o.Scratch
 }
 
 // Run identifies the whole population with framed slotted ALOHA under the
@@ -183,7 +233,7 @@ func Run(pop tagmodel.Population, det detect.Detector, policy FramePolicy, tm ti
 
 // RunWithOptions is Run with explicit reader options.
 func RunWithOptions(pop tagmodel.Population, det detect.Detector, policy FramePolicy, tm timing.Model, opt Options) *metrics.Session {
-	s := &metrics.Session{}
+	s := opt.session()
 	if opt.KeepSlotLog {
 		s.EnableSlotLog()
 	}
@@ -196,37 +246,25 @@ func RunWithOptions(pop tagmodel.Population, det detect.Detector, policy FramePo
 	frameSize := policy.FirstFrame()
 	confirmed := false
 
-	sc := opt.Scratch
-	if sc == nil {
-		sc = new(air.SlotScratch)
-	}
-	buckets := make([][]*tagmodel.Tag, 0)
+	sc := opt.scratch()
+	frame := opt.frame()
+	frame.Reset(pop)
 	for remaining > 0 || (opt.ConfirmEmpty && !confirmed) {
 		if slots > slotCap(len(pop)) {
 			panic(fmt.Sprintf("aloha: exceeded slot cap identifying %d tags (detector %s, policy %s)",
 				len(pop), det.Name(), policy.Name()))
 		}
-		// Announce the frame: every unidentified tag picks a slot.
-		if cap(buckets) < frameSize {
-			buckets = make([][]*tagmodel.Tag, frameSize)
-		} else {
-			buckets = buckets[:frameSize]
-			for i := range buckets {
-				buckets[i] = buckets[i][:0]
-			}
-		}
-		for _, t := range pop {
-			if t.Identified {
-				continue
-			}
-			t.Slot = t.Rng.Intn(frameSize)
-			buckets[t.Slot] = append(buckets[t.Slot], t)
-		}
+		// Announce the frame: every still-unidentified tag picks a slot.
+		// The scheduler draws in population index order and compacts
+		// identified tags out, so the PRNG sequence matches the historical
+		// per-frame scan exactly while later frames only pay for the tags
+		// still in contention.
+		frame.BuildActive(frameSize)
 
 		var fc FrameCensus
 		fc.Size = frameSize
 		for i := 0; i < frameSize; i++ {
-			o := sc.RunSlotImpaired(det, buckets[i], opt.Impairment, now, tm.TauMicros)
+			o := sc.RunSlotImpaired(det, frame.Bucket(i), opt.Impairment, now, tm.TauMicros)
 			now += float64(o.Bits) * tm.TauMicros
 			s.Record(o, now)
 			slots++

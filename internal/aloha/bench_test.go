@@ -7,6 +7,7 @@ import (
 	"repro/internal/crc"
 	"repro/internal/detect"
 	"repro/internal/prng"
+	"repro/internal/sched"
 	"repro/internal/tagmodel"
 )
 
@@ -32,9 +33,21 @@ func BenchmarkQAdaptive500(b *testing.B) {
 	}
 }
 
+func BenchmarkEDFSA500(b *testing.B) {
+	det := detect.NewQCD(8, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pop := tagmodel.NewPopulation(500, 64, prng.New(uint64(i)+1))
+		RunEDFSA(pop, det, EDFSAConfig{MaxFrame: 256}, tm)
+	}
+}
+
 // BenchmarkFrame isolates one FSA frame — slot draws, bucketing, and F
 // slot executions — from the end-to-end identification loop, so frame
 // mechanics regressions localise here rather than only in BenchmarkFSA*.
+// It runs the engines' actual frame path: the sched.Frame counting sort
+// plus a reused slot scratch, which together make the steady-state frame
+// allocation-free.
 func BenchmarkFrame(b *testing.B) {
 	for _, d := range []struct {
 		name string
@@ -46,20 +59,15 @@ func BenchmarkFrame(b *testing.B) {
 		b.Run(d.name, func(b *testing.B) {
 			const n, f = 256, 256
 			pop := tagmodel.NewPopulation(n, 64, prng.New(1))
-			buckets := make([][]*tagmodel.Tag, f)
+			var frame sched.Frame
+			var sc air.SlotScratch
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				for j := range buckets {
-					buckets[j] = buckets[j][:0]
-				}
-				for _, t := range pop {
-					t.Slot = t.Rng.Intn(f)
-					buckets[t.Slot] = append(buckets[t.Slot], t)
-				}
+				frame.BuildSlots(pop, f)
 				now := 0.0
 				for j := 0; j < f; j++ {
-					o := air.RunSlot(d.det, buckets[j], now, tm.TauMicros)
+					o := sc.RunSlot(d.det, frame.Bucket(j), now, tm.TauMicros)
 					now += float64(o.Bits) * tm.TauMicros
 					if o.Identified != nil {
 						o.Identified.Identified = false

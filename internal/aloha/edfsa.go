@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/air"
 	"repro/internal/detect"
 	"repro/internal/metrics"
 	"repro/internal/signal"
@@ -36,20 +35,33 @@ func (c EDFSAConfig) validate() {
 // given detector. Frames in the census count issued frames (one per
 // group per round).
 func RunEDFSA(pop tagmodel.Population, det detect.Detector, cfg EDFSAConfig, tm timing.Model) *metrics.Session {
+	return RunEDFSAWithOptions(pop, det, cfg, tm, Options{})
+}
+
+// RunEDFSAWithOptions is RunEDFSA with explicit reader options (only the
+// reuse fields — Scratch, Frame, Groups, Session — apply to EDFSA).
+//
+// The round's group partition is itself a frame schedule: one Build
+// buckets the unidentified tags by their group draw, and each group's
+// frame then buckets that group's members (already in population index
+// order) by their slot draw, so the per-group population rescans of the
+// historical engine collapse into O(n + groups + Σ frames) per round.
+func RunEDFSAWithOptions(pop tagmodel.Population, det detect.Detector, cfg EDFSAConfig, tm timing.Model, opt Options) *metrics.Session {
 	cfg.validate()
 	first := cfg.InitialFrame
 	if first < 1 {
 		first = cfg.MaxFrame
 	}
 
-	s := &metrics.Session{}
+	s := opt.session()
 	now := 0.0
 	var slots int64
 	remaining := len(pop)
 	estimate := float64(first) // backlog estimate going into each round
 
-	var sc air.SlotScratch
-	buckets := make([][]*tagmodel.Tag, 0)
+	sc := opt.scratch()
+	frame := opt.frame()
+	grouping := opt.groups()
 	for remaining > 0 {
 		if slots > slotCap(len(pop)) {
 			panic(fmt.Sprintf("aloha: EDFSA exceeded slot cap identifying %d tags", len(pop)))
@@ -69,33 +81,27 @@ func RunEDFSA(pop tagmodel.Population, det detect.Detector, cfg EDFSAConfig, tm 
 		}
 
 		// Tags self-select a group uniformly; the reader interrogates the
-		// groups in turn within this round.
-		for _, t := range pop {
-			if !t.Identified {
-				t.Counter = t.Rng.Intn(groups)
+		// groups in turn within this round. The draw lands in t.Counter
+		// (the splitting counter doubles as the group id, as before).
+		grouping.Build(pop, groups, func(t *tagmodel.Tag) int {
+			if t.Identified {
+				return -1
 			}
-		}
+			t.Counter = t.Rng.Intn(groups)
+			return t.Counter
+		})
 
 		var roundSingles, roundCollided int
 		for g := 0; g < groups && remaining > 0; g++ {
-			if cap(buckets) < frameSize {
-				buckets = make([][]*tagmodel.Tag, frameSize)
-			} else {
-				buckets = buckets[:frameSize]
-				for i := range buckets {
-					buckets[i] = buckets[i][:0]
-				}
-			}
-			for _, t := range pop {
-				if t.Identified || t.Counter != g {
-					continue
-				}
-				t.Slot = t.Rng.Intn(frameSize)
-				buckets[t.Slot] = append(buckets[t.Slot], t)
-			}
+			// Group members are in population index order, so their slot
+			// draws happen in the same order the historical per-group
+			// population scan performed them. A member cannot be identified
+			// before its own group's frame runs (it responds nowhere else),
+			// so BuildSlots's Identified skip never changes the draws here.
+			frame.BuildSlots(grouping.Bucket(g), frameSize)
 			s.Census.Frames++
 			for i := 0; i < frameSize; i++ {
-				o := sc.RunSlot(det, buckets[i], now, tm.TauMicros)
+				o := sc.RunSlot(det, frame.Bucket(i), now, tm.TauMicros)
 				now += float64(o.Bits) * tm.TauMicros
 				s.Record(o, now)
 				slots++

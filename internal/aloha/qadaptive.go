@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/air"
 	"repro/internal/detect"
 	"repro/internal/metrics"
 	"repro/internal/signal"
@@ -26,6 +25,13 @@ type QConfig struct {
 // DefaultQConfig returns the customary Gen-2 parameters.
 func DefaultQConfig() QConfig { return QConfig{InitialQ: 4.0, C: 0.3, MaxQ: 15} }
 
+// qPlacePrefix is how many leading slots of each Q frame get their
+// buckets materialised eagerly. Rounds almost always restart within a
+// few slots (C = 0.3 flips the rounded Q after two same-sign nudges),
+// so eager buckets past a small prefix are wasted work; the scheduler
+// answers the rare deeper slot by scanning the active list instead.
+const qPlacePrefix = 16
+
 func (c QConfig) validate() {
 	if c.C <= 0 || c.C > 1 {
 		panic(fmt.Sprintf("aloha: Q step C=%v out of (0,1]", c.C))
@@ -41,15 +47,33 @@ func (c QConfig) validate() {
 // tag transmissions count. Frames in the returned census count Query
 // commands (round starts).
 func RunQAdaptive(pop tagmodel.Population, det detect.Detector, cfg QConfig, tm timing.Model) *metrics.Session {
+	return RunQAdaptiveWithOptions(pop, det, cfg, tm, Options{})
+}
+
+// RunQAdaptiveWithOptions is RunQAdaptive with explicit reader options
+// (only the reuse fields — Scratch, Frame, Session — apply to Q).
+//
+// The slot loop runs over the frame scheduler's buckets: a tag whose
+// counter reaches zero at slot k is exactly a tag that drew k at the
+// Query, so bucketing once per Query replaces the historical
+// per-slot population rescan (and the per-QueryRep counter decrement)
+// without changing a single responder set — tags that lost an
+// arbitration sit out the rest of the round in both formulations,
+// because a tag only ever responds in the one slot it drew. Q issues
+// one Query per few slots, so its profile is all draw passes; the
+// active-list build keeps each pass proportional to the tags still in
+// contention instead of the whole population.
+func RunQAdaptiveWithOptions(pop tagmodel.Population, det detect.Detector, cfg QConfig, tm timing.Model, opt Options) *metrics.Session {
 	cfg.validate()
-	s := &metrics.Session{}
+	s := opt.session()
 	now := 0.0
 	var slots int64
 	remaining := len(pop)
 	qfp := cfg.InitialQ
 
-	var sc air.SlotScratch
-	var responders []*tagmodel.Tag
+	sc := opt.scratch()
+	frame := opt.frame()
+	frame.Reset(pop)
 	for remaining > 0 {
 		if slots > slotCap(len(pop)) {
 			panic(fmt.Sprintf("aloha: Q-adaptive exceeded slot cap identifying %d tags", len(pop)))
@@ -58,19 +82,10 @@ func RunQAdaptive(pop tagmodel.Population, det detect.Detector, cfg QConfig, tm 
 		s.Census.Frames++
 		// Query: every unidentified tag draws a slot counter in [0, 2^q).
 		frameSlots := 1 << uint(q)
-		for _, t := range pop {
-			if !t.Identified {
-				t.Slot = t.Rng.Intn(frameSlots)
-			}
-		}
+		frame.BuildActivePrefix(frameSlots, qPlacePrefix)
 		// Slots proceed via QueryRep until Q changes or the round drains.
 		for slot := 0; slot < frameSlots && remaining > 0; slot++ {
-			responders = responders[:0]
-			for _, t := range pop {
-				if !t.Identified && t.Slot == 0 {
-					responders = append(responders, t)
-				}
-			}
+			responders := frame.Bucket(slot)
 			o := sc.RunSlot(det, responders, now, tm.TauMicros)
 			now += float64(o.Bits) * tm.TauMicros
 			s.Record(o, now)
@@ -94,12 +109,6 @@ func RunQAdaptive(pop tagmodel.Population, det detect.Detector, cfg QConfig, tm 
 			}
 			if int(math.Round(qfp)) != q {
 				break // QueryAdjust: restart the round with the new Q
-			}
-			// QueryRep: surviving tags decrement their counters.
-			for _, t := range pop {
-				if !t.Identified && t.Slot > 0 {
-					t.Slot--
-				}
 			}
 		}
 	}

@@ -58,6 +58,17 @@ func BenchmarkBitstrConcat(b *testing.B) {
 			sinkBits = Concat(Concat(hdr, id), FromUint64(uint64(i), 32))
 		}
 	})
+	b.Run("64+32-into", func(b *testing.B) {
+		// The steady-state CRC-CD payload: ID ⊕ crc into a reused buffer
+		// takes the two-word shift-merge kernel and must not allocate.
+		id := FromUint64(0x0123456789ABCDEF, 64)
+		var dst BitString
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sinkBits = ConcatInto(&dst, id, FromUint64(uint64(i), 32))
+		}
+	})
 }
 
 func BenchmarkBitstrSlice(b *testing.B) {
@@ -72,6 +83,13 @@ func BenchmarkBitstrSlice(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sinkBits = long.Slice(5, 91)
+		}
+	})
+	b.Run("unaligned-into", func(b *testing.B) {
+		var dst BitString
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkBits = long.SliceInto(&dst, 5, 91)
 		}
 	})
 }

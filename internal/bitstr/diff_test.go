@@ -169,6 +169,42 @@ func TestReprAgreementConcatSlice(t *testing.T) {
 	}
 }
 
+// TestConcatTwoWordKernel pins the 64 < total ≤ 128 shift-merge kernel
+// against a bit-by-bit reference for every operand length pair reaching
+// it (the repr-agreement tests compare Concat with itself, so they
+// cannot catch a kernel bug on their own).
+func TestConcatTwoWordKernel(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var scratch BitString
+	for sn := 1; sn <= 64; sn++ {
+		for tn := 1; tn <= 64; tn++ {
+			if sn+tn <= 64 {
+				continue
+			}
+			a := FromUint64(r.Uint64(), sn)
+			b := FromUint64(r.Uint64(), tn)
+			got := Concat(a, b)
+			into := ConcatInto(&scratch, a, b)
+			if !invariantOK(got) || !invariantOK(into) || !got.Equal(into) {
+				t.Fatalf("Concat/ConcatInto disagree for %d+%d: %v vs %v", sn, tn, got, into)
+			}
+			if got.Len() != sn+tn {
+				t.Fatalf("Concat(%d,%d) has %d bits", sn, tn, got.Len())
+			}
+			for i := 0; i < sn; i++ {
+				if got.Bit(i) != a.Bit(i) {
+					t.Fatalf("Concat(%d,%d) bit %d differs from s", sn, tn, i)
+				}
+			}
+			for i := 0; i < tn; i++ {
+				if got.Bit(sn+i) != b.Bit(i) {
+					t.Fatalf("Concat(%d,%d) bit %d differs from t", sn, tn, sn+i)
+				}
+			}
+		}
+	}
+}
+
 // TestIntoVariantsMatchAllocating checks NotInto/ConcatInto/SliceInto
 // against their allocating counterparts while reusing one scratch value
 // across iterations, as the slot engine does.

@@ -132,6 +132,10 @@ func Concat(s, t BitString) BitString {
 		return BitString{w: s.word() | t.word()>>uint(s.n), n: total}
 	}
 	out := BitString{b: make([]byte, (total+7)/8), n: total}
+	if s.n <= 64 && t.n <= 64 {
+		concatWords(out.b, s, t, total)
+		return out
+	}
 	writeBits(out.b, 0, s)
 	writeBits(out.b, s.n, t)
 	return out
@@ -147,11 +151,32 @@ func ConcatInto(dst *BitString, s, t BitString) BitString {
 		return *dst
 	}
 	b := dst.grow((total + 7) / 8)
-	clear(b)
-	writeBits(b, 0, s)
-	writeBits(b, s.n, t)
+	if s.n <= 64 && t.n <= 64 {
+		concatWords(b, s, t, total)
+	} else {
+		clear(b)
+		writeBits(b, 0, s)
+		writeBits(b, s.n, t)
+	}
 	*dst = BitString{b: b, n: total}
 	return *dst
+}
+
+// concatWords stores s ⊕ t into b for the two-word case (both operands
+// at most 64 bits, 64 < total ≤ 128): a shift-merge of the operands'
+// words replaces the general bit-offset OR loop, and every result byte
+// is stored outright so the buffer needs no prior clearing. total > 64
+// with both operands word-sized implies s.n ≥ 1, so the shift counts
+// below stay in range (t.word()>>64 is defined as 0 when s.n == 64).
+func concatWords(b []byte, s, t BitString, total int) {
+	hi := s.word() | t.word()>>uint(s.n)
+	lo := t.word() << uint(64-s.n)
+	binary.BigEndian.PutUint64(b, hi)
+	// The masked words have zero pad bits, so the bytes of lo beyond the
+	// result's length come out zero, preserving the pad invariant.
+	for k := 0; k*8 < total-64; k++ {
+		b[8+k] = byte(lo >> (56 - 8*uint(k)))
+	}
 }
 
 // Slice returns the sub-string of bits [lo, hi). It panics if the range is

@@ -93,6 +93,18 @@ type Session struct {
 	prevFrame Census // census snapshot at the last frame boundary
 }
 
+// Reset clears the session for reuse by a new identification run,
+// retaining the capacity of the delay and slot-log slices so a pooled
+// session allocates its working set once per worker instead of once per
+// round. Hooks and the slot-log toggle are cleared too; the engine
+// re-installs them from its options.
+func (s *Session) Reset() {
+	*s = Session{
+		DelaysMicros: s.DelaysMicros[:0],
+		slotLog:      s.slotLog[:0],
+	}
+}
+
 // FrameInfo summarises one completed frame: its census delta and the
 // simulated time at which it ended. Delivered to the hook installed
 // with SetFrameHook.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/bitstr"
 	"repro/internal/detect"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/signal"
 	"repro/internal/tagmodel"
 	"repro/internal/timing"
@@ -81,6 +82,41 @@ type Options struct {
 	// buffer set serves many sessions; nil means the session allocates its
 	// own.
 	Scratch *air.SlotScratch
+	// Reuse, if non-nil, supplies the reusable pending-queue storage
+	// (candidate arena, queue, responder buffer) so repeated rounds
+	// allocate the tree-walk working set once; nil allocates per run.
+	Reuse *Reuse
+	// Session, if non-nil, is Reset and used for this run's metrics
+	// instead of allocating a fresh one. The result aliases it and is
+	// valid until the next run that reuses it.
+	Session *metrics.Session
+}
+
+// pending is one enqueued query: the prefix to broadcast and the range
+// of its candidate tags in the arena — exactly the population subset
+// whose IDs extend the prefix, so executing the query never rescans the
+// population.
+type pending struct {
+	prefix bitstr.BitString
+	lo, hi int32
+}
+
+// Reuse pools the round-scoped working set of a query-tree walk: the
+// candidate arena (every query's tag list, reclaimed wholesale at the
+// next run), the pending-query queue, and the per-slot responder
+// buffer. The zero value is ready; not safe for concurrent use.
+type Reuse struct {
+	arena sched.Arena
+	queue []pending
+	resp  []*tagmodel.Tag
+}
+
+func (o Options) session() *metrics.Session {
+	if o.Session != nil {
+		o.Session.Reset()
+		return o.Session
+	}
+	return new(metrics.Session)
 }
 
 func (o Options) fanoutBits() int {
@@ -93,21 +129,30 @@ func (o Options) fanoutBits() int {
 	return o.FanoutBits
 }
 
-// children returns the prefix extensions a collision provokes, clamped to
-// the ID length.
-func children(prefix bitstr.BitString, fanoutBits, idBits int) []bitstr.BitString {
-	b := fanoutBits
-	if prefix.Len()+b > idBits {
-		b = idBits - prefix.Len()
+// split partitions the candidates by the kidBits ID bits that follow
+// the prefix and enqueues one pending query per extension, in ascending
+// bit-pattern order — the order the recursion has always visited
+// children in. Tags already identified (or with IDs too short to reach
+// the extended prefix) are dropped here; the survivors are exactly the
+// tags a population scan with HasPrefix would have found for each
+// child, in the same population index order, because Partition is
+// stable. src may alias the arena.
+func (ru *Reuse) split(prefix bitstr.BitString, src []*tagmodel.Tag, kidBits int) {
+	plen := prefix.Len()
+	end := plen + kidBits
+	n := 1 << uint(kidBits)
+	var bounds [17]int32
+	ru.arena.Partition(src, n,
+		func(t *tagmodel.Tag) int { return int(t.ID.Uint64Range(plen, end)) },
+		func(t *tagmodel.Tag) bool { return !t.Identified && t.ID.Len() >= end },
+		bounds[:n+1])
+	for v := 0; v < n; v++ {
+		ru.queue = append(ru.queue, pending{
+			prefix: bitstr.Concat(prefix, bitstr.FromUint64(uint64(v), kidBits)),
+			lo:     bounds[v],
+			hi:     bounds[v+1],
+		})
 	}
-	if b <= 0 {
-		return nil
-	}
-	out := make([]bitstr.BitString, 0, 1<<uint(b))
-	for v := uint64(0); v < 1<<uint(b); v++ {
-		out = append(out, bitstr.Concat(prefix, bitstr.FromUint64(v, b)))
-	}
-	return out
 }
 
 // Result bundles the session metrics with the QT-specific outputs.
@@ -141,11 +186,35 @@ func Run(pop tagmodel.Population, det detect.Detector, tm timing.Model, opt Opti
 		sc = new(air.SlotScratch)
 	}
 	fanout := opt.fanoutBits()
-	queue := opt.StartQueries
-	if queue == nil {
-		queue = children(bitstr.BitString{}, fanout, maxInt(idBits, 1))
+	ru := opt.Reuse
+	if ru == nil {
+		ru = new(Reuse)
 	}
-	res := &Result{Session: &metrics.Session{}}
+	ru.arena.Reset()
+	ru.queue = ru.queue[:0]
+	if opt.StartQueries != nil {
+		// AQS replay: each start query's candidates are the prefix-matching
+		// tags, gathered once up front. Identified tags are filtered when
+		// the query executes (not here), exactly as the historical
+		// pop-at-execution scan did with overlapping start prefixes.
+		for _, prefix := range opt.StartQueries {
+			lo := ru.arena.Len()
+			for _, t := range pop {
+				if t.ID.HasPrefix(prefix) {
+					ru.arena.Push(t)
+				}
+			}
+			ru.queue = append(ru.queue, pending{prefix, int32(lo), int32(ru.arena.Len())})
+		}
+	} else {
+		b := fanout
+		if idb := maxInt(idBits, 1); b > idb {
+			b = idb
+		}
+		ru.split(bitstr.BitString{}, pop, b)
+	}
+
+	res := &Result{Session: opt.session()}
 	s := res.Session
 	now := 0.0
 	var slots int64
@@ -156,22 +225,20 @@ func Run(pop tagmodel.Population, det detect.Detector, tm timing.Model, opt Opti
 		}
 	}
 
-	for len(queue) > 0 && remaining > 0 {
+	for head := 0; head < len(ru.queue) && remaining > 0; head++ {
 		if slots >= maxSlots {
 			res.Truncated = true
 			break
 		}
-		prefix := queue[0]
-		queue = queue[1:]
-
-		var responders []*tagmodel.Tag
-		for _, t := range pop {
-			if !t.Identified && t.ID.HasPrefix(prefix) {
-				responders = append(responders, t)
+		pe := ru.queue[head]
+		ru.resp = ru.resp[:0]
+		for _, t := range ru.arena.Slice(int(pe.lo), int(pe.hi)) {
+			if !t.Identified {
+				ru.resp = append(ru.resp, t)
 			}
 		}
 
-		o := runQuerySlot(sc, det, responders, opt.Blocker, prefix, now, tm.TauMicros)
+		o := runQuerySlot(sc, det, ru.resp, opt.Blocker, pe.prefix, now, tm.TauMicros)
 		now += float64(o.Bits) * tm.TauMicros
 		s.Record(o, now)
 		slots++
@@ -181,12 +248,15 @@ func Run(pop tagmodel.Population, det detect.Detector, tm timing.Model, opt Opti
 
 		declaredCollided := o.Declared == signal.Collided
 		phantom := o.Declared == signal.Single && o.Identified == nil
-		kids := children(prefix, fanout, idBits)
+		kidBits := fanout
+		if pe.prefix.Len()+kidBits > idBits {
+			kidBits = idBits - pe.prefix.Len()
+		}
 		switch {
-		case (declaredCollided || phantom) && len(kids) > 0:
-			queue = append(queue, kids...)
+		case (declaredCollided || phantom) && kidBits > 0:
+			ru.split(pe.prefix, ru.arena.Slice(int(pe.lo), int(pe.hi)), kidBits)
 		default:
-			res.LeafQueries = append(res.LeafQueries, prefix)
+			res.LeafQueries = append(res.LeafQueries, pe.prefix)
 		}
 	}
 	s.Census.Frames = 1
@@ -194,9 +264,11 @@ func Run(pop tagmodel.Population, det detect.Detector, tm timing.Model, opt Opti
 		// The tree was exhausted with tags left (only possible after an
 		// unlucky phantom at full depth); rerun from the root on the
 		// survivors — this is the reader starting a new inventory round.
+		// The reuse storage hands over cleanly: only LeafQueries (plain
+		// bit strings) survive the loop, so the child may reset the arena.
 		next := Run(pop, det, tm, Options{
 			Blocker: opt.Blocker, MaxSlots: maxSlots - slots, FanoutBits: opt.FanoutBits,
-			Scratch: sc,
+			Scratch: sc, Reuse: ru,
 		})
 		mergeInto(s, next.Session)
 		res.LeafQueries = append(res.LeafQueries, next.LeafQueries...)

@@ -1,0 +1,33 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+	"repro/internal/sched"
+	"repro/internal/tagmodel"
+)
+
+// BenchmarkBuild measures one frame build over 500 tags and 512 slots —
+// the Q-adaptive equilibrium shape, where the build is the whole query
+// cost. BuildSlots rescans the full population; BuildActive pays only
+// for the active list, identical here (nothing identified) so the two
+// are directly comparable.
+func BenchmarkBuild(b *testing.B) {
+	pop := tagmodel.NewPopulation(500, 64, prng.New(1))
+	b.Run("slots", func(b *testing.B) {
+		var f sched.Frame
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.BuildSlots(pop, 512)
+		}
+	})
+	b.Run("active", func(b *testing.B) {
+		var f sched.Frame
+		f.Reset(pop)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.BuildActive(512)
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestAggregateBitIdenticalAcrossWorkers is the package's determinism
+// contract as a property test: for every algorithm, the full aggregate —
+// every accumulator, compared field-by-field on raw floats — must be
+// bit-identical for any worker count. This is what lets Config.Canonical
+// zero Workers out of the cache key, and what the pooled round scratch
+// must preserve.
+func TestAggregateBitIdenticalAcrossWorkers(t *testing.T) {
+	cases := map[string]Config{
+		"fsa": {Tags: 100, Seed: 42, Rounds: 6, Algorithm: AlgFSA,
+			FrameSize: 60, Detector: DetQCD},
+		"edfsa": {Tags: 150, Seed: 42, Rounds: 6, Algorithm: AlgEDFSA,
+			FrameSize: 64, Detector: DetCRCCD},
+		"qadaptive": {Tags: 100, Seed: 42, Rounds: 6, Algorithm: AlgQAdaptive,
+			Detector: DetQCD},
+		"qt": {Tags: 100, Seed: 42, Rounds: 6, Algorithm: AlgQT,
+			Detector: DetCRCCD},
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			var ref *Aggregate
+			var refWorkers int
+			for _, w := range workerCounts {
+				cw := c
+				cw.Workers = w
+				agg, err := Run(cw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Workers is the only field allowed to differ.
+				agg.Cfg.Workers = 0
+				if ref == nil {
+					ref, refWorkers = agg, w
+					continue
+				}
+				if !reflect.DeepEqual(ref, agg) {
+					t.Errorf("aggregate differs between Workers=%d and Workers=%d", refWorkers, w)
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/obs/audit"
 	"repro/internal/prng"
 	"repro/internal/qtree"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/tagmodel"
 	"repro/internal/timing"
@@ -205,7 +206,29 @@ func buildPolicy(c Config) (aloha.FramePolicy, error) {
 // RunRound executes one complete identification session for round index r
 // and returns its metrics. It is deterministic in (Config, roundSeed).
 func RunRound(c Config, roundSeed uint64) (*metrics.Session, error) {
-	return runRound(c, roundSeed, roundEnv{})
+	// A fresh scratch per call: the returned session aliases it, so the
+	// public single-round API must never recycle one underneath a caller.
+	return runRound(c, roundSeed, roundEnv{}, new(RoundScratch))
+}
+
+// RoundScratch pools the complete working set of one identification
+// round — the population (tags, ID dedup sets, per-tag PRNG streams),
+// the slot scratch (channel and payload buffers), the frame scheduler
+// buckets, the query-tree arena, the metrics session's delay/log
+// slices, and the impairment's PRNG stream. RunContext holds one per
+// worker, so an experiment allocates its round working set Workers
+// times instead of Rounds times; RunRound allocates a fresh one per
+// call. Sessions produced with a scratch alias it and are only valid
+// until the scratch's next round. Not safe for concurrent use.
+type RoundScratch struct {
+	pop    tagmodel.PopScratch
+	slot   air.SlotScratch
+	frame  sched.Frame
+	groups sched.Frame
+	qt     qtree.Reuse
+	sess   metrics.Session
+	imp    air.Impairment
+	impRng prng.Source
 }
 
 // roundEnv carries per-round observability context into runRound: the
@@ -225,13 +248,13 @@ type roundEnv struct {
 // when auditing is active (InstrumentAudit) it is additionally wrapped
 // to shadow every verdict with the oracle; tracer and bus receive
 // per-frame spans and events for the FSA reader.
-func runRound(c Config, roundSeed uint64, env roundEnv) (*metrics.Session, error) {
+func runRound(c Config, roundSeed uint64, env roundEnv, rs *RoundScratch) (*metrics.Session, error) {
 	c = c.withDefaults()
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	rng := prng.New(roundSeed)
-	pop := tagmodel.NewPopulation(c.Tags, c.IDBits, rng)
+	pop := rs.pop.NewPopulation(c.Tags, c.IDBits, rng)
 	det, err := BuildDetector(c)
 	if err != nil {
 		return nil, err
@@ -250,9 +273,13 @@ func runRound(c Config, roundSeed uint64, env roundEnv) (*metrics.Session, error
 		det = auditedDetector{Detector: det, oracle: detect.NewOracle(1, c.IDBits), rec: rec}
 	}
 	tm := timing.Model{TauMicros: c.TauMicros}
-	// One scratch per round: slot channels and payload buffers are
-	// allocated at most once here and reused for every slot of the session.
-	scratch := new(air.SlotScratch)
+	// The reuse fields all come from the round scratch: slot channels,
+	// payload buffers, frame buckets, the tree arena and the session's
+	// slices are allocated at most once per scratch and reused for every
+	// slot of every round the scratch serves.
+	opts := aloha.Options{
+		Scratch: &rs.slot, Frame: &rs.frame, Groups: &rs.groups, Session: &rs.sess,
+	}
 
 	var s *metrics.Session
 	switch c.Algorithm {
@@ -261,11 +288,13 @@ func runRound(c Config, roundSeed uint64, env roundEnv) (*metrics.Session, error
 		if err != nil {
 			return nil, err
 		}
-		opts := aloha.Options{ConfirmEmpty: c.ConfirmEmpty, Scratch: scratch}
+		opts.ConfirmEmpty = c.ConfirmEmpty
 		if c.BER > 0 || c.CaptureProb > 0 {
-			opts.Impairment = &air.Impairment{
-				BER: c.BER, CaptureProb: c.CaptureProb, Rng: rng.Split(),
-			}
+			// Same split draw as the historical rng.Split(), minus the
+			// allocation; the stream lands in the pooled source.
+			rng.SplitInto(&rs.impRng)
+			rs.imp = air.Impairment{BER: c.BER, CaptureProb: c.CaptureProb, Rng: &rs.impRng}
+			opts.Impairment = &rs.imp
 		}
 		var hooks []func(metrics.FrameInfo)
 		if env.tr.Enabled() {
@@ -280,13 +309,15 @@ func runRound(c Config, roundSeed uint64, env roundEnv) (*metrics.Session, error
 		opts.FrameHook = combineFrameHooks(hooks)
 		s = aloha.RunWithOptions(pop, det, policy, tm, opts)
 	case AlgEDFSA:
-		s = aloha.RunEDFSA(pop, det, aloha.EDFSAConfig{MaxFrame: c.FrameSize}, tm)
+		s = aloha.RunEDFSAWithOptions(pop, det, aloha.EDFSAConfig{MaxFrame: c.FrameSize}, tm, opts)
 	case AlgBT:
 		s = btree.Run(pop, det, tm)
 	case AlgQAdaptive:
-		s = aloha.RunQAdaptive(pop, det, aloha.DefaultQConfig(), tm)
+		s = aloha.RunQAdaptiveWithOptions(pop, det, aloha.DefaultQConfig(), tm, opts)
 	case AlgQT:
-		s = qtree.Run(pop, det, tm, qtree.Options{Scratch: scratch}).Session
+		s = qtree.Run(pop, det, tm, qtree.Options{
+			Scratch: &rs.slot, Reuse: &rs.qt, Session: &rs.sess,
+		}).Session
 	default:
 		return nil, fmt.Errorf("sim: unknown algorithm %q", c.Algorithm)
 	}
@@ -319,9 +350,48 @@ type Aggregate struct {
 	Delay     stats.Accumulator // all tags, all rounds
 }
 
+// roundFold is the per-round summary a worker extracts from its pooled
+// session the moment the round finishes — everything Aggregate.fold
+// needs, copied out by value, so the session's storage can be recycled
+// for the worker's next round while the final fold still happens in
+// round order. The per-round delay accumulator is built in the worker
+// (AddAll in identification order, exactly as fold used to), so the
+// floating-point operation sequence — and therefore the aggregate — is
+// bit-identical to folding the full sessions.
+type roundFold struct {
+	census     metrics.Census
+	detection  metrics.Detection
+	bits       int64
+	timeMicros float64
+	identified int64
+	delay      stats.Accumulator
+}
+
+// ur mirrors metrics.Session.UR on the summary's tallies.
+func (f roundFold) ur(idBits int) float64 {
+	if f.bits == 0 {
+		return 0
+	}
+	return float64(f.identified*int64(idBits)) / float64(f.bits)
+}
+
+// summarizeRound extracts a session's fold summary.
+func summarizeRound(s *metrics.Session) roundFold {
+	f := roundFold{
+		census:     s.Census,
+		detection:  s.Detection,
+		bits:       s.Bits,
+		timeMicros: s.TimeMicros,
+		identified: s.TagsIdentified,
+	}
+	f.delay.AddAll(s.DelaysMicros)
+	return f
+}
+
 type roundResult struct {
-	session *metrics.Session
-	err     error
+	fold roundFold
+	ok   bool
+	err  error
 }
 
 // Run executes Config.Rounds independent sessions, in parallel up to
@@ -371,22 +441,28 @@ func RunContext(ctx context.Context, c Config) (*Aggregate, error) {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
+			// One scratch per worker: every round this worker runs reuses
+			// the same population, slot, scheduler and session storage, so
+			// the summary must be extracted before the next round starts.
+			rs := new(RoundScratch)
 			for r := range work {
 				if ctx.Err() != nil {
 					continue // drain without computing
 				}
 				sp := tr.StartSpan("sim", "round", tid)
-				s, err := runRound(c, seeds[r], roundEnv{round: r, tr: tr, bus: bus, tid: tid})
-				if s != nil {
-					sp.End(roundArgs(r, s))
-				} else {
+				s, err := runRound(c, seeds[r], roundEnv{round: r, tr: tr, bus: bus, tid: tid}, rs)
+				if s == nil {
 					sp.End(map[string]any{"round": r, "error": fmt.Sprint(err)})
+					results[r] = roundResult{err: err}
+					continue
 				}
-				results[r] = roundResult{session: s, err: err}
-				if bus.Enabled() && s != nil {
+				sp.End(roundArgs(r, s))
+				results[r] = roundResult{fold: summarizeRound(s), ok: true}
+				done := completed.Add(1)
+				if bus.Enabled() {
 					bus.Publish("round", map[string]any{
 						"round":      r,
-						"completed":  completed.Add(1),
+						"completed":  done,
 						"rounds":     c.Rounds,
 						"slots":      s.Census.Slots(),
 						"identified": s.TagsIdentified,
@@ -409,15 +485,18 @@ feed:
 
 	if ctxErr := ctx.Err(); ctxErr != nil {
 		// Fold whatever finished so the caller can flush partial results.
+		// The workers' completion counter is the authoritative count — it
+		// was incremented once per successful round, bus or no bus — and
+		// matches what the partial fold accumulates.
 		agg := &Aggregate{Cfg: c}
 		for _, res := range results {
-			if res.err == nil && res.session != nil {
-				agg.fold(res.session)
+			if res.ok {
+				agg.foldRound(res.fold)
 			}
 		}
 		expSpan.End(map[string]any{
 			"algorithm": c.Algorithm, "tags": c.Tags,
-			"rounds_done": agg.Completed, "rounds": c.Rounds, "aborted": true,
+			"rounds_done": completed.Load(), "rounds": c.Rounds, "aborted": true,
 		})
 		return agg, ctxErr
 	}
@@ -427,7 +506,7 @@ feed:
 			expSpan.End(map[string]any{"algorithm": c.Algorithm, "error": res.err.Error()})
 			return nil, fmt.Errorf("sim: round %d: %w", r, res.err)
 		}
-		agg.fold(res.session)
+		agg.foldRound(res.fold)
 	}
 	expSpan.End(map[string]any{
 		"algorithm": c.Algorithm, "tags": c.Tags,
@@ -436,25 +515,31 @@ feed:
 	return agg, nil
 }
 
+// fold accumulates one round's full session; foldRound is the same fold
+// from a pre-extracted summary. Both produce identical aggregates: the
+// derived quantities (throughput, accuracy, UR, delay accumulator) are
+// computed from the same integer tallies by the same expressions.
 func (a *Aggregate) fold(s *metrics.Session) {
-	a.Completed++
-	a.Idle.Add(float64(s.Census.Idle))
-	a.Single.Add(float64(s.Census.Single))
-	a.Collided.Add(float64(s.Census.Collided))
-	a.Frames.Add(float64(s.Census.Frames))
-	a.Slots.Add(float64(s.Census.Slots()))
-	a.Throughput.Add(s.Census.Throughput())
-	a.TimeMicros.Add(s.TimeMicros)
-	a.Bits.Add(float64(s.Bits))
-	a.Accuracy.Add(s.Detection.Accuracy())
-	a.UR.Add(s.UR(a.Cfg.IDBits))
-	a.FalseSingle.Add(float64(s.Detection.FalseSingle))
-	a.Phantom.Add(float64(s.Detection.Phantom))
+	a.foldRound(summarizeRound(s))
+}
 
-	var d stats.Accumulator
-	d.AddAll(s.DelaysMicros)
-	if d.N() > 0 {
-		a.DelayMean.Add(d.Mean())
+func (a *Aggregate) foldRound(f roundFold) {
+	a.Completed++
+	a.Idle.Add(float64(f.census.Idle))
+	a.Single.Add(float64(f.census.Single))
+	a.Collided.Add(float64(f.census.Collided))
+	a.Frames.Add(float64(f.census.Frames))
+	a.Slots.Add(float64(f.census.Slots()))
+	a.Throughput.Add(f.census.Throughput())
+	a.TimeMicros.Add(f.timeMicros)
+	a.Bits.Add(float64(f.bits))
+	a.Accuracy.Add(f.detection.Accuracy())
+	a.UR.Add(f.ur(a.Cfg.IDBits))
+	a.FalseSingle.Add(float64(f.detection.FalseSingle))
+	a.Phantom.Add(float64(f.detection.Phantom))
+
+	if f.delay.N() > 0 {
+		a.DelayMean.Add(f.delay.Mean())
 	}
-	a.Delay.Merge(&d)
+	a.Delay.Merge(&f.delay)
 }

@@ -64,30 +64,68 @@ type Population []*Tag
 // Each tag receives an independent split of rng. It panics if idBits is
 // too small to accommodate n distinct IDs.
 func NewPopulation(n, idBits int, rng *prng.Source) Population {
+	return new(PopScratch).NewPopulation(n, idBits, rng)
+}
+
+// PopScratch pools the storage a population draw needs — the tag and
+// random-stream arrays, the population slice, and the ID dedup sets —
+// so a Monte-Carlo worker building one population per round allocates
+// that working set once instead of once per round. The zero value is
+// ready; not safe for concurrent use.
+type PopScratch struct {
+	pop      Population
+	tags     []Tag
+	srcs     []prng.Source
+	seenWord map[uint64]bool
+	seenKey  map[string]bool
+}
+
+// NewPopulation is the package-level NewPopulation drawing from (and
+// recycling) the scratch's storage. The returned population, its tags
+// and their random streams alias the scratch: they are valid until the
+// next call, which reuses them for the next round's tags. The draw
+// sequence is identical to the package-level function's, so pooled and
+// fresh populations are bit-for-bit the same.
+func (ps *PopScratch) NewPopulation(n, idBits int, rng *prng.Source) Population {
 	if idBits < 1 {
 		panic("tagmodel: idBits must be positive")
 	}
 	if idBits < 63 && n > 0 && uint64(n) > (uint64(1)<<uint(idBits)) {
 		panic(fmt.Sprintf("tagmodel: %d tags cannot have unique %d-bit IDs", n, idBits))
 	}
-	pop := make(Population, 0, n)
 	// Tags and their random streams are batch-allocated: two slice
-	// allocations for the whole population instead of 2n individual ones.
-	// Population setup otherwise dominates the allocation profile of
-	// small-round sweeps.
-	tags := make([]Tag, n)
-	srcs := make([]prng.Source, n)
+	// allocations for the whole population instead of 2n individual ones
+	// (and zero in steady state). Population setup otherwise dominates
+	// the allocation profile of small-round sweeps.
+	if cap(ps.pop) < n {
+		ps.pop = make(Population, 0, n)
+	}
+	if cap(ps.tags) < n {
+		ps.tags = make([]Tag, n)
+	}
+	if cap(ps.srcs) < n {
+		ps.srcs = make([]prng.Source, n)
+	}
+	pop := ps.pop[:0]
+	tags := ps.tags[:n]
+	srcs := ps.srcs[:n]
 	accept := func(id bitstr.BitString) {
 		i := len(pop)
 		rng.SplitInto(&srcs[i])
 		tags[i] = Tag{Index: i, ID: id, Rng: &srcs[i]}
 		pop = append(pop, &tags[i])
 	}
+	defer func() { ps.pop = pop }()
 	if idBits <= 64 {
 		// Word-sized IDs dedup on the raw integer — no Key() string per
 		// draw. The draw sequence is identical to randomID's single-chunk
 		// path, so populations are bit-for-bit the same as before.
-		seen := make(map[uint64]bool, n)
+		if ps.seenWord == nil {
+			ps.seenWord = make(map[uint64]bool, n)
+		} else {
+			clear(ps.seenWord)
+		}
+		seen := ps.seenWord
 		for len(pop) < n {
 			v := rng.Bits(idBits)
 			if seen[v] {
@@ -98,7 +136,12 @@ func NewPopulation(n, idBits int, rng *prng.Source) Population {
 		}
 		return pop
 	}
-	seen := make(map[string]bool, n)
+	if ps.seenKey == nil {
+		ps.seenKey = make(map[string]bool, n)
+	} else {
+		clear(ps.seenKey)
+	}
+	seen := ps.seenKey
 	for len(pop) < n {
 		id := randomID(idBits, rng)
 		k := id.Key()

@@ -27,7 +27,7 @@ TIME=${BENCH_TIME:-1s}
 FILTER=${BENCH_FILTER:-.}
 
 # The packages that make up the slot hot path, innermost first.
-PKGS="./internal/bitstr ./internal/detect ./internal/air ./internal/aloha ./internal/sim"
+PKGS="./internal/bitstr ./internal/detect ./internal/air ./internal/sched ./internal/aloha ./internal/qtree ./internal/sim"
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT

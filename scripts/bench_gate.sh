@@ -16,6 +16,10 @@
 #
 # Usage: scripts/bench_gate.sh [baseline.json]
 #   NSOP_TOLERANCE_PCT=N   allowed ns/op regression in percent (default 25)
+#   GATE_ALLOCS_ONLY=1     report ns/op drift but fail only on allocs/op
+#                          growth — the mode for shared CI runners, where
+#                          wall-clock is noise but allocation counts are
+#                          exact and machine-independent
 #   BENCH_COUNT/BENCH_TIME/BENCH_FILTER pass through to bench.sh.
 #
 # To refresh the baseline after an intentional change:
@@ -26,6 +30,7 @@ cd "$(dirname "$0")/.."
 
 BASELINE=${1:-BENCH_slotpath.json}
 TOL=${NSOP_TOLERANCE_PCT:-25}
+ALLOCS_ONLY=${GATE_ALLOCS_ONLY:-0}
 
 if [ ! -f "$BASELINE" ]; then
     echo "bench_gate: baseline $BASELINE not found" >&2
@@ -58,7 +63,7 @@ extract "$BASELINE" > "$FRESH.base"
 extract "$FRESH" > "$FRESH.new"
 
 status=0
-awk -v tol="$TOL" '
+awk -v tol="$TOL" -v allocs_only="$ALLOCS_ONLY" '
 NR == FNR { base_ns[$1] = $2; base_allocs[$1] = $3; next }
 {
     seen[$1] = 1
@@ -70,8 +75,12 @@ NR == FNR { base_ns[$1] = $2; base_allocs[$1] = $3; next }
         failed = 1
     }
     if (bns > 0 && ns > bns * (1 + tol / 100)) {
-        printf "FAIL %s: ns/op %.4g > baseline %.4g +%d%%\n", $1, ns, bns, tol
-        failed = 1
+        if (allocs_only + 0) {
+            printf "  warn %s: ns/op %.4g > baseline %.4g +%d%% (not gating)\n", $1, ns, bns, tol
+        } else {
+            printf "FAIL %s: ns/op %.4g > baseline %.4g +%d%%\n", $1, ns, bns, tol
+            failed = 1
+        }
     }
 }
 END {
@@ -84,4 +93,8 @@ if [ "$status" -ne 0 ]; then
     echo "    (intentional change? refresh with: scripts/bench.sh)" >&2
     exit 1
 fi
-echo "==> bench_gate: ok (within ${TOL}% ns/op, no allocs/op growth)" >&2
+if [ "$ALLOCS_ONLY" -ne 0 ]; then
+    echo "==> bench_gate: ok (no allocs/op growth; ns/op informational)" >&2
+else
+    echo "==> bench_gate: ok (within ${TOL}% ns/op, no allocs/op growth)" >&2
+fi
