@@ -13,6 +13,9 @@
 //	curl http://localhost:8080/v1/experiments/exp-1/trace
 //	curl -N http://localhost:8080/v1/experiments/exp-1/events   # live SSE telemetry
 //	curl http://localhost:8080/v1/audit                         # with -audit
+//	curl -d '{"spec":{"base":{...},"axes":[...]}}' http://localhost:8080/v1/sweeps
+//	curl http://localhost:8080/v1/sweeps/swp-1/report?format=csv
+//	curl -N http://localhost:8080/v1/sweeps/swp-1/events        # per-cell progress SSE
 //	curl http://localhost:8080/metrics
 //
 // Observability: requests and worker lifecycle are logged through
@@ -52,6 +55,7 @@ func main() {
 		eventHistory = flag.Int("event-history", 256, "per-experiment SSE replay ring in events (0 disables streaming)")
 		eventBuffer  = flag.Int("event-buffer", 256, "events an SSE subscriber may lag before being dropped")
 		heartbeat    = flag.Duration("heartbeat", 15*time.Second, "SSE comment-heartbeat interval")
+		sweepCells   = flag.Int("sweep-max-cells", 0, "max cells one POST /v1/sweeps may expand to (0 = default)")
 		auditFlag    = flag.Bool("audit", false, "shadow every verdict with the ground-truth oracle (GET /v1/audit)")
 		auditCap     = flag.Int("audit-exemplars", 64, "audit misclassification exemplar ring capacity")
 		pprof        = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
@@ -85,6 +89,7 @@ func main() {
 		EventHistory:      eh,
 		EventBuffer:       *eventBuffer,
 		HeartbeatInterval: *heartbeat,
+		SweepMaxCells:     *sweepCells,
 		EnableAudit:       *auditFlag,
 		AuditExemplars:    *auditCap,
 		Logger:            logger,

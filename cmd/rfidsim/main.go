@@ -7,6 +7,8 @@
 //	rfidsim -tags 5000 -alg bt -detector crccd
 //	rfidsim -tags 500 -alg fsa -frame 300 -detector qcd -compare   # vs CRC-CD
 //	rfidsim -tags 500 -alg fsa -frame 300 -trace out.json          # chrome://tracing export
+//	rfidsim -sweep spec.json                                       # parameter-grid sweep, merged table
+//	rfidsim -sweep spec.json -csv                                  # ... as CSV
 //
 // With -trace (Chrome trace-event JSON) or -trace-jsonl (one event per
 // line) the run records per-round and per-frame spans. On a -timeout
@@ -53,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ber        = fs.Float64("ber", 0, "channel bit-error rate (FSA only)")
 		capture    = fs.Float64("capture", 0, "capture-effect probability (FSA only)")
 		compare    = fs.Bool("compare", false, "also run CRC-CD on the same workload and report EI")
+		sweepPath  = fs.String("sweep", "", "run a parameter-grid sweep from this JSON spec file (\"-\" = stdin) instead of a single experiment")
+		sweepCSV   = fs.Bool("csv", false, "with -sweep, emit the merged output as CSV")
 		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON instead of a table")
 		timeout    = fs.Duration("timeout", 0, "abort the experiment after this duration (0 = no limit)")
 		traceOut   = fs.String("trace", "", "write a Chrome trace-event JSON run trace to this file")
@@ -71,6 +75,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *sweepPath != "" {
+		return runSweep(ctx, *sweepPath, *workers, *jsonOut, *sweepCSV, *progress, stdout, stderr)
 	}
 
 	var tracer *obs.Tracer

@@ -251,3 +251,72 @@ func TestTraceFileOnSuccess(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSweepCLI drives the -sweep path end to end: a 2×2 grid spec
+// from a file, rendered as the merged table and as CSV.
+func TestRunSweepCLI(t *testing.T) {
+	spec := `{
+		"name": "cli-smoke",
+		"base": {"Tags": 40, "Seed": 3, "Rounds": 2, "Algorithm": "fsa", "FrameSize": 32, "Detector": "qcd", "Strength": 8},
+		"axes": [
+			{"field": "tags", "ints": [30, 60]},
+			{"field": "strength", "ints": [4, 8]}
+		]
+	}`
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-sweep", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"sweep cli-smoke", "tags", "strength", "throughput", "run"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("merged table lacks %q:\n%s", want, got)
+		}
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-sweep", path, "-csv"}, &out, &errb); code != 0 {
+		t.Fatalf("-csv exit code = %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("merged CSV has %d lines, want 5:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "tags,strength,") {
+		t.Errorf("CSV header %q", lines[0])
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-sweep", path, "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("-json exit code = %d, stderr: %s", code, errb.String())
+	}
+	var cells []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &cells); err != nil {
+		t.Fatalf("-json output invalid: %v\n%s", err, out.String())
+	}
+	if len(cells) != 4 {
+		t.Fatalf("-json emitted %d cells, want 4", len(cells))
+	}
+	for _, c := range cells {
+		if c["status"] != "done" || c["result"] == nil {
+			t.Errorf("cell %v not done with a result", c["label"])
+		}
+	}
+
+	// A malformed spec file must fail cleanly.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-sweep", bad}, &out, &errb); code == 0 {
+		t.Error("malformed spec accepted")
+	}
+}

@@ -1,0 +1,127 @@
+// Command sweepsmoke is the CI smoke test for the sweep engine: it
+// boots the rfidd service in-process on a loopback listener, runs a
+// tiny 2×2 parameter grid end to end through POST /v1/sweeps, and
+// asserts the merged CSV shape; a second identical sweep must then be
+// served from the result cache, visible as sweep-origin hits on
+// /metrics. Exits non-zero on any violation, so scripts/check.sh can
+// gate on it.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepsmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("sweepsmoke: ok")
+}
+
+func run() error {
+	svc := server.New(server.Options{Workers: 2, QueueDepth: 16, CacheSize: 64})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		_ = svc.Shutdown(ctx)
+	}()
+
+	c := server.NewClient("http://" + ln.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	spec := sweep.Spec{
+		Name: "smoke",
+		Base: sim.Config{
+			Tags: 60, Seed: 42, Rounds: 3,
+			Algorithm: sim.AlgFSA, FrameSize: 40,
+			Detector: sim.DetQCD, Strength: 8,
+		},
+		Axes: []sweep.Axis{
+			{Field: sweep.FieldTags, Ints: []int{40, 80}},
+			{Field: sweep.FieldStrength, Ints: []int{4, 8}},
+		},
+	}
+
+	first, err := c.SubmitSweep(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	final, err := c.WaitSweep(ctx, first.ID, 0)
+	if err != nil {
+		return fmt.Errorf("wait: %w", err)
+	}
+	if final.Status != "done" || final.Counts.Done != 4 {
+		return fmt.Errorf("sweep finished %s with counts %+v", final.Status, final.Counts)
+	}
+
+	// Merged CSV: header (axes + metrics + source) plus one row per cell.
+	csv, err := c.SweepReport(ctx, first.ID, "csv")
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 5 {
+		return fmt.Errorf("merged CSV has %d lines, want 5:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "tags,strength,") || !strings.HasSuffix(lines[0], ",source") {
+		return fmt.Errorf("merged CSV header %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if n := strings.Count(l, ","); n != strings.Count(lines[0], ",") {
+			return fmt.Errorf("ragged CSV row %q", l)
+		}
+	}
+
+	// Repeating the sweep must be served from the result cache.
+	second, err := c.SubmitSweep(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("second submit: %w", err)
+	}
+	final2, err := c.WaitSweep(ctx, second.ID, 0)
+	if err != nil {
+		return fmt.Errorf("second wait: %w", err)
+	}
+	if final2.Counts.Cached < 1 {
+		return fmt.Errorf("second sweep hit the cache %d times, want >= 1 (counts %+v)",
+			final2.Counts.Cached, final2.Counts)
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if !strings.Contains(text, `rfidd_cache_origin_hits_total{origin="sweep"} 4`) {
+		return fmt.Errorf("metrics lack the sweep-origin cache hits:\n%s", grepLines(text, "origin"))
+	}
+	return nil
+}
+
+// grepLines keeps error output readable: only the exposition lines
+// containing the substring.
+func grepLines(text, substr string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -300,7 +300,9 @@ func (p *Pool) List() []Snapshot {
 	p.mu.Lock()
 	js := make([]*job, 0, len(p.order))
 	for _, id := range p.order {
-		js = append(js, p.byID[id])
+		if j, ok := p.byID[id]; ok {
+			js = append(js, j)
+		}
 	}
 	p.mu.Unlock()
 	out := make([]Snapshot, len(js))
@@ -308,6 +310,36 @@ func (p *Pool) List() []Snapshot {
 		out[i] = j.snapshot()
 	}
 	return out
+}
+
+// Forget drops a terminal job from the pool's index, so callers that
+// submit unbounded job streams (sweep cells) can bound the index after
+// harvesting each result. Live jobs are refused. The submission-order
+// list is compacted lazily once forgotten entries dominate it.
+func (p *Pool) Forget(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.byID[id]
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	terminal := j.status.Terminal()
+	j.mu.Unlock()
+	if !terminal {
+		return false
+	}
+	delete(p.byID, id)
+	if len(p.order) > 16 && len(p.order) > 2*len(p.byID) {
+		kept := p.order[:0]
+		for _, oid := range p.order {
+			if _, live := p.byID[oid]; live {
+				kept = append(kept, oid)
+			}
+		}
+		p.order = kept
+	}
+	return true
 }
 
 // Cancel requests cancellation of the job: a queued job is skipped when

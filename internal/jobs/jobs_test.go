@@ -326,3 +326,54 @@ func TestOnDoneCallbackAndList(t *testing.T) {
 		t.Errorf("List = %+v, want submission order a,b", list)
 	}
 }
+
+func TestForgetDropsTerminalJobsOnly(t *testing.T) {
+	p := newTestPool(Options{})
+	defer p.Shutdown(context.Background())
+
+	release := make(chan struct{})
+	if err := p.Submit("live", func(ctx context.Context) (any, error) {
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Forget("live") {
+		t.Error("Forget accepted a live job")
+	}
+	if p.Forget("absent") {
+		t.Error("Forget accepted an unknown job")
+	}
+	close(release)
+	if _, err := p.Wait(context.Background(), "live"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Forget("live") {
+		t.Error("Forget refused a terminal job")
+	}
+	if _, ok := p.Get("live"); ok {
+		t.Error("forgotten job still indexed")
+	}
+	if n := len(p.List()); n != 0 {
+		t.Errorf("List returned %d jobs after Forget, want 0", n)
+	}
+	// The id is reusable afterwards, and the index stays bounded under a
+	// sustained submit/forget stream.
+	for i := 0; i < 100; i++ {
+		if err := p.Submit("live", func(ctx context.Context) (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Wait(context.Background(), "live"); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Forget("live") {
+			t.Fatal("Forget refused a terminal job")
+		}
+	}
+	p.mu.Lock()
+	ordered := len(p.order)
+	p.mu.Unlock()
+	if ordered > 64 {
+		t.Errorf("submission-order list grew to %d entries; lazy compaction failed", ordered)
+	}
+}

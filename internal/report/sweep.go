@@ -1,0 +1,56 @@
+package report
+
+// SweepRow is one completed sweep cell ready for merged rendering: its
+// axis coordinates (in the sweep's axis order), where the result came
+// from ("run", "cache", or "coalesced"), and the decoded summary.
+type SweepRow struct {
+	Coords  []string
+	Source  string
+	Summary AggregateSummary
+}
+
+// sweepMetrics are the headline columns of a merged sweep table, in
+// paper order: the slot budget, its throughput, identification accuracy
+// and unread ratio from the detector, and wall time.
+var sweepMetrics = []struct {
+	column string
+	key    string
+	format func(MetricStat) string
+}{
+	{"slots", "slots", func(m MetricStat) string { return F(m.Mean, 1) }},
+	{"throughput", "throughput", func(m MetricStat) string { return F(m.Mean, 4) }},
+	{"accuracy", "accuracy", func(m MetricStat) string { return Pct(m.Mean) }},
+	{"ur", "ur", func(m MetricStat) string { return Pct(m.Mean) }},
+	{"time_ms", "time_micros", func(m MetricStat) string { return F(m.Mean/1000, 3) }},
+}
+
+// NewSweepTable merges completed sweep cells into one paper-style table:
+// one column per axis, the headline metric columns, and a provenance
+// column. Rows keep their given (sweep) order. Cells whose coordinate
+// count mismatches the axes are padded or truncated rather than
+// rejected, so a partially failed sweep still renders.
+func NewSweepTable(title string, axes []string, rows []SweepRow) *Table {
+	cols := make([]string, 0, len(axes)+len(sweepMetrics)+1)
+	cols = append(cols, axes...)
+	for _, m := range sweepMetrics {
+		cols = append(cols, m.column)
+	}
+	cols = append(cols, "source")
+	t := NewTable(title, cols...)
+	for _, r := range rows {
+		cells := make([]string, 0, len(cols))
+		for i := range axes {
+			if i < len(r.Coords) {
+				cells = append(cells, r.Coords[i])
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		for _, m := range sweepMetrics {
+			cells = append(cells, m.format(r.Summary.Metrics[m.key]))
+		}
+		cells = append(cells, r.Source)
+		t.AddRow(cells...)
+	}
+	return t
+}

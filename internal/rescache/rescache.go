@@ -51,12 +51,13 @@ func (s Stats) HitRatio() float64 {
 // Cache is a bounded LRU map from content key to stored value. It is
 // safe for concurrent use.
 type Cache struct {
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List // front = most recently used
-	items  map[string]*list.Element
-	hits   uint64
-	misses uint64
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	hits    uint64
+	misses  uint64
+	origins map[string]*Stats // per-origin hit/miss tallies (GetOrigin)
 }
 
 type entry struct {
@@ -70,9 +71,10 @@ func New(capacity int) *Cache {
 		capacity = 1
 	}
 	return &Cache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, capacity),
+		cap:     capacity,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element, capacity),
+		origins: make(map[string]*Stats),
 	}
 }
 
@@ -80,14 +82,39 @@ func New(capacity int) *Cache {
 // used. The second result reports whether the key was present; every
 // call counts as a hit or a miss.
 func (c *Cache) Get(key string) (any, bool) {
+	return c.GetOrigin(key, "")
+}
+
+// GetOrigin is Get attributing the lookup to an origin ("job" for
+// single submissions, "sweep" for sweep cells, ...), so /metrics can
+// show who the cache is serving. Exactly one hit or one miss is counted
+// per call — on both the totals and the origin's tally — which is what
+// keeps cache-hit short-circuit paths honest: callers must consult the
+// cache once (no Contains-then-Get pairs) and attribute the lookup at
+// that single point. An empty origin counts only the totals.
+func (c *Cache) GetOrigin(key, origin string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var os *Stats
+	if origin != "" {
+		os = c.origins[origin]
+		if os == nil {
+			os = &Stats{}
+			c.origins[origin] = os
+		}
+	}
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
+		if os != nil {
+			os.Misses++
+		}
 		return nil, false
 	}
 	c.hits++
+	if os != nil {
+		os.Hits++
+	}
 	c.ll.MoveToFront(el)
 	return el.Value.(*entry).val, true
 }
@@ -134,6 +161,20 @@ func (c *Cache) Stats() Stats {
 	return Stats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.cap}
 }
 
+// OriginStats returns the hit/miss tallies attributed to one origin by
+// GetOrigin (zero Stats for an origin never seen). Entries and Capacity
+// describe the whole cache.
+func (c *Cache) OriginStats(origin string) Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := Stats{Entries: c.ll.Len(), Capacity: c.cap}
+	if os := c.origins[origin]; os != nil {
+		out.Hits = os.Hits
+		out.Misses = os.Misses
+	}
+	return out
+}
+
 // Register exposes the cache's effectiveness series on reg under prefix
 // (for example "rfidd_cache" yields rfidd_cache_hits_total, ...),
 // sampled from Stats at exposition time.
@@ -148,4 +189,18 @@ func (c *Cache) Register(reg *obs.Registry, prefix string) {
 		func() float64 { return float64(c.cap) })
 	reg.GaugeFunc(prefix+"_hit_ratio", "Hits over all cache lookups.",
 		func() float64 { return c.Stats().HitRatio() })
+}
+
+// RegisterOrigin additionally exposes one origin's attributed lookups as
+// labelled series ({prefix}_origin_hits_total{origin="sweep"}, ...), so
+// sweep-cell dedup is distinguishable from single-job traffic on the
+// same /metrics walk.
+func (c *Cache) RegisterOrigin(reg *obs.Registry, prefix, origin string) {
+	lbl := obs.L("origin", origin)
+	reg.CounterFunc(prefix+"_origin_hits_total",
+		"Result-cache lookups served from memory, by requesting origin.",
+		func() uint64 { return c.OriginStats(origin).Hits }, lbl)
+	reg.CounterFunc(prefix+"_origin_misses_total",
+		"Result-cache lookups that required computation, by requesting origin.",
+		func() uint64 { return c.OriginStats(origin).Misses }, lbl)
 }

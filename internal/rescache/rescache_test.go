@@ -145,3 +145,69 @@ func TestRegisterExposition(t *testing.T) {
 		}
 	}
 }
+
+func TestOriginCounters(t *testing.T) {
+	c := New(4)
+	c.Put("k", 1)
+
+	// Each GetOrigin call counts exactly once, on both the totals and
+	// the origin's tally — a cache-hit short-circuit that consults the
+	// cache once can never double-count.
+	if _, hit := c.GetOrigin("k", "sweep"); !hit {
+		t.Fatal("expected hit")
+	}
+	if _, hit := c.GetOrigin("absent", "sweep"); hit {
+		t.Fatal("unexpected hit")
+	}
+	if _, hit := c.GetOrigin("k", "job"); !hit {
+		t.Fatal("expected hit")
+	}
+	if _, hit := c.Get("k"); !hit { // totals only
+		t.Fatal("expected hit")
+	}
+
+	sw := c.OriginStats("sweep")
+	if sw.Hits != 1 || sw.Misses != 1 {
+		t.Errorf("sweep origin = %d hits / %d misses, want 1/1", sw.Hits, sw.Misses)
+	}
+	jb := c.OriginStats("job")
+	if jb.Hits != 1 || jb.Misses != 0 {
+		t.Errorf("job origin = %d hits / %d misses, want 1/0", jb.Hits, jb.Misses)
+	}
+	if none := c.OriginStats("never"); none.Hits != 0 || none.Misses != 0 {
+		t.Errorf("unseen origin = %+v, want zero tallies", none)
+	}
+	tot := c.Stats()
+	if tot.Hits != 3 || tot.Misses != 1 {
+		t.Errorf("totals = %d hits / %d misses, want 3/1", tot.Hits, tot.Misses)
+	}
+}
+
+func TestRegisterOriginExposition(t *testing.T) {
+	c := New(4)
+	reg := obs.NewRegistry()
+	c.Register(reg, "test_cache")
+	c.RegisterOrigin(reg, "test_cache", "job")
+	c.RegisterOrigin(reg, "test_cache", "sweep")
+
+	c.Put("k", 1)
+	c.GetOrigin("k", "sweep")
+	c.GetOrigin("miss", "job")
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		`test_cache_origin_hits_total{origin="sweep"} 1`,
+		`test_cache_origin_misses_total{origin="sweep"} 0`,
+		`test_cache_origin_hits_total{origin="job"} 0`,
+		`test_cache_origin_misses_total{origin="job"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if errs := obs.LintPrometheus(text); len(errs) > 0 {
+		t.Errorf("exposition lint: %v", errs)
+	}
+}

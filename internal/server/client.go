@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Client is a thin typed client for the rfidd API, used by the
@@ -105,9 +107,130 @@ func (c *Client) List(ctx context.Context) ([]ExperimentResponse, error) {
 	return out.Experiments, err
 }
 
+// ListStatus fetches experiment summaries in one lifecycle state
+// (queued, running, done, failed or canceled).
+func (c *Client) ListStatus(ctx context.Context, status string) ([]ExperimentResponse, error) {
+	var out ListResponse
+	err := c.do(ctx, http.MethodGet, "/v1/experiments?status="+url.QueryEscape(status), nil, &out)
+	return out.Experiments, err
+}
+
 // Cancel requests cancellation of a queued or running experiment.
 func (c *Client) Cancel(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/experiments/"+id, nil, nil)
+}
+
+// SubmitSweep schedules a parameter-grid sweep and returns its record.
+func (c *Client) SubmitSweep(ctx context.Context, spec sweep.Spec) (SweepResponse, error) {
+	var out SweepResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", SweepSubmitRequest{Spec: spec}, &out)
+	return out, err
+}
+
+// GetSweep fetches one sweep summary by ID.
+func (c *Client) GetSweep(ctx context.Context, id string) (SweepResponse, error) {
+	var out SweepResponse
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &out)
+	return out, err
+}
+
+// ListSweeps fetches all sweep summaries.
+func (c *Client) ListSweeps(ctx context.Context) ([]SweepResponse, error) {
+	var out SweepListResponse
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps", nil, &out)
+	return out.Sweeps, err
+}
+
+// SweepCells fetches a sweep's per-cell records; status "" lists every
+// cell, withResults embeds each cell's aggregate bytes.
+func (c *Client) SweepCells(ctx context.Context, id, status string, withResults bool) ([]SweepCellResponse, error) {
+	q := url.Values{}
+	if status != "" {
+		q.Set("status", status)
+	}
+	if withResults {
+		q.Set("results", "1")
+	}
+	path := "/v1/sweeps/" + id + "/cells"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out SweepCellsResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out.Cells, err
+}
+
+// SweepReport fetches the merged paper-style output, format "table" or
+// "csv".
+func (c *Client) SweepReport(ctx context.Context, id, format string) (string, error) {
+	path := "/v1/sweeps/" + id + "/report"
+	if format != "" {
+		path += "?format=" + url.QueryEscape(format)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			return "", &apiError{StatusCode: resp.StatusCode, Message: e.Error}
+		}
+		return "", &apiError{StatusCode: resp.StatusCode, Message: string(b)}
+	}
+	return string(b), nil
+}
+
+// CancelSweep requests cancellation of a running sweep.
+func (c *Client) CancelSweep(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sweeps/"+id, nil, nil)
+}
+
+// WaitSweep polls GetSweep until the sweep is terminal or ctx expires.
+// A zero interval polls every 10 ms.
+func (c *Client) WaitSweep(ctx context.Context, id string, interval time.Duration) (SweepResponse, error) {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		resp, err := c.GetSweep(ctx, id)
+		if err != nil {
+			return resp, err
+		}
+		if terminalStatus(resp.Status) {
+			return resp, nil
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return resp, ctx.Err()
+		}
+	}
+}
+
+// WatchSweep streams a sweep's per-cell progress over SSE, invoking fn
+// for every event. It returns nil once the terminal "sweep" event
+// arrives; transient stream drops reconnect with Last-Event-ID.
+func (c *Client) WatchSweep(ctx context.Context, id string, fn func(WatchEvent) error) error {
+	isTerminal := func(ev WatchEvent) bool { return ev.Type == "sweep" }
+	return c.watch(ctx, "/v1/sweeps/"+id+"/events", isTerminal, fn, func() (bool, error) {
+		resp, err := c.GetSweep(ctx, id)
+		if err != nil {
+			return false, err
+		}
+		return terminalStatus(resp.Status), nil
+	})
 }
 
 // Wait polls Get until the experiment reaches a terminal status or ctx
@@ -164,9 +287,32 @@ func terminalJobEvent(ev WatchEvent) bool {
 // Last-Event-ID, so fn sees every event still in the server's replay
 // ring exactly once.
 func (c *Client) Watch(ctx context.Context, id string, fn func(WatchEvent) error) error {
+	return c.watch(ctx, "/v1/experiments/"+id+"/events", terminalJobEvent, fn, func() (bool, error) {
+		resp, err := c.Get(ctx, id)
+		if err != nil {
+			return false, err
+		}
+		return terminalStatus(resp.Status), nil
+	})
+}
+
+// terminalStatus reports whether an API status string is terminal.
+func terminalStatus(status string) bool {
+	switch status {
+	case "done", "failed", "canceled":
+		return true
+	}
+	return false
+}
+
+// watch is the reconnecting SSE loop shared by Watch and WatchSweep:
+// isTerminal spots the stream's natural end, probe decides after an
+// early stream drop whether the watched object already finished.
+func (c *Client) watch(ctx context.Context, path string, isTerminal func(WatchEvent) bool,
+	fn func(WatchEvent) error, probe func() (bool, error)) error {
 	var last uint64
 	for {
-		terminal, err := c.watchOnce(ctx, id, &last, fn)
+		terminal, err := c.watchOnce(ctx, path, isTerminal, &last, fn)
 		if terminal || err != nil {
 			return err
 		}
@@ -174,25 +320,24 @@ func (c *Client) Watch(ctx context.Context, id string, fn func(WatchEvent) error
 			return ctx.Err()
 		}
 		// The stream ended without a terminal event (e.g. this consumer
-		// was dropped for lagging). Poll once: if the job already ended
+		// was dropped for lagging). Poll once: if the work already ended
 		// we are done, otherwise reconnect and resume.
-		resp, err := c.Get(ctx, id)
+		done, err := probe()
 		if err != nil {
 			return err
 		}
-		switch resp.Status {
-		case "done", "failed", "canceled":
+		if done {
 			return nil
 		}
 	}
 }
 
 // watchOnce runs one SSE connection until the stream ends. It reports
-// whether a terminal job event was seen; a non-nil error is fatal to
-// the whole watch (API errors, fn failures, context cancellation).
-func (c *Client) watchOnce(ctx context.Context, id string, last *uint64, fn func(WatchEvent) error) (bool, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.BaseURL+"/v1/experiments/"+id+"/events", nil)
+// whether a terminal event was seen; a non-nil error is fatal to the
+// whole watch (API errors, fn failures, context cancellation).
+func (c *Client) watchOnce(ctx context.Context, path string, isTerminal func(WatchEvent) bool,
+	last *uint64, fn func(WatchEvent) error) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
 		return false, err
 	}
@@ -232,7 +377,7 @@ func (c *Client) watchOnce(ctx context.Context, id string, last *uint64, fn func
 				if err := fn(ev); err != nil {
 					return false, err
 				}
-				if terminalJobEvent(ev) {
+				if isTerminal(ev) {
 					return true, nil
 				}
 			}

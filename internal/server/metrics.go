@@ -23,6 +23,15 @@ func (s *Server) registerMetrics() {
 		"Queue wait plus run time per experiment.", obs.DefaultLatencyBuckets)
 	s.pool.Register(s.reg, "rfidd")
 	s.cache.Register(s.reg, "rfidd_cache")
+	// Cache traffic split by requester: single submissions vs sweep
+	// cells (coalesced duplicates never reach the cache, so these two
+	// origins account for every counted lookup).
+	s.cache.RegisterOrigin(s.reg, "rfidd_cache", originJob)
+	s.cache.RegisterOrigin(s.reg, "rfidd_cache", originSweep)
+	s.sweeps.Register(s.reg, "rfidd_sweep")
+	s.reg.GaugeFunc("rfidd_sweeps", "Sweep records currently indexed.", func() float64 {
+		return float64(s.sweepRecords.Load())
+	})
 	// Exposition callbacks run under the registry lock and must stay
 	// lock-free (atomics only), so the record count is mirrored into an
 	// atomic rather than read under s.mu.

@@ -10,12 +10,19 @@
 // API:
 //
 //	POST   /v1/experiments              {"config": {...sim.Config...}} → 202 (queued) or 200 (cached/coalesced)
-//	GET    /v1/experiments              list of experiment summaries
+//	GET    /v1/experiments              list of experiment summaries (?status= filters by lifecycle state)
 //	GET    /v1/experiments/{id}         status and, when done, the aggregate
 //	GET    /v1/experiments/{id}/trace   run trace (Chrome trace-event JSON; ?format=jsonl for JSONL)
 //	GET    /v1/experiments/{id}/events  live telemetry stream (text/event-stream; Last-Event-ID resume)
 //	GET    /v1/audit                    shadow-oracle audit report (when Options.EnableAudit)
 //	DELETE /v1/experiments/{id}         cancel a queued or running experiment
+//	POST   /v1/sweeps                   {"spec": {...sweep.Spec...}} → 202 with the sweep record
+//	GET    /v1/sweeps                   list of sweep summaries
+//	GET    /v1/sweeps/{id}              sweep status and cell counts
+//	GET    /v1/sweeps/{id}/cells        per-cell records (?status= filters, ?results=1 embeds results)
+//	GET    /v1/sweeps/{id}/report       merged paper-style output (?format=table|csv)
+//	GET    /v1/sweeps/{id}/events       per-cell progress stream (text/event-stream)
+//	DELETE /v1/sweeps/{id}              cancel a running sweep
 //	GET    /healthz                     liveness probe
 //	GET    /metrics                     Prometheus text format (single obs registry walk)
 //	GET    /debug/trace                 pool worker-lifecycle trace (when tracing enabled)
@@ -41,6 +48,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/rescache"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Options sizes the service. Zero fields take the documented defaults.
@@ -76,6 +84,13 @@ type Options struct {
 	// HeartbeatInterval paces SSE comment heartbeats so idle streams
 	// stay provably alive through proxies (default 15s).
 	HeartbeatInterval time.Duration
+	// SweepMaxCells caps how many cells one POST /v1/sweeps may expand
+	// to (default sweep.DefaultMaxCells); client specs asking for more
+	// are clamped to it.
+	SweepMaxCells int
+	// SweepRecordCap bounds the in-memory sweep index; the oldest
+	// terminal sweeps are pruned beyond it (default 256).
+	SweepRecordCap int
 	// EnableAudit turns on shadow-oracle verdict auditing for every
 	// experiment (sim.InstrumentAudit is process-global: the most
 	// recently constructed audit-enabled Server receives the verdicts).
@@ -106,6 +121,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AuditExemplars <= 0 {
 		o.AuditExemplars = 64
+	}
+	if o.SweepMaxCells <= 0 || o.SweepMaxCells > sweep.HardMaxCells {
+		o.SweepMaxCells = sweep.DefaultMaxCells
+	}
+	if o.SweepRecordCap <= 0 {
+		o.SweepRecordCap = 256
 	}
 	return o
 }
@@ -173,13 +194,19 @@ type Server struct {
 	evDrops   *obs.Counter   // slow event subscribers dropped, all experiments
 	logger    *slog.Logger
 
-	mu       sync.Mutex
-	byID     map[string]*experiment
-	order    []string
-	inflight map[string]string // cache key → live experiment id
-	nextID   uint64
+	sweeps *sweep.Runner
+
+	mu          sync.Mutex
+	byID        map[string]*experiment
+	order       []string
+	inflight    map[string]string // cache key → live experiment id
+	nextID      uint64
+	sweepByID   map[string]*sweep.Sweep
+	sweepOrder  []string
+	nextSweepID uint64
 
 	records       atomic.Int64  // len(byID) mirror for the lock-free gauge
+	sweepRecords  atomic.Int64  // len(sweepByID) mirror, same reason
 	expTraceDrops atomic.Uint64 // span drops folded in from finished experiment tracers
 }
 
@@ -187,12 +214,13 @@ type Server struct {
 func New(o Options) *Server {
 	o = o.withDefaults()
 	s := &Server{
-		opts:     o,
-		cache:    rescache.New(o.CacheSize),
-		byID:     make(map[string]*experiment),
-		inflight: make(map[string]string),
-		reg:      obs.NewRegistry(),
-		logger:   o.Logger,
+		opts:      o,
+		cache:     rescache.New(o.CacheSize),
+		byID:      make(map[string]*experiment),
+		inflight:  make(map[string]string),
+		sweepByID: make(map[string]*sweep.Sweep),
+		reg:       obs.NewRegistry(),
+		logger:    o.Logger,
 	}
 	if o.TraceCapacity > 0 {
 		s.poolTrace = obs.NewTracer(o.TraceCapacity)
@@ -210,6 +238,12 @@ func New(o Options) *Server {
 		Tracer:       s.poolTrace,
 		Logger:       o.Logger,
 	})
+	s.sweeps = &sweep.Runner{
+		Pool:    s.pool,
+		Cache:   s.cache,
+		Origin:  originSweep,
+		Scratch: &sim.ScratchPool{},
+	}
 	s.registerMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
@@ -219,6 +253,13 @@ func New(o Options) *Server {
 	s.mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/audit", s.handleAudit)
 	s.mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/cells", s.handleSweepCells)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/report", s.handleSweepReport)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.poolTrace != nil {
@@ -362,7 +403,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Cache hit: mint a terminal record served from the stored bytes.
-	if val, hit := s.cache.Get(key); hit {
+	// The single GetOrigin call is the submission's one counted lookup —
+	// the short-circuit below must not consult the cache again.
+	if val, hit := s.cache.GetOrigin(key, originJob); hit {
 		body := val.(json.RawMessage)
 		s.mu.Lock()
 		exp := s.newRecordLocked(key, cfg)
@@ -494,10 +537,18 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	filter, err := statusFilter(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
 	s.mu.Lock()
 	out := ListResponse{Experiments: make([]ExperimentResponse, 0, len(s.order))}
 	for _, id := range s.order {
 		resp := s.responseOfLocked(s.byID[id])
+		if filter != "" && resp.Status != string(filter) {
+			continue
+		}
 		resp.Result = nil // keep listings light
 		out.Experiments = append(out.Experiments, resp)
 	}

@@ -75,13 +75,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			errorResponse{Error: "no event stream for " + id + " (cached result or streaming disabled)"})
 		return
 	}
+	s.streamSSE(w, r, exp.bus)
+}
+
+// streamSSE serves one bus subscription as an SSE response: replay from
+// Last-Event-ID, then live events until the bus closes, the subscriber
+// lags EventBuffer events behind, or the client hangs up. Shared by the
+// experiment and sweep event endpoints.
+func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, bus *obs.Bus) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "response writer cannot stream"})
 		return
 	}
 
-	sub := exp.bus.Subscribe(s.opts.EventBuffer, lastEventID(r))
+	sub := bus.Subscribe(s.opts.EventBuffer, lastEventID(r))
 	defer sub.Close()
 
 	h := w.Header()

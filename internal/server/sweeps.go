@@ -1,0 +1,302 @@
+package server
+
+// Sweep endpoints: POST /v1/sweeps accepts a parameter-grid spec
+// (internal/sweep), schedules its cells on the shared worker pool, and
+// exposes per-cell progress (SSE), per-cell records, and the merged
+// paper-style report. Sweep cells and single experiments share the
+// result cache, so a cell computed here serves later identical
+// submissions byte-identically and vice versa.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Cache-lookup origins: who asked. Single submissions and sweep cells
+// are tallied separately on /metrics.
+const (
+	originJob   = "job"
+	originSweep = "sweep"
+)
+
+// statusFilter parses the shared ?status= query parameter used by the
+// experiment listing and the sweep cell listing; "" means no filter.
+func statusFilter(r *http.Request) (jobs.Status, error) {
+	raw := r.URL.Query().Get("status")
+	switch st := jobs.Status(raw); st {
+	case "", jobs.StatusQueued, jobs.StatusRunning, jobs.StatusDone, jobs.StatusFailed, jobs.StatusCanceled:
+		return st, nil
+	default:
+		return "", fmt.Errorf("unknown status %q (want queued, running, done, failed or canceled)", raw)
+	}
+}
+
+// SweepSubmitRequest is the POST /v1/sweeps body.
+type SweepSubmitRequest struct {
+	Spec sweep.Spec `json:"spec"`
+}
+
+// SweepResponse is the JSON shape of one sweep summary.
+type SweepResponse struct {
+	ID         string       `json:"id"`
+	Name       string       `json:"name,omitempty"`
+	Status     string       `json:"status"`
+	Axes       []string     `json:"axes,omitempty"`
+	Counts     sweep.Counts `json:"counts"`
+	CreatedAt  string       `json:"created_at,omitempty"`
+	FinishedAt string       `json:"finished_at,omitempty"`
+}
+
+// SweepListResponse is the GET /v1/sweeps body.
+type SweepListResponse struct {
+	Sweeps []SweepResponse `json:"sweeps"`
+}
+
+// SweepCellResponse is one cell record in the per-cell listing.
+type SweepCellResponse struct {
+	Index         int        `json:"index"`
+	Label         string     `json:"label"`
+	Coords        []string   `json:"coords,omitempty"`
+	Status        string     `json:"status"`
+	Cached        bool       `json:"cached,omitempty"`
+	CoalescedOnto *int       `json:"coalesced_onto,omitempty"`
+	Config        sim.Config `json:"config"`
+
+	// Result is the report.AggregateSummary encoding, byte-identical to
+	// the single-experiment result for the same configuration; only
+	// embedded when the listing asks for ?results=1.
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// SweepCellsResponse is the GET /v1/sweeps/{id}/cells body.
+type SweepCellsResponse struct {
+	Sweep  string              `json:"sweep"`
+	Status string              `json:"status"`
+	Cells  []SweepCellResponse `json:"cells"`
+}
+
+func sweepResponseOf(snap sweep.Snapshot) SweepResponse {
+	resp := SweepResponse{
+		ID:        snap.ID,
+		Name:      snap.Name,
+		Status:    string(snap.Status),
+		Axes:      snap.Axes,
+		Counts:    snap.Counts,
+		CreatedAt: snap.CreatedAt.UTC().Format(time.RFC3339Nano),
+	}
+	if !snap.FinishedAt.IsZero() {
+		resp.FinishedAt = snap.FinishedAt.UTC().Format(time.RFC3339Nano)
+	}
+	return resp
+}
+
+func cellResponseOf(c sweep.CellState, withResult bool) SweepCellResponse {
+	resp := SweepCellResponse{
+		Index:  c.Index,
+		Label:  c.Label,
+		Coords: c.Coords,
+		Status: string(c.Status),
+		Cached: c.Cached,
+		Config: c.Config,
+		Error:  c.Err,
+	}
+	if c.DupOf >= 0 {
+		dup := c.DupOf
+		resp.CoalescedOnto = &dup
+	}
+	if withResult {
+		resp.Result = c.Result
+	}
+	return resp
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepSubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	spec := req.Spec
+	// Clamp the expansion to the server's cap; the spec may ask for less
+	// but not more.
+	if spec.MaxCells == 0 || spec.MaxCells > s.opts.SweepMaxCells {
+		spec.MaxCells = s.opts.SweepMaxCells
+	}
+	if err := spec.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	cells, err := spec.CellCount()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	var bus *obs.Bus
+	if s.opts.EventHistory > 0 {
+		// Size the replay ring to hold the whole sweep's progress (two
+		// events per cell plus the terminal sweep event), so a client
+		// connecting after completion still drains every event.
+		bus = obs.NewBus(2*cells + 16)
+		bus.CountDropsInto(s.evDrops)
+	}
+	s.mu.Lock()
+	s.nextSweepID++
+	id := "swp-" + strconv.FormatUint(s.nextSweepID, 10)
+	s.mu.Unlock()
+	// The sweep outlives this request: run it on the background context
+	// (DELETE /v1/sweeps/{id} cancels it).
+	sw, err := s.sweeps.Start(context.Background(), id, spec, bus)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	s.sweepByID[id] = sw
+	s.sweepOrder = append(s.sweepOrder, id)
+	s.pruneSweepsLocked()
+	s.sweepRecords.Store(int64(len(s.sweepByID)))
+	s.mu.Unlock()
+	if s.logger != nil {
+		s.logger.Info("sweep submitted", "id", id, "cells", cells, "axes", spec.AxisNames())
+	}
+	w.Header().Set("Location", "/v1/sweeps/"+id)
+	writeJSON(w, http.StatusAccepted, sweepResponseOf(sw.Snapshot()))
+}
+
+// pruneSweepsLocked evicts the oldest terminal sweeps above
+// SweepRecordCap; s.mu must be held.
+func (s *Server) pruneSweepsLocked() {
+	for len(s.sweepOrder) > s.opts.SweepRecordCap {
+		id := s.sweepOrder[0]
+		if sw := s.sweepByID[id]; sw != nil {
+			select {
+			case <-sw.Done():
+			default:
+				return // oldest sweep still live; keep everything
+			}
+		}
+		s.sweepOrder = s.sweepOrder[1:]
+		delete(s.sweepByID, id)
+	}
+}
+
+// sweepByIDOr404 resolves the path id or writes the 404.
+func (s *Server) sweepByIDOr404(w http.ResponseWriter, r *http.Request) *sweep.Sweep {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sw := s.sweepByID[id]
+	s.mu.Unlock()
+	if sw == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown sweep " + id})
+	}
+	return sw
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	sw := s.sweepByIDOr404(w, r)
+	if sw == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, sweepResponseOf(sw.Snapshot()))
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sweeps := make([]*sweep.Sweep, 0, len(s.sweepOrder))
+	for _, id := range s.sweepOrder {
+		if sw := s.sweepByID[id]; sw != nil {
+			sweeps = append(sweeps, sw)
+		}
+	}
+	s.mu.Unlock()
+	out := SweepListResponse{Sweeps: make([]SweepResponse, 0, len(sweeps))}
+	for _, sw := range sweeps {
+		out.Sweeps = append(out.Sweeps, sweepResponseOf(sw.Snapshot()))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSweepCells(w http.ResponseWriter, r *http.Request) {
+	sw := s.sweepByIDOr404(w, r)
+	if sw == nil {
+		return
+	}
+	filter, err := statusFilter(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	withResults := r.URL.Query().Get("results") == "1"
+	cells := sw.Cells(filter)
+	out := SweepCellsResponse{
+		Sweep:  sw.ID(),
+		Status: string(sw.Snapshot().Status),
+		Cells:  make([]SweepCellResponse, 0, len(cells)),
+	}
+	for _, c := range cells {
+		out.Cells = append(out.Cells, cellResponseOf(c, withResults))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSweepReport(w http.ResponseWriter, r *http.Request) {
+	sw := s.sweepByIDOr404(w, r)
+	if sw == nil {
+		return
+	}
+	tbl, err := sw.MergedTable()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "table":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(tbl.Render()))
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		_, _ = w.Write([]byte(tbl.CSV()))
+	default:
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "unknown report format (want table or csv)"})
+	}
+}
+
+// handleSweepEvents streams a sweep's per-cell progress as SSE: one
+// "cell" event per cell state change and a terminal "sweep" event. The
+// replay ring holds the whole sweep, so Last-Event-ID resume and
+// after-the-fact drains both work.
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	sw := s.sweepByIDOr404(w, r)
+	if sw == nil {
+		return
+	}
+	if sw.Bus() == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: "no event stream for " + sw.ID() + " (streaming disabled)"})
+		return
+	}
+	s.streamSSE(w, r, sw.Bus())
+}
+
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	sw := s.sweepByIDOr404(w, r)
+	if sw == nil {
+		return
+	}
+	sw.Cancel()
+	writeJSON(w, http.StatusOK, map[string]any{"id": sw.ID(), "canceled": true})
+}

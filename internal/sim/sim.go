@@ -231,6 +231,47 @@ type RoundScratch struct {
 	impRng prng.Source
 }
 
+// ScratchPool is a concurrency-safe free list of RoundScratch, letting
+// callers that run many experiments back to back (the sweep engine, a
+// busy service worker) reuse each scratch's population, slot, scheduler
+// and session storage across whole runs instead of allocating it per
+// run. Scratch contents never influence results — every round rebuilds
+// its state from the round seed — so pooling is draw-neutral. The zero
+// value is ready to use; a nil *ScratchPool is valid and simply
+// allocates fresh scratches.
+type ScratchPool struct {
+	mu   sync.Mutex
+	free []*RoundScratch
+}
+
+// Get returns a pooled scratch, or a fresh one when the pool is empty
+// or nil.
+func (p *ScratchPool) Get() *RoundScratch {
+	if p == nil {
+		return new(RoundScratch)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		rs := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return rs
+	}
+	return new(RoundScratch)
+}
+
+// Put returns a scratch to the pool. The caller must not use rs (or any
+// session aliasing it) afterwards.
+func (p *ScratchPool) Put(rs *RoundScratch) {
+	if p == nil || rs == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, rs)
+}
+
 // roundEnv carries per-round observability context into runRound: the
 // round's index, the run tracer (nil = disabled) with the worker's
 // track id, and the live event bus (nil = disabled). All of it is
@@ -415,6 +456,14 @@ func Run(c Config) (*Aggregate, error) {
 // frame (plus "audit" events when auditing is on), which is what the
 // server streams over SSE.
 func RunContext(ctx context.Context, c Config) (*Aggregate, error) {
+	return RunContextPool(ctx, c, nil)
+}
+
+// RunContextPool is RunContext drawing per-worker round scratch from sp
+// instead of allocating it, so back-to-back runs (sweep cells) reuse the
+// same working sets. A nil pool reproduces RunContext exactly; the
+// aggregate is bit-identical either way.
+func RunContextPool(ctx context.Context, c Config, sp *ScratchPool) (*Aggregate, error) {
 	c = c.withDefaults()
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -444,7 +493,9 @@ func RunContext(ctx context.Context, c Config) (*Aggregate, error) {
 			// One scratch per worker: every round this worker runs reuses
 			// the same population, slot, scheduler and session storage, so
 			// the summary must be extracted before the next round starts.
-			rs := new(RoundScratch)
+			// With a pool the scratch outlives this run too.
+			rs := sp.Get()
+			defer sp.Put(rs)
 			for r := range work {
 				if ctx.Err() != nil {
 					continue // drain without computing

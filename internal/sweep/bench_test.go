@@ -1,0 +1,36 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkSweepExpand tracks the cost of materialising a paper-sized
+// grid (the Figure 5 shape: 4 cases × 3 strengths, ×8 seeds to give the
+// odometer some depth). Guarded by the allocs gate in scripts/bench.sh.
+func BenchmarkSweepExpand(b *testing.B) {
+	spec := Spec{
+		Base: sim.Config{Tags: 100, Seed: 1, Rounds: 10, Algorithm: sim.AlgFSA, FrameSize: 128, Detector: sim.DetQCD},
+		Axes: []Axis{
+			{Field: FieldCase, Cases: []Case{
+				{Name: "I", Tags: 100, Frame: 128},
+				{Name: "II", Tags: 300, Frame: 128},
+				{Name: "III", Tags: 500, Frame: 256},
+				{Name: "IV", Tags: 1000, Frame: 256},
+			}},
+			{Field: FieldStrength, Ints: []int{4, 8, 16}},
+			{Field: FieldSeed, Range: &Range{From: 1, To: 8}},
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells, err := spec.Expand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 96 {
+			b.Fatalf("expanded to %d cells", len(cells))
+		}
+	}
+}

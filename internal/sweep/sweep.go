@@ -1,0 +1,557 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/rescache"
+	"repro/internal/sim"
+)
+
+// Runner schedules sweep cells across a shared jobs pool. Before a cell
+// runs, the result cache is consulted (a hit short-circuits the cell);
+// cells inside one sweep that canonicalise to the same configuration
+// coalesce onto a single computation; computed results are published
+// back to the cache, so a later sweep — or a later single job — hitting
+// the same configuration is served from memory. Per-worker round
+// scratch comes from the shared ScratchPool, so a thousand-cell sweep
+// allocates its working sets roughly Workers times, not Cells times.
+//
+// The zero value is not usable: Pool is required; everything else is
+// optional.
+type Runner struct {
+	// Pool runs the cells. Required.
+	Pool *jobs.Pool
+	// Cache, when set, dedups cells against previously computed results.
+	Cache *rescache.Cache
+	// Origin attributes the runner's cache lookups (default "sweep").
+	Origin string
+	// Scratch, when set, recycles sim.RoundScratch across cells.
+	Scratch *sim.ScratchPool
+	// Window bounds how many cells one sweep keeps in flight on the
+	// pool (default: pool workers + 2), so a huge sweep cannot occupy
+	// the whole bounded queue and starve single-job traffic.
+	Window int
+
+	started   atomic.Uint64
+	finished  atomic.Uint64
+	run       atomic.Uint64
+	cached    atomic.Uint64
+	coalesced atomic.Uint64
+	failed    atomic.Uint64
+	canceled  atomic.Uint64
+}
+
+// Register exposes the runner's series on reg under prefix (for example
+// "rfidd_sweep" yields rfidd_sweep_sweeps_started_total, ...).
+func (r *Runner) Register(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+"_sweeps_started_total", "Sweeps accepted and scheduled.", r.started.Load)
+	reg.CounterFunc(prefix+"_sweeps_finished_total", "Sweeps that reached a terminal state.", r.finished.Load)
+	reg.CounterFunc(prefix+"_cells_run_total", "Sweep cells computed on the worker pool.", r.run.Load)
+	reg.CounterFunc(prefix+"_cells_cached_total", "Sweep cells short-circuited by the result cache.", r.cached.Load)
+	reg.CounterFunc(prefix+"_cells_coalesced_total", "Duplicate cells folded onto an identical cell of the same sweep.", r.coalesced.Load)
+	reg.CounterFunc(prefix+"_cells_failed_total", "Sweep cells that failed permanently.", r.failed.Load)
+	reg.CounterFunc(prefix+"_cells_canceled_total", "Sweep cells canceled before completion.", r.canceled.Load)
+}
+
+func (r *Runner) origin() string {
+	if r.Origin == "" {
+		return "sweep"
+	}
+	return r.Origin
+}
+
+func (r *Runner) window() int {
+	if r.Window > 0 {
+		return r.Window
+	}
+	return r.Pool.Stats().Workers + 2
+}
+
+// CellState is the live record of one cell: the expanded Cell plus its
+// content key, lifecycle status, result provenance and outcome. Cells
+// reuse the jobs lifecycle vocabulary — queued, running, done, failed,
+// canceled.
+type CellState struct {
+	Cell
+	// Key is the cell's rescache content address.
+	Key string
+	// Status is the cell's lifecycle state.
+	Status jobs.Status
+	// Cached marks a cell served from the result cache without running.
+	Cached bool
+	// DupOf is the index of the earlier identical cell this one
+	// coalesced onto, or -1 for a primary cell.
+	DupOf int
+	// Result is the report.AggregateSummary encoding, byte-identical to
+	// the single-job result for the same canonical configuration.
+	Result json.RawMessage
+	// Err is the failure message for failed cells.
+	Err string
+}
+
+// Counts summarises a sweep's cell outcomes.
+type Counts struct {
+	Cells     int `json:"cells"`
+	Done      int `json:"done"` // includes cached and coalesced cells
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+	Cached    int `json:"cached"`
+	Coalesced int `json:"coalesced"`
+}
+
+// Terminal reports whether every cell reached a terminal state.
+func (c Counts) Terminal() bool { return c.Done+c.Failed+c.Canceled == c.Cells }
+
+// Snapshot is a copy of a sweep's externally visible state.
+type Snapshot struct {
+	ID         string
+	Name       string
+	Axes       []string
+	Status     jobs.Status // running | done | failed | canceled
+	Counts     Counts
+	CreatedAt  time.Time
+	FinishedAt time.Time // zero until terminal
+}
+
+// Sweep is one scheduled grid. Create it with Runner.Start; it is safe
+// for concurrent use.
+type Sweep struct {
+	id          string
+	name        string
+	axes        []string
+	cellWorkers int
+	pool        *jobs.Pool
+	bus         *obs.Bus
+	cancel      context.CancelFunc
+	done        chan struct{}
+
+	mu         sync.Mutex
+	cells      []CellState
+	jobIDs     map[int]string // submitted primary cells, index → pool job id
+	dups       map[int][]int  // primary index → coalesced cell indexes
+	counts     Counts
+	canceled   bool
+	createdAt  time.Time
+	finishedAt time.Time
+}
+
+// Start expands the spec and begins scheduling its cells. The returned
+// sweep is already running; ctx cancellation (or Cancel) stops feeding
+// new cells and cancels the ones in flight. bus, when non-nil, receives
+// one "cell" event per cell state change and a terminal "sweep" event,
+// and is closed when the sweep finishes.
+func (r *Runner) Start(ctx context.Context, id string, spec Spec, bus *obs.Bus) (*Sweep, error) {
+	if r.Pool == nil {
+		return nil, errors.New("sweep: Runner.Pool is required")
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	cellWorkers := spec.CellWorkers
+	if cellWorkers < 1 {
+		cellWorkers = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	s := &Sweep{
+		id:          id,
+		name:        spec.Name,
+		axes:        spec.AxisNames(),
+		cellWorkers: cellWorkers,
+		pool:        r.Pool,
+		bus:         bus,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		cells:       make([]CellState, len(cells)),
+		jobIDs:      make(map[int]string),
+		dups:        make(map[int][]int),
+		counts:      Counts{Cells: len(cells)},
+		createdAt:   time.Now(),
+	}
+	firstByKey := make(map[string]int, len(cells))
+	for i, c := range cells {
+		key, err := rescache.ConfigKey(c.Config)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("sweep: keying cell %d: %w", i, err)
+		}
+		st := CellState{Cell: c, Key: key, Status: jobs.StatusQueued, DupOf: -1}
+		if first, dup := firstByKey[key]; dup {
+			st.DupOf = first
+			s.dups[first] = append(s.dups[first], i)
+		} else {
+			firstByKey[key] = i
+		}
+		s.cells[i] = st
+	}
+	r.started.Add(1)
+	go s.run(ctx, r)
+	return s, nil
+}
+
+// run is the sweep's feeder: it walks the cells in sweep order, serves
+// cache hits inline, and keeps at most Window primaries in flight on
+// the pool. It returns once every cell is terminal.
+func (s *Sweep) run(ctx context.Context, r *Runner) {
+	origin := r.origin()
+	sem := make(chan struct{}, r.window())
+	var wg sync.WaitGroup
+	for i := range s.cells {
+		s.mu.Lock()
+		dup := s.cells[i].DupOf >= 0
+		s.mu.Unlock()
+		if dup {
+			continue // resolved when its primary finishes
+		}
+		if ctx.Err() != nil {
+			s.finishCell(r, i, jobs.StatusCanceled, nil, context.Canceled, false)
+			continue
+		}
+		if r.Cache != nil {
+			if v, hit := r.Cache.GetOrigin(s.cells[i].Key, origin); hit {
+				if body, ok := v.(json.RawMessage); ok {
+					s.finishCell(r, i, jobs.StatusDone, body, nil, true)
+					continue
+				}
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			s.finishCell(r, i, jobs.StatusCanceled, nil, context.Canceled, false)
+			continue
+		}
+		jobID := s.id + "/c" + strconv.Itoa(i)
+		cfg := s.cells[i].Config // canonical; fixed after Start
+		runCfg := cfg
+		runCfg.Workers = s.cellWorkers
+		idx := i
+		fn := func(jctx context.Context) (any, error) {
+			s.markRunning(idx)
+			agg, err := sim.RunContextPool(jctx, runCfg, r.Scratch)
+			if err != nil {
+				return nil, err
+			}
+			// Exactly the single-job encoding of the canonical config, so
+			// sweep cells and single submissions are byte-identical and
+			// cache-compatible.
+			b, err := json.Marshal(report.NewAggregateSummary(cfg, agg))
+			if err != nil {
+				return nil, err
+			}
+			return json.RawMessage(b), nil
+		}
+		if err := s.submit(ctx, r, jobID, fn); err != nil {
+			<-sem
+			status := jobs.StatusFailed
+			if errors.Is(err, context.Canceled) || errors.Is(err, jobs.ErrClosed) {
+				status = jobs.StatusCanceled
+			}
+			s.finishCell(r, i, status, nil, err, false)
+			continue
+		}
+		s.mu.Lock()
+		s.jobIDs[i] = jobID
+		s.mu.Unlock()
+		wg.Add(1)
+		go func(i int, key, jobID string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// Terminal state is guaranteed: canceled jobs finish fast and
+			// pool shutdown drains the queue, so waiting on the background
+			// context cannot leak.
+			snap, err := s.pool.Wait(context.Background(), jobID)
+			s.mu.Lock()
+			delete(s.jobIDs, i)
+			s.mu.Unlock()
+			s.pool.Forget(jobID) // keep the pool index bounded under cell streams
+			if err != nil {
+				s.finishCell(r, i, jobs.StatusFailed, nil, err, false)
+				return
+			}
+			switch snap.Status {
+			case jobs.StatusDone:
+				body, ok := snap.Result.(json.RawMessage)
+				if !ok {
+					s.finishCell(r, i, jobs.StatusFailed, nil, fmt.Errorf("sweep: cell %d returned %T", i, snap.Result), false)
+					return
+				}
+				if r.Cache != nil {
+					r.Cache.Put(key, body)
+				}
+				s.finishCell(r, i, jobs.StatusDone, body, nil, false)
+			case jobs.StatusCanceled:
+				s.finishCell(r, i, jobs.StatusCanceled, nil, snap.Err, false)
+			default:
+				s.finishCell(r, i, jobs.StatusFailed, nil, snap.Err, false)
+			}
+		}(i, s.cells[i].Key, jobID)
+	}
+	wg.Wait()
+	s.finish(r)
+}
+
+// submit enqueues the cell job, waiting out transient queue-full
+// rejections so a sweep larger than the bounded queue still drains.
+func (s *Sweep) submit(ctx context.Context, r *Runner, id string, fn jobs.Func) error {
+	backoff := 2 * time.Millisecond
+	for {
+		err := r.Pool.Submit(id, fn)
+		if err == nil || !errors.Is(err, jobs.ErrQueueFull) {
+			return err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return context.Canceled
+		}
+		if backoff < 128*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// markRunning flips a cell to running and publishes its progress event.
+func (s *Sweep) markRunning(i int) {
+	s.mu.Lock()
+	if s.cells[i].Status != jobs.StatusQueued {
+		s.mu.Unlock()
+		return
+	}
+	s.cells[i].Status = jobs.StatusRunning
+	ev := s.cellEventLocked(i)
+	s.mu.Unlock()
+	s.bus.Publish("cell", ev)
+}
+
+// finishCell records one primary cell's terminal state, resolves the
+// duplicates coalesced onto it, publishes their events, and bumps the
+// runner's outcome counters.
+func (s *Sweep) finishCell(r *Runner, i int, status jobs.Status, body json.RawMessage, err error, fromCache bool) {
+	s.mu.Lock()
+	if s.cells[i].Status.Terminal() {
+		s.mu.Unlock()
+		return
+	}
+	events := make([]map[string]any, 0, 1+len(s.dups[i]))
+	terminate := func(idx int, cached bool) {
+		c := &s.cells[idx]
+		c.Status = status
+		c.Cached = cached
+		c.Result = body
+		if err != nil {
+			c.Err = err.Error()
+		}
+		switch status {
+		case jobs.StatusDone:
+			s.counts.Done++
+		case jobs.StatusCanceled:
+			s.counts.Canceled++
+			r.canceled.Add(1)
+		default:
+			s.counts.Failed++
+			r.failed.Add(1)
+		}
+		events = append(events, s.cellEventLocked(idx))
+	}
+	terminate(i, fromCache)
+	if status == jobs.StatusDone && !fromCache {
+		r.run.Add(1)
+	}
+	if fromCache {
+		s.counts.Cached++
+		r.cached.Add(1)
+	}
+	for _, di := range s.dups[i] {
+		s.counts.Coalesced++
+		r.coalesced.Add(1)
+		terminate(di, false)
+	}
+	s.mu.Unlock()
+	for _, ev := range events {
+		s.bus.Publish("cell", ev)
+	}
+}
+
+// cellEventLocked assembles one cell progress event; s.mu must be held.
+func (s *Sweep) cellEventLocked(i int) map[string]any {
+	c := &s.cells[i]
+	ev := map[string]any{
+		"sweep":  s.id,
+		"cell":   i,
+		"label":  c.Label,
+		"status": string(c.Status),
+		"done":   s.counts.Done,
+		"cells":  s.counts.Cells,
+	}
+	if c.Cached {
+		ev["cached"] = true
+	}
+	if c.DupOf >= 0 {
+		ev["coalesced_onto"] = c.DupOf
+	}
+	if c.Err != "" {
+		ev["error"] = c.Err
+	}
+	return ev
+}
+
+// finish seals the sweep: terminal status, the "sweep" event, bus
+// closure and the done signal.
+func (s *Sweep) finish(r *Runner) {
+	s.mu.Lock()
+	s.finishedAt = time.Now()
+	status := s.statusLocked()
+	ev := map[string]any{
+		"sweep":     s.id,
+		"status":    string(status),
+		"cells":     s.counts.Cells,
+		"done":      s.counts.Done,
+		"failed":    s.counts.Failed,
+		"canceled":  s.counts.Canceled,
+		"cached":    s.counts.Cached,
+		"coalesced": s.counts.Coalesced,
+	}
+	s.mu.Unlock()
+	r.finished.Add(1)
+	s.bus.Publish("sweep", ev)
+	s.bus.Close()
+	close(s.done)
+}
+
+// statusLocked derives the sweep-level status; s.mu must be held.
+func (s *Sweep) statusLocked() jobs.Status {
+	if !s.finishedAt.IsZero() {
+		switch {
+		case s.canceled || s.counts.Canceled > 0:
+			return jobs.StatusCanceled
+		case s.counts.Failed > 0:
+			return jobs.StatusFailed
+		default:
+			return jobs.StatusDone
+		}
+	}
+	return jobs.StatusRunning
+}
+
+// ID returns the sweep's identifier.
+func (s *Sweep) ID() string { return s.id }
+
+// Bus returns the sweep's event bus (nil when none was attached).
+func (s *Sweep) Bus() *obs.Bus { return s.bus }
+
+// Snapshot returns a copy of the sweep's summary state.
+func (s *Sweep) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Snapshot{
+		ID:         s.id,
+		Name:       s.name,
+		Axes:       append([]string(nil), s.axes...),
+		Status:     s.statusLocked(),
+		Counts:     s.counts,
+		CreatedAt:  s.createdAt,
+		FinishedAt: s.finishedAt,
+	}
+}
+
+// Cells returns copies of the cell records, optionally filtered to one
+// status ("" returns all), in sweep order.
+func (s *Sweep) Cells(status jobs.Status) []CellState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CellState, 0, len(s.cells))
+	for _, c := range s.cells {
+		if status != "" && c.Status != status {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Cancel stops feeding new cells and cancels the ones in flight. Safe
+// to call repeatedly and after completion.
+func (s *Sweep) Cancel() {
+	s.mu.Lock()
+	if s.finishedAt.IsZero() {
+		s.canceled = true
+	}
+	ids := make([]string, 0, len(s.jobIDs))
+	for _, id := range s.jobIDs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	s.cancel() // stops the feeder
+	for _, id := range ids {
+		s.pool.Cancel(id)
+	}
+}
+
+// Wait blocks until every cell is terminal or ctx expires.
+func (s *Sweep) Wait(ctx context.Context) error {
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Done returns a channel closed once the sweep is terminal.
+func (s *Sweep) Done() <-chan struct{} { return s.done }
+
+// MergedTable renders the merged paper-style output of every completed
+// cell, in sweep order: one row per cell with its axis coordinates and
+// headline metrics, a provenance column, and a note per failed or
+// canceled cell. Callers take Table.Render() or Table.CSV() from it.
+func (s *Sweep) MergedTable() (*report.Table, error) {
+	s.mu.Lock()
+	title := s.name
+	if title == "" {
+		title = s.id
+	}
+	rows := make([]report.SweepRow, 0, len(s.cells))
+	var notes []string
+	for _, c := range s.cells {
+		switch {
+		case c.Status == jobs.StatusDone && len(c.Result) > 0:
+			var sum report.AggregateSummary
+			if err := json.Unmarshal(c.Result, &sum); err != nil {
+				s.mu.Unlock()
+				return nil, fmt.Errorf("sweep: decoding cell %d result: %w", c.Index, err)
+			}
+			src := "run"
+			switch {
+			case c.Cached:
+				src = "cache"
+			case c.DupOf >= 0:
+				src = "coalesced"
+			}
+			rows = append(rows, report.SweepRow{Coords: c.Coords, Source: src, Summary: sum})
+		case c.Status.Terminal():
+			note := fmt.Sprintf("cell %d (%s) %s", c.Index, c.Label, c.Status)
+			if c.Err != "" {
+				note += ": " + c.Err
+			}
+			notes = append(notes, note)
+		}
+	}
+	axes := append([]string(nil), s.axes...)
+	s.mu.Unlock()
+	t := report.NewSweepTable("sweep "+title, axes, rows)
+	for _, n := range notes {
+		t.AddNote("%s", n)
+	}
+	return t, nil
+}

@@ -26,8 +26,9 @@ COUNT=${BENCH_COUNT:-1}
 TIME=${BENCH_TIME:-1s}
 FILTER=${BENCH_FILTER:-.}
 
-# The packages that make up the slot hot path, innermost first.
-PKGS="./internal/bitstr ./internal/detect ./internal/air ./internal/sched ./internal/aloha ./internal/qtree ./internal/sim"
+# The packages that make up the slot hot path, innermost first, plus
+# the sweep grid expander (its allocs/op guards spec-expansion cost).
+PKGS="./internal/bitstr ./internal/detect ./internal/air ./internal/sched ./internal/aloha ./internal/qtree ./internal/sim ./internal/sweep"
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT

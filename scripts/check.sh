@@ -15,4 +15,7 @@ go build ./...
 echo "==> go test -race ./... $*"
 go test -race "$@" ./...
 
+echo "==> sweep smoke (2x2 grid through the service)"
+go run ./cmd/sweepsmoke
+
 echo "==> ok"
