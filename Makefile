@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-json bench-gate trace-demo
+.PHONY: check build test race vet bench bench-json bench-gate trace-demo obssmoke
 
 check:
 	./scripts/check.sh
@@ -34,6 +34,11 @@ bench-json:
 # `make bench-json` and commit the result.
 bench-gate:
 	./scripts/bench_gate.sh
+
+# obssmoke boots the service in-process, runs a traced sweep, and
+# asserts the joined span tree plus the statusz snapshot.
+obssmoke:
+	$(GO) run ./cmd/obssmoke
 
 # trace-demo runs a small traced experiment and validates that the
 # emitted Chrome trace-event JSON has the shape chrome://tracing loads.

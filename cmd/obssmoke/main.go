@@ -1,0 +1,176 @@
+// Command obssmoke is the CI smoke test for the observability surface:
+// it boots the rfidd service in-process on a loopback listener, submits
+// a traced parameter sweep over HTTP, and asserts that the pieces this
+// service promises actually joined up —
+//
+//   - the X-Trace-Id response header carries a valid trace ID,
+//   - GET /v1/traces/{id} returns a non-empty Chrome trace-event span
+//     tree in which the request span parents the sweep span and the
+//     sweep span parents every cell span,
+//   - pool (jobs) and simulator (sim) spans landed in the same trace,
+//   - GET /debug/statusz renders the self-contained HTML snapshot with
+//     its pool / cache / sweeps / wide-event sections.
+//
+// Exits non-zero on any violation — in particular on an empty span
+// tree — so scripts/check.sh and CI can gate on it.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obssmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("obssmoke: ok")
+}
+
+func run() error {
+	svc := server.New(server.Options{Workers: 2, QueueDepth: 16, CacheSize: 64})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		_ = svc.Shutdown(ctx)
+	}()
+
+	c := server.NewClient("http://" + ln.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	spec := sweep.Spec{
+		Name: "obssmoke",
+		Base: sim.Config{
+			Tags: 60, Seed: 42, Rounds: 3,
+			Algorithm: sim.AlgFSA, FrameSize: 40,
+			Detector: sim.DetQCD, Strength: 8,
+		},
+		Axes: []sweep.Axis{
+			{Field: sweep.FieldTags, Ints: []int{40, 80}},
+			{Field: sweep.FieldStrength, Ints: []int{4, 8}},
+		},
+	}
+
+	sub, traceID, err := c.SubmitSweepTraced(ctx, spec, "")
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	if !obs.ValidTraceID(traceID) {
+		return fmt.Errorf("X-Trace-Id response header %q is not a valid trace ID", traceID)
+	}
+	final, err := c.WaitSweep(ctx, sub.ID, 0)
+	if err != nil {
+		return fmt.Errorf("wait: %w", err)
+	}
+	if final.Status != "done" || final.Counts.Done != 4 {
+		return fmt.Errorf("sweep finished %s with counts %+v", final.Status, final.Counts)
+	}
+
+	if err := checkTrace(ctx, c, traceID); err != nil {
+		return err
+	}
+	return checkStatusz(ctx, c, sub.ID)
+}
+
+// checkTrace fetches the sweep's trace and walks the span tree.
+func checkTrace(ctx context.Context, c *server.Client, traceID string) error {
+	body, err := c.Trace(ctx, traceID, "")
+	if err != nil {
+		return fmt.Errorf("trace fetch: %w", err)
+	}
+	var doc struct {
+		TraceEvents []obs.Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		return fmt.Errorf("trace %s is not Chrome trace-event JSON: %w", traceID, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("trace %s has an empty span tree", traceID)
+	}
+
+	spanArg := func(ev obs.Event, key string) uint64 {
+		if v, ok := ev.Args[key].(float64); ok {
+			return uint64(v)
+		}
+		return 0
+	}
+	// Events arrive in completion order (cells before the sweep span
+	// that parents them), so identify the tree nodes first, then check
+	// every parent edge.
+	var reqID, sweepID uint64
+	cells := 0
+	cats := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		cats[ev.Cat]++
+		switch ev.Cat {
+		case "http":
+			reqID = spanArg(ev, "span")
+		case "sweep":
+			sweepID = spanArg(ev, "span")
+		case "cell":
+			cells++
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Cat {
+		case "sweep":
+			if parent := spanArg(ev, "parent"); reqID == 0 || parent != reqID {
+				return fmt.Errorf("sweep span parent = %d, want request span %d", parent, reqID)
+			}
+		case "cell":
+			if parent := spanArg(ev, "parent"); sweepID == 0 || parent != sweepID {
+				return fmt.Errorf("cell span %q parent = %d, want sweep span %d", ev.Name, parent, sweepID)
+			}
+		}
+	}
+	if reqID == 0 || sweepID == 0 || cells != 4 {
+		return fmt.Errorf("span tree incomplete: request=%d sweep=%d cells=%d (cats %v)",
+			reqID, sweepID, cells, cats)
+	}
+	for _, cat := range []string{"jobs", "sim"} {
+		if cats[cat] == 0 {
+			return fmt.Errorf("no %q spans joined into trace %s: %v", cat, traceID, cats)
+		}
+	}
+	return nil
+}
+
+// checkStatusz fetches /debug/statusz and spot-checks the sections.
+func checkStatusz(ctx context.Context, c *server.Client, sweepID string) error {
+	body, err := c.Statusz(ctx)
+	if err != nil {
+		return fmt.Errorf("statusz fetch: %w", err)
+	}
+	for _, want := range []string{
+		"rfidd statusz", "worker pool", "result cache", "sweeps",
+		"recent wide events", sweepID,
+	} {
+		if !strings.Contains(body, want) {
+			return fmt.Errorf("statusz missing %q", want)
+		}
+	}
+	if n := strings.Count(body, "<td>sweep</td><td>"+sweepID+"/c"); n != 4 {
+		return fmt.Errorf("statusz shows %d wide-event rows for %s, want 4", n, sweepID)
+	}
+	return nil
+}

@@ -17,12 +17,18 @@
 //	curl http://localhost:8080/v1/sweeps/swp-1/report?format=csv
 //	curl -N http://localhost:8080/v1/sweeps/swp-1/events        # per-cell progress SSE
 //	curl http://localhost:8080/metrics
+//	curl http://localhost:8080/debug/statusz                    # human status snapshot
+//	curl http://localhost:8080/v1/traces                        # service trace index
+//	curl http://localhost:8080/v1/traces/<id>                   # Chrome trace-event JSON
 //
 // Observability: requests and worker lifecycle are logged through
 // log/slog (-log-format json for machine parsing, -log-level to
 // filter), per-experiment run traces are recorded into a bounded ring
-// (-trace-cap events, 0 disables), and -pprof mounts the standard
-// net/http/pprof handlers under /debug/pprof/.
+// (-trace-cap events, 0 disables), service spans for every mutating
+// request are kept in a bounded trace store (-span-traces /
+// -span-capacity, exported per trace ID on /v1/traces/{id}), and
+// -pprof mounts the standard net/http/pprof handlers under
+// /debug/pprof/.
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains queued and
 // in-flight experiments (up to -drain-timeout), then exits.
@@ -52,6 +58,8 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-experiment run limit (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain limit")
 		traceCap     = flag.Int("trace-cap", 4096, "per-experiment trace ring capacity in events (0 disables tracing)")
+		spanTraces   = flag.Int("span-traces", 256, "service trace store capacity in traces (0 disables span recording)")
+		spanCap      = flag.Int("span-capacity", 4096, "service trace store capacity in spans across all traces")
 		eventHistory = flag.Int("event-history", 256, "per-experiment SSE replay ring in events (0 disables streaming)")
 		eventBuffer  = flag.Int("event-buffer", 256, "events an SSE subscriber may lag before being dropped")
 		heartbeat    = flag.Duration("heartbeat", 15*time.Second, "SSE comment-heartbeat interval")
@@ -80,12 +88,18 @@ func main() {
 	if eh == 0 {
 		eh = -1
 	}
+	st := *spanTraces
+	if st == 0 {
+		st = -1
+	}
 	svc := server.New(server.Options{
 		Workers:           *workers,
 		QueueDepth:        *queue,
 		CacheSize:         *cacheSize,
 		JobTimeout:        *jobTimeout,
 		TraceCapacity:     tc,
+		TraceStoreTraces:  st,
+		TraceStoreSpans:   *spanCap,
 		EventHistory:      eh,
 		EventBuffer:       *eventBuffer,
 		HeartbeatInterval: *heartbeat,

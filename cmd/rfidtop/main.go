@@ -1,0 +1,344 @@
+// Command rfidtop is a live terminal dashboard for a running rfidd: a
+// top-style view of the worker pool, the latency decomposition, the
+// result cache and the sweeps in flight, refreshed in place from
+// /metrics, with a tail of the newest sweep's per-cell SSE stream at
+// the bottom.
+//
+// Usage:
+//
+//	rfidtop -addr http://localhost:8080 -interval 1s
+//
+// -sweep pins the event tail to one sweep ID (default: the newest
+// running sweep, falling back to the newest overall). -frames N
+// renders N frames and exits, for scripted or CI use; by default
+// rfidtop runs until interrupted. Rates ("recent" columns) are deltas
+// between consecutive polls.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "rfidd base URL")
+		interval = flag.Duration("interval", time.Second, "poll/refresh interval")
+		sweepID  = flag.String("sweep", "", "sweep ID to tail (default: newest)")
+		tailLen  = flag.Int("events", 10, "event-tail length")
+		frames   = flag.Int("frames", 0, "render this many frames then exit (0 = run until interrupted)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	d := &dash{
+		client:   server.NewClient(*addr),
+		addr:     *addr,
+		interval: *interval,
+		pinned:   *sweepID,
+		tail:     newTail(*tailLen),
+	}
+	if err := d.run(ctx, *frames); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "rfidtop:", err)
+		os.Exit(1)
+	}
+	fmt.Print("\x1b[0m\n")
+}
+
+// dash is the dashboard state carried between frames.
+type dash struct {
+	client   *server.Client
+	addr     string
+	interval time.Duration
+	pinned   string // -sweep flag; "" = auto
+
+	prev   map[string]float64 // last /metrics sample, for rates
+	prevAt time.Time
+
+	tail       *tail
+	tailTarget string             // sweep currently tailed
+	tailStop   context.CancelFunc // stops the tailer goroutine
+}
+
+func (d *dash) run(ctx context.Context, frames int) error {
+	defer func() {
+		if d.tailStop != nil {
+			d.tailStop()
+		}
+	}()
+	tick := time.NewTicker(d.interval)
+	defer tick.Stop()
+	for n := 0; ; {
+		if err := d.frame(ctx); err != nil {
+			// A dead daemon mid-session is worth showing, not exiting over
+			// (unless we never reached it at all).
+			if d.prev == nil {
+				return err
+			}
+			fmt.Printf("\x1b[31mpoll failed: %v\x1b[0m\n", err)
+		}
+		n++
+		if frames > 0 && n >= frames {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// frame polls the daemon and redraws the screen in place.
+func (d *dash) frame(ctx context.Context) error {
+	pctx, cancel := context.WithTimeout(ctx, d.interval+5*time.Second)
+	defer cancel()
+	text, err := d.client.Metrics(pctx)
+	if err != nil {
+		return err
+	}
+	m := parseProm(text)
+	sweeps, err := d.client.ListSweeps(pctx)
+	if err != nil {
+		return err
+	}
+	d.retarget(ctx, sweeps)
+
+	var b strings.Builder
+	b.WriteString("\x1b[H\x1b[2J") // home + clear
+	now := time.Now()
+	dt := now.Sub(d.prevAt).Seconds()
+	fmt.Fprintf(&b, "\x1b[1mrfidtop\x1b[0m  %s  %s  (ctrl-c to quit)\n\n",
+		d.addr, now.Format("15:04:05"))
+
+	d.poolSection(&b, m, dt)
+	d.latencySection(&b, m)
+	d.cacheSection(&b, m)
+	d.sweepSection(&b, sweeps)
+	d.eventSection(&b)
+
+	d.prev, d.prevAt = m, now
+	_, err = os.Stdout.WriteString(b.String())
+	return err
+}
+
+// retarget points the SSE tail at the pinned sweep, or the newest
+// running sweep, or the newest overall; restarts the tailer when the
+// target changes.
+func (d *dash) retarget(ctx context.Context, sweeps []server.SweepResponse) {
+	target := d.pinned
+	if target == "" {
+		for _, sw := range sweeps { // newest last in the listing
+			if sw.Status == "queued" || sw.Status == "running" || target == "" {
+				target = sw.ID
+			}
+		}
+	}
+	if target == "" || target == d.tailTarget {
+		return
+	}
+	if d.tailStop != nil {
+		d.tailStop()
+	}
+	tctx, stop := context.WithCancel(ctx)
+	d.tailTarget, d.tailStop = target, stop
+	d.tail.reset(target)
+	go func() {
+		err := d.client.WatchSweep(tctx, target, func(ev server.WatchEvent) error {
+			d.tail.add(formatEvent(ev))
+			return nil
+		})
+		if err != nil && tctx.Err() == nil {
+			d.tail.add("tail error: " + err.Error())
+		}
+	}()
+}
+
+func (d *dash) poolSection(b *strings.Builder, m map[string]float64, dt float64) {
+	workers := m["rfidd_workers"]
+	busyFrac := 0.0
+	if d.prev != nil && dt > 0 && workers > 0 {
+		busyFrac = (m["rfidd_worker_busy_seconds_total"] - d.prev["rfidd_worker_busy_seconds_total"]) /
+			(dt * workers)
+	}
+	fmt.Fprintf(b, "\x1b[1mpool\x1b[0m     workers %.0f  busy %.0f  busy%%(recent) %s  queue %.0f (hiwater %.0f)\n",
+		workers, m["rfidd_workers_busy"], pct(busyFrac),
+		m["rfidd_queue_depth"], m["rfidd_queue_depth_high_water"])
+	fmt.Fprintf(b, "         jobs done %.0f  failed %.0f  canceled %.0f  retries %.0f  done/s %s\n\n",
+		m["rfidd_jobs_done_total"], m["rfidd_jobs_failed_total"],
+		m["rfidd_jobs_canceled_total"], m["rfidd_jobs_retries_total"],
+		rateStr(d.rate(m, "rfidd_jobs_done_total", dt)))
+}
+
+func (d *dash) latencySection(b *strings.Builder, m map[string]float64) {
+	fmt.Fprintf(b, "\x1b[1mlatency\x1b[0m  %-7s %14s %14s %14s\n", "origin", "queue-wait", "run", "cache-lookup")
+	for _, origin := range []string{"job", "sweep"} {
+		l := `{origin="` + origin + `"}`
+		fmt.Fprintf(b, "         %-7s %14s %14s %14s\n", origin,
+			avgStr(m, "rfidd_queue_wait_seconds", l),
+			avgStr(m, "rfidd_run_seconds", l),
+			avgStr(m, "rfidd_cache_lookup_seconds", l))
+	}
+	fmt.Fprintf(b, "         window-wait %s (n=%.0f)\n\n",
+		avgStr(m, "rfidd_sweep_window_wait_seconds", ""),
+		m["rfidd_sweep_window_wait_seconds_count"])
+}
+
+func (d *dash) cacheSection(b *strings.Builder, m map[string]float64) {
+	fmt.Fprintf(b, "\x1b[1mcache\x1b[0m    entries %.0f/%.0f  hit-ratio %s\n",
+		m["rfidd_cache_entries"], m["rfidd_cache_capacity"], pct(m["rfidd_cache_hit_ratio"]))
+	for _, origin := range []string{"job", "sweep"} {
+		l := `{origin="` + origin + `"}`
+		hits := m["rfidd_cache_origin_hits_total"+l]
+		misses := m["rfidd_cache_origin_misses_total"+l]
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = hits / (hits + misses)
+		}
+		fmt.Fprintf(b, "         %-7s hits %.0f  misses %.0f  ratio %s\n", origin, hits, misses, pct(ratio))
+	}
+	b.WriteByte('\n')
+}
+
+func (d *dash) sweepSection(b *strings.Builder, sweeps []server.SweepResponse) {
+	fmt.Fprintf(b, "\x1b[1msweeps\x1b[0m   %d indexed\n", len(sweeps))
+	// Newest five, newest first.
+	for i, shown := len(sweeps)-1, 0; i >= 0 && shown < 5; i, shown = i-1, shown+1 {
+		sw := sweeps[i]
+		c := sw.Counts
+		fmt.Fprintf(b, "         %-8s %-9s cells %d done %d cached %d coalesced %d failed %d\n",
+			sw.ID, sw.Status, c.Cells, c.Done, c.Cached, c.Coalesced, c.Failed)
+	}
+	b.WriteByte('\n')
+}
+
+func (d *dash) eventSection(b *strings.Builder) {
+	target, lines := d.tail.snapshot()
+	if target == "" {
+		fmt.Fprintf(b, "\x1b[1mevents\x1b[0m   (no sweep to tail yet)\n")
+		return
+	}
+	fmt.Fprintf(b, "\x1b[1mevents\x1b[0m   tailing %s\n", target)
+	for _, l := range lines {
+		fmt.Fprintf(b, "         %s\n", l)
+	}
+}
+
+// rate is the per-second delta of a counter since the previous frame.
+func (d *dash) rate(m map[string]float64, key string, dt float64) float64 {
+	if d.prev == nil || dt <= 0 {
+		return 0
+	}
+	return (m[key] - d.prev[key]) / dt
+}
+
+// avgStr renders a histogram's overall mean as "1.2ms (n=34)".
+func avgStr(m map[string]float64, family, labels string) string {
+	count := m[family+"_count"+labels]
+	if count == 0 {
+		return "-"
+	}
+	mean := m[family+"_sum"+labels] / count
+	return fmtSeconds(mean)
+}
+
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+func pct(f float64) string {
+	return strconv.FormatFloat(f*100, 'f', 1, 64) + "%"
+}
+
+func rateStr(f float64) string {
+	return strconv.FormatFloat(f, 'f', 1, 64)
+}
+
+// formatEvent compacts one SSE event into a single tail line.
+func formatEvent(ev server.WatchEvent) string {
+	keys := make([]string, 0, len(ev.Data))
+	for k := range ev.Data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%-5d %-6s", ev.ID, ev.Type)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%v", k, ev.Data[k])
+	}
+	if b.Len() > 110 {
+		return b.String()[:107] + "..."
+	}
+	return b.String()
+}
+
+// tail is the bounded, mutex-guarded event-line ring the SSE tailer
+// writes and the render loop reads.
+type tail struct {
+	mu     sync.Mutex
+	target string
+	lines  []string
+	max    int
+}
+
+func newTail(max int) *tail {
+	if max < 1 {
+		max = 1
+	}
+	return &tail{max: max}
+}
+
+func (t *tail) reset(target string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.target = target
+	t.lines = nil
+}
+
+func (t *tail) add(line string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lines = append(t.lines, line)
+	if len(t.lines) > t.max {
+		t.lines = t.lines[len(t.lines)-t.max:]
+	}
+}
+
+func (t *tail) snapshot() (string, []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.target, append([]string(nil), t.lines...)
+}
+
+// parseProm flattens a Prometheus text exposition into series → value,
+// keyed by the series name with its label set verbatim.
+func parseProm(text string) map[string]float64 {
+	out := make(map[string]float64, 128)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}

@@ -3,8 +3,9 @@
 // tiny 2×2 parameter grid end to end through POST /v1/sweeps, and
 // asserts the merged CSV shape; a second identical sweep must then be
 // served from the result cache, visible as sweep-origin hits on
-// /metrics. Exits non-zero on any violation, so scripts/check.sh can
-// gate on it.
+// /metrics — and the full live exposition must pass the Prometheus
+// text-format linter. Exits non-zero on any violation, so
+// scripts/check.sh can gate on it.
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -110,6 +112,14 @@ func run() error {
 	}
 	if !strings.Contains(text, `rfidd_cache_origin_hits_total{origin="sweep"} 4`) {
 		return fmt.Errorf("metrics lack the sweep-origin cache hits:\n%s", grepLines(text, "origin"))
+	}
+	// The whole live exposition must pass the Prometheus text-format
+	// linter — after real traffic, with every family populated.
+	if errs := obs.LintPrometheus(text); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "sweepsmoke: lint:", e)
+		}
+		return fmt.Errorf("/metrics failed exposition lint with %d errors", len(errs))
 	}
 	return nil
 }

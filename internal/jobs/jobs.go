@@ -152,8 +152,9 @@ func (s Snapshot) Latency() time.Duration {
 
 // job is the pool-internal mutable state behind a Snapshot.
 type job struct {
-	id string
-	fn Func
+	id   string
+	fn   Func
+	sctx obs.SpanContext // service-level trace position, captured at submit
 
 	mu         sync.Mutex
 	status     Status
@@ -180,14 +181,16 @@ func (j *job) snapshot() Snapshot {
 
 // Stats is a point-in-time view of pool load, for /metrics.
 type Stats struct {
-	Workers    int
-	Busy       int // workers currently running a job
-	QueueDepth int // jobs waiting in the queue
-	Submitted  uint64
-	Done       uint64
-	Failed     uint64
-	Canceled   uint64
-	Retries    uint64 // re-attempts after transient failures
+	Workers        int
+	Busy           int // workers currently running a job
+	QueueDepth     int // jobs waiting in the queue
+	QueueHighWater int // deepest the queue has ever been
+	Submitted      uint64
+	Done           uint64
+	Failed         uint64
+	Canceled       uint64
+	Retries        uint64  // re-attempts after transient failures
+	BusySeconds    float64 // cumulative worker time spent running jobs
 }
 
 // Utilisation is Busy / Workers.
@@ -214,12 +217,14 @@ type Pool struct {
 	order  []string // submission order, for List
 	closed bool
 
-	busy      atomic.Int64
-	submitted atomic.Uint64
-	nDone     atomic.Uint64
-	nFailed   atomic.Uint64
-	nCanceled atomic.Uint64
-	nRetries  atomic.Uint64
+	busy       atomic.Int64
+	qHighWater atomic.Int64 // deepest queue observed at enqueue time
+	busyNanos  atomic.Int64 // cumulative worker-busy time
+	submitted  atomic.Uint64
+	nDone      atomic.Uint64
+	nFailed    atomic.Uint64
+	nCanceled  atomic.Uint64
+	nRetries   atomic.Uint64
 }
 
 // NewPool starts a pool with Options.Workers runner goroutines.
@@ -250,6 +255,17 @@ func (p *Pool) transition(id string, from, to Status, attempts int) {
 // Submit enqueues fn under the caller-chosen id. It fails fast with
 // ErrQueueFull, ErrClosed, or ErrDuplicateID — it never blocks.
 func (p *Pool) Submit(id string, fn Func) error {
+	return p.SubmitTraced(context.Background(), id, fn)
+}
+
+// SubmitTraced is Submit carrying trace context: the span context on
+// ctx (obs.WithSpan) is captured with the job, the time spent queued is
+// recorded as a queue-wait span under it, and each run attempt executes
+// under a child run span so lower layers (the simulator) can attach.
+// Only the span context is retained — ctx's deadline and cancellation
+// do NOT bound the job (use Cancel or Options.Timeout for that), so a
+// request-scoped ctx is safe to pass.
+func (p *Pool) SubmitTraced(ctx context.Context, id string, fn Func) error {
 	if fn == nil {
 		return fmt.Errorf("jobs: nil Func for job %q", id)
 	}
@@ -264,6 +280,7 @@ func (p *Pool) Submit(id string, fn Func) error {
 	}
 	j := &job{
 		id: id, fn: fn,
+		sctx:       obs.SpanFrom(ctx),
 		status:     StatusQueued,
 		enqueuedAt: time.Now(),
 		done:       make(chan struct{}),
@@ -273,6 +290,15 @@ func (p *Pool) Submit(id string, fn Func) error {
 	default:
 		p.mu.Unlock()
 		return ErrQueueFull
+	}
+	// Track the deepest the queue has been: saturation shows up here
+	// long before submissions start bouncing with ErrQueueFull.
+	depth := int64(len(p.queue))
+	for {
+		hw := p.qHighWater.Load()
+		if depth <= hw || p.qHighWater.CompareAndSwap(hw, depth) {
+			break
+		}
 	}
 	p.byID[id] = j
 	p.order = append(p.order, id)
@@ -383,14 +409,16 @@ func (p *Pool) Wait(ctx context.Context, id string) (Snapshot, error) {
 // Stats returns a point-in-time load snapshot.
 func (p *Pool) Stats() Stats {
 	return Stats{
-		Workers:    p.opts.Workers,
-		Busy:       int(p.busy.Load()),
-		QueueDepth: len(p.queue),
-		Submitted:  p.submitted.Load(),
-		Done:       p.nDone.Load(),
-		Failed:     p.nFailed.Load(),
-		Canceled:   p.nCanceled.Load(),
-		Retries:    p.nRetries.Load(),
+		Workers:        p.opts.Workers,
+		Busy:           int(p.busy.Load()),
+		QueueDepth:     len(p.queue),
+		QueueHighWater: int(p.qHighWater.Load()),
+		Submitted:      p.submitted.Load(),
+		Done:           p.nDone.Load(),
+		Failed:         p.nFailed.Load(),
+		Canceled:       p.nCanceled.Load(),
+		Retries:        p.nRetries.Load(),
+		BusySeconds:    time.Duration(p.busyNanos.Load()).Seconds(),
 	}
 }
 
@@ -430,7 +458,9 @@ func (p *Pool) worker(wid int) {
 	n := 0
 	for j := range p.queue {
 		p.busy.Add(1)
+		t0 := time.Now()
 		p.run(j, tid)
+		p.busyNanos.Add(int64(time.Since(t0)))
 		p.busy.Add(-1)
 		n++
 	}
@@ -449,6 +479,10 @@ func (p *Pool) run(j *job, tid int) {
 		j.finishedAt = time.Now()
 		close(j.done)
 		j.mu.Unlock()
+		if j.sctx.Valid() {
+			j.sctx.Complete("jobs", "queue-wait", j.enqueuedAt, j.finishedAt,
+				obs.SA("id", j.id), obs.SA("outcome", "canceled"))
+		}
 		p.nCanceled.Add(1)
 		p.transition(j.id, StatusQueued, StatusCanceled, 0)
 		p.finishLog(j)
@@ -461,6 +495,11 @@ func (p *Pool) run(j *job, tid int) {
 	j.cancel = cancel
 	j.mu.Unlock()
 	defer cancel()
+	if j.sctx.Valid() {
+		j.sctx.Complete("jobs", "queue-wait", j.enqueuedAt, j.startedAt, obs.SA("id", j.id))
+	}
+	runSpan := j.sctx.Start("jobs", "run")
+	runCtx = obs.WithSpan(runCtx, runSpan.Context())
 	p.transition(j.id, StatusQueued, StatusRunning, 0)
 	span := p.opts.Tracer.StartSpan("jobs", "job "+j.id, tid)
 
@@ -513,6 +552,12 @@ func (p *Pool) run(j *job, tid int) {
 	attempts := j.attempts
 	close(j.done)
 	j.mu.Unlock()
+	if runSpan.Live() {
+		runSpan.End(obs.SA("id", j.id), obs.SA("status", string(status)),
+			obs.SA("attempts", attempts))
+	} else {
+		runSpan.End()
+	}
 	span.End(map[string]any{"id": j.id, "status": string(status), "attempts": attempts})
 	p.transition(j.id, StatusRunning, status, attempts)
 	p.finishLog(j)
@@ -557,6 +602,10 @@ func (p *Pool) Register(reg *obs.Registry, prefix string) {
 	reg.CounterFunc(prefix+"_jobs_failed_total", "Experiments that failed permanently.", p.nFailed.Load)
 	reg.CounterFunc(prefix+"_jobs_canceled_total", "Experiments canceled before completion.", p.nCanceled.Load)
 	reg.CounterFunc(prefix+"_jobs_retries_total", "Retry attempts after transient failures.", p.nRetries.Load)
+	reg.GaugeFunc(prefix+"_queue_depth_high_water", "Deepest the queue has been since startup.",
+		func() float64 { return float64(p.qHighWater.Load()) })
+	reg.CounterFloatFunc(prefix+"_worker_busy_seconds_total", "Cumulative worker time spent running experiments.",
+		func() float64 { return time.Duration(p.busyNanos.Load()).Seconds() })
 }
 
 func (p *Pool) notify(j *job) {

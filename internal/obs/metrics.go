@@ -99,6 +99,14 @@ func (c *counterFunc) writeSeries(w io.Writer, name, labels string) {
 	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.fn())
 }
 
+// floatCounterFunc samples a float-valued cumulative callback at
+// exposition time (counter semantics, gauge-style rendering).
+type floatCounterFunc struct{ fn func() float64 }
+
+func (c *floatCounterFunc) writeSeries(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %g\n", name, labels, c.fn())
+}
+
 // gaugeFunc samples a callback at exposition time.
 type gaugeFunc struct{ fn func() float64 }
 

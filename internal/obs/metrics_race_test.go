@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestHistogramConcurrentObserveAndWrite hammers one registered
+// histogram with parallel Observe calls while the registry renders the
+// exposition concurrently. Under -race this proves Observe and
+// writeSeries share the histogram lock correctly; the final exposition
+// must account for every observation exactly once.
+func TestHistogramConcurrentObserveAndWrite(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_latency_seconds", "test.", DefaultLatencyBuckets,
+		L("origin", "race"))
+
+	const writers = 8
+	const perWriter = 2000
+
+	// Render the exposition continuously while observations land; every
+	// intermediate render must already be structurally clean.
+	stop := make(chan struct{})
+	var renderer sync.WaitGroup
+	renderer.Add(1)
+	go func() {
+		defer renderer.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			reg.WritePrometheus(&buf)
+			if errs := LintPrometheus(buf.String()); errs != nil {
+				t.Errorf("mid-flight exposition failed lint: %v", errs)
+				return
+			}
+		}
+	}()
+
+	var observers sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		observers.Add(1)
+		go func(w int) {
+			defer observers.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(w*perWriter+i) / 1e6)
+			}
+		}(w)
+	}
+	observers.Wait()
+	close(stop)
+	renderer.Wait()
+
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("histogram counted %d observations, want %d", got, writers*perWriter)
+	}
+	counts := h.BucketCounts()
+	var sum uint64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != writers*perWriter {
+		t.Fatalf("bucket counts sum to %d, want %d", sum, writers*perWriter)
+	}
+
+	// The settled exposition carries the full count on the _count line.
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	want := `test_latency_seconds_count{origin="race"} 16000`
+	if !bytes.Contains(buf.Bytes(), []byte(want)) {
+		t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+	}
+}

@@ -96,6 +96,18 @@ func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...La
 	}
 }
 
+// CounterFloatFunc registers a counter series with a float value
+// sampled from fn at exposition time (cumulative seconds and other
+// non-integer monotone quantities).
+func (r *Registry) CounterFloatFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, "counter")
+	if _, ok := f.addLocked(labels, &floatCounterFunc{fn: fn}).(*floatCounterFunc); !ok {
+		panic(fmt.Sprintf("obs: series %s%s is not a float func-backed counter", name, renderLabels(labels)))
+	}
+}
+
 // GaugeFunc registers a gauge series whose value is sampled from fn at
 // exposition time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {

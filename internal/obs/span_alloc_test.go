@@ -1,0 +1,45 @@
+//go:build !race
+
+package obs
+
+// Allocation guards for the spans-disabled path, in the same spirit as
+// the sim/air guards: threading trace context through the job and sweep
+// hot paths is only free if an absent or disabled span context costs at
+// most one atomic load and zero allocations per call. The race detector
+// instruments allocations, so these run only without -race (CI has a
+// dedicated non-race shard).
+
+import (
+	"context"
+	"testing"
+)
+
+func TestSpanDisabledAllocatesNothing(t *testing.T) {
+	// Absent span context: the lookup plus an inert start/end cycle.
+	bg := context.Background()
+	if n := testing.AllocsPerRun(100, func() {
+		sc := SpanFrom(bg)
+		h := sc.Start("jobs", "run")
+		h.End()
+	}); n != 0 {
+		t.Errorf("absent span context: %v allocs/op, want 0", n)
+	}
+
+	// Disabled store: the span context was handed out while tracing was
+	// on, then recording was toggled off — one atomic load decides, with
+	// zero allocations.
+	s := NewTraceStore(2, 16)
+	ctx := WithSpan(bg, s.StartTrace("t"))
+	s.SetEnabled(false)
+	if n := testing.AllocsPerRun(100, func() {
+		sc := SpanFrom(ctx)
+		h := sc.Start("jobs", "run")
+		if h.Live() {
+			h.End(SA("never", "recorded"))
+		} else {
+			h.End()
+		}
+	}); n != 0 {
+		t.Errorf("disabled store: %v allocs/op, want 0", n)
+	}
+}

@@ -195,15 +195,45 @@ func (t *Tracer) Register(reg *Registry, labels ...Label) {
 		t.Dropped, labels...)
 }
 
-// WriteJSONL writes one event per line as JSON.
-func (t *Tracer) WriteJSONL(w io.Writer) error {
+// Epoch returns the tracer's clock origin, so its events can be
+// rebased onto another monotonic timeline (the TraceStore's) when a
+// run's ring trace is joined into a service-level trace.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// RebasedEvents returns the buffered events with timestamps shifted
+// onto a clock whose origin is epoch (events keep their relative
+// spacing; a nil tracer returns nil).
+func (t *Tracer) RebasedEvents(epoch time.Time) []Event {
+	if t == nil {
+		return nil
+	}
+	offset := float64(t.start.Sub(epoch)) / float64(time.Microsecond)
+	ev := t.Events()
+	for i := range ev {
+		ev[i].TS += offset
+	}
+	return ev
+}
+
+// writeEventsJSONL writes events one JSON object per line.
+func writeEventsJSONL(w io.Writer, events []Event) error {
 	enc := json.NewEncoder(w)
-	for _, e := range t.Events() {
+	for _, e := range events {
 		if err := enc.Encode(e); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// WriteJSONL writes one event per line as JSON.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	return writeEventsJSONL(w, t.Events())
 }
 
 // chromeTrace is the chrome://tracing JSON object format.
@@ -212,15 +242,19 @@ type chromeTrace struct {
 	DisplayTimeUnit string  `json:"displayTimeUnit"`
 }
 
-// WriteChromeTrace writes the buffered events as a Chrome trace-event
-// JSON object loadable in chrome://tracing or Perfetto.
-func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	ev := t.Events()
+// writeChromeObject wraps events in the chrome://tracing object format.
+func writeChromeObject(w io.Writer, ev []Event) error {
 	if ev == nil {
 		ev = []Event{} // keep traceEvents an array, not null
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(chromeTrace{TraceEvents: ev, DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeTrace writes the buffered events as a Chrome trace-event
+// JSON object loadable in chrome://tracing or Perfetto.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return writeChromeObject(w, t.Events())
 }
 
 // tracerKey carries a *Tracer through context.

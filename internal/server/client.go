@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -48,41 +49,53 @@ func (e *apiError) Error() string {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	_, err := c.doTraced(ctx, method, path, "", body, out)
+	return err
+}
+
+// doTraced is do with trace propagation: a non-empty traceID is sent
+// as X-Trace-Id, and the server's effective trace ID (minted when none
+// was sent) is returned from the response header.
+func (c *Client) doTraced(ctx context.Context, method, path, traceID string, body, out any) (string, error) {
 	var rdr io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
-			return err
+			return "", err
 		}
 		rdr = bytes.NewReader(b)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rdr)
 	if err != nil {
-		return err
+		return "", err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if traceID != "" {
+		req.Header.Set(TraceHeader, traceID)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer resp.Body.Close()
+	gotTrace := resp.Header.Get(TraceHeader)
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return gotTrace, err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var e errorResponse
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return &apiError{StatusCode: resp.StatusCode, Message: e.Error}
+			return gotTrace, &apiError{StatusCode: resp.StatusCode, Message: e.Error}
 		}
-		return &apiError{StatusCode: resp.StatusCode, Message: string(raw)}
+		return gotTrace, &apiError{StatusCode: resp.StatusCode, Message: string(raw)}
 	}
 	if out != nil {
-		return json.Unmarshal(raw, out)
+		return gotTrace, json.Unmarshal(raw, out)
 	}
-	return nil
+	return gotTrace, nil
 }
 
 // Submit enqueues an experiment and returns its (possibly cached or
@@ -125,6 +138,70 @@ func (c *Client) SubmitSweep(ctx context.Context, spec sweep.Spec) (SweepRespons
 	var out SweepResponse
 	err := c.do(ctx, http.MethodPost, "/v1/sweeps", SweepSubmitRequest{Spec: spec}, &out)
 	return out, err
+}
+
+// SubmitSweepTraced is SubmitSweep under a service-level trace: the
+// given trace ID (minted by the server when empty) is propagated, and
+// the effective ID is returned for a later Trace call.
+func (c *Client) SubmitSweepTraced(ctx context.Context, spec sweep.Spec, traceID string) (SweepResponse, string, error) {
+	var out SweepResponse
+	id, err := c.doTraced(ctx, http.MethodPost, "/v1/sweeps", traceID, SweepSubmitRequest{Spec: spec}, &out)
+	return out, id, err
+}
+
+// SubmitTraced is Submit under a service-level trace; see
+// SubmitSweepTraced.
+func (c *Client) SubmitTraced(ctx context.Context, cfg sim.Config, traceID string) (ExperimentResponse, string, error) {
+	var out ExperimentResponse
+	id, err := c.doTraced(ctx, http.MethodPost, "/v1/experiments", traceID, SubmitRequest{Config: cfg}, &out)
+	return out, id, err
+}
+
+// Traces lists the server's retained service-level traces.
+func (c *Client) Traces(ctx context.Context) ([]obs.TraceSummary, error) {
+	var out TracesResponse
+	err := c.do(ctx, http.MethodGet, "/v1/traces", nil, &out)
+	return out.Traces, err
+}
+
+// Trace fetches one joined trace in the given format ("" or "chrome"
+// for Chrome trace-event JSON, "jsonl" for JSONL).
+func (c *Client) Trace(ctx context.Context, id, format string) (string, error) {
+	path := "/v1/traces/" + id
+	if format != "" {
+		path += "?format=" + url.QueryEscape(format)
+	}
+	return c.fetchText(ctx, path)
+}
+
+// Statusz fetches the /debug/statusz HTML snapshot.
+func (c *Client) Statusz(ctx context.Context) (string, error) {
+	return c.fetchText(ctx, "/debug/statusz")
+}
+
+// fetchText GETs a non-JSON endpoint and returns its body.
+func (c *Client) fetchText(ctx context.Context, path string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			return "", &apiError{StatusCode: resp.StatusCode, Message: e.Error}
+		}
+		return "", &apiError{StatusCode: resp.StatusCode, Message: string(b)}
+	}
+	return string(b), nil
 }
 
 // GetSweep fetches one sweep summary by ID.

@@ -21,6 +21,14 @@ import (
 func (s *Server) registerMetrics() {
 	s.lat = s.reg.Histogram("rfidd_job_latency_seconds",
 		"Queue wait plus run time per experiment.", obs.DefaultLatencyBuckets)
+	// Latency decomposition by origin: where did an experiment's wall
+	// clock go — waiting in the queue, looking up the cache, or running.
+	s.jobLat = s.originLat(originJob)
+	s.sweepLat = s.originLat(originSweep)
+	s.windowWait = s.reg.Histogram("rfidd_sweep_window_wait_seconds",
+		"Time a sweep cell waited for an in-flight window slot.", obs.DefaultLatencyBuckets)
+	s.sweeps.CacheLookup = s.sweepLat.lookup
+	s.sweeps.WindowWait = s.windowWait
 	s.pool.Register(s.reg, "rfidd")
 	s.cache.Register(s.reg, "rfidd_cache")
 	// Cache traffic split by requester: single submissions vs sweep
@@ -47,7 +55,23 @@ func (s *Server) registerMetrics() {
 		s.expTraceDrops.Load, obs.L("tracer", "experiments"))
 	s.evDrops = s.reg.Counter("rfidd_event_subscribers_dropped_total",
 		"SSE subscribers dropped for falling behind the event stream.")
+	if s.spans != nil {
+		s.spans.Register(s.reg)
+	}
 	sim.Instrument(s.reg)
+}
+
+// originLat builds the three decomposition histograms for one origin.
+func (s *Server) originLat(origin string) originLat {
+	l := obs.L("origin", origin)
+	return originLat{
+		queueWait: s.reg.Histogram("rfidd_queue_wait_seconds",
+			"Time from enqueue to run start, by origin.", obs.DefaultLatencyBuckets, l),
+		run: s.reg.Histogram("rfidd_run_seconds",
+			"Run time (first attempt start to terminal), by origin.", obs.DefaultLatencyBuckets, l),
+		lookup: s.reg.Histogram("rfidd_cache_lookup_seconds",
+			"Result-cache lookup time, by origin.", obs.DefaultLatencyBuckets, l),
+	}
 }
 
 // handleMetrics renders the registry in Prometheus text format.

@@ -23,10 +23,20 @@
 //	GET    /v1/sweeps/{id}/report       merged paper-style output (?format=table|csv)
 //	GET    /v1/sweeps/{id}/events       per-cell progress stream (text/event-stream)
 //	DELETE /v1/sweeps/{id}              cancel a running sweep
+//	GET    /v1/traces                   retained service-level trace summaries
+//	GET    /v1/traces/{id}              joined trace: request → job/sweep → cell spans plus
+//	                                    linked per-run ring traces (?format=jsonl for JSONL)
 //	GET    /healthz                     liveness probe
 //	GET    /metrics                     Prometheus text format (single obs registry walk)
+//	GET    /debug/statusz               self-contained HTML service snapshot
 //	GET    /debug/trace                 pool worker-lifecycle trace (when tracing enabled)
 //	GET    /debug/pprof/...             net/http/pprof (when Options.EnablePprof)
+//
+// Every request that creates work (or carries an X-Trace-Id header)
+// runs under a service-level trace: the middleware assigns or adopts
+// the ID, echoes it in the X-Trace-Id response header, and the span
+// tree — request, queue wait, run, sweep, cells, simulator rounds —
+// is exported by GET /v1/traces/{id}.
 package server
 
 import (
@@ -67,6 +77,16 @@ type Options struct {
 	// TraceCapacity bounds each experiment's trace ring buffer, in
 	// events (default 4096; negative disables run tracing).
 	TraceCapacity int
+	// TraceStoreTraces bounds how many service-level traces the span
+	// store retains (default 256; negative disables the span store —
+	// X-Trace-Id still propagates, but no spans are recorded).
+	TraceStoreTraces int
+	// TraceStoreSpans bounds the spans retained per trace (default
+	// 4096; excess spans are dropped and counted, roots are kept).
+	TraceStoreSpans int
+	// WideEvents bounds the ring of recent wide events rendered on
+	// /debug/statusz (default 128).
+	WideEvents int
 	// Logger, if set, receives structured request logs (method, path,
 	// status, latency, experiment id, cache hit) and worker lifecycle
 	// logs. Nil disables logging.
@@ -109,6 +129,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TraceCapacity == 0 {
 		o.TraceCapacity = 4096
+	}
+	if o.TraceStoreTraces == 0 {
+		o.TraceStoreTraces = 256
+	}
+	if o.TraceStoreSpans <= 0 {
+		o.TraceStoreSpans = 4096
+	}
+	if o.WideEvents <= 0 {
+		o.WideEvents = 128
 	}
 	if o.EventHistory == 0 {
 		o.EventHistory = 256
@@ -176,6 +205,7 @@ type experiment struct {
 	cached    bool
 	result    json.RawMessage // set for cache-served records
 	createdAt time.Time
+	traceID   string      // service-level trace this record belongs to; "" when untraced
 	tr        *obs.Tracer // per-run trace; nil for cached records or when disabled
 	bus       *obs.Bus    // live telemetry; nil for cached records or when disabled
 }
@@ -193,6 +223,13 @@ type Server struct {
 	auditor   *audit.Auditor // shadow-oracle auditor; nil unless EnableAudit
 	evDrops   *obs.Counter   // slow event subscribers dropped, all experiments
 	logger    *slog.Logger
+	startedAt time.Time
+
+	spans      *obs.TraceStore // service-level span store; nil when disabled
+	wide       *wideLog        // recent wide events, for /debug/statusz
+	jobLat     originLat       // latency decomposition, single submissions
+	sweepLat   originLat       // latency decomposition, sweep cells
+	windowWait *obs.Histogram  // sweep in-flight-window wait
 
 	sweeps *sweep.Runner
 
@@ -221,10 +258,15 @@ func New(o Options) *Server {
 		sweepByID: make(map[string]*sweep.Sweep),
 		reg:       obs.NewRegistry(),
 		logger:    o.Logger,
+		startedAt: time.Now(),
 	}
 	if o.TraceCapacity > 0 {
 		s.poolTrace = obs.NewTracer(o.TraceCapacity)
 	}
+	if o.TraceStoreTraces > 0 {
+		s.spans = obs.NewTraceStore(o.TraceStoreTraces, o.TraceStoreSpans)
+	}
+	s.wide = newWideLog(o.WideEvents)
 	if o.EnableAudit {
 		s.auditor = audit.New(s.reg, audit.Options{ExemplarCap: o.AuditExemplars})
 		sim.InstrumentAudit(s.auditor)
@@ -239,10 +281,13 @@ func New(o Options) *Server {
 		Logger:       o.Logger,
 	})
 	s.sweeps = &sweep.Runner{
-		Pool:    s.pool,
-		Cache:   s.cache,
-		Origin:  originSweep,
-		Scratch: &sim.ScratchPool{},
+		Pool:       s.pool,
+		Cache:      s.cache,
+		Origin:     originSweep,
+		Scratch:    &sim.ScratchPool{},
+		OnCellDone: s.onCellDone,
+		// CacheLookup and WindowWait are wired in registerMetrics, where
+		// the histograms are created.
 	}
 	s.registerMetrics()
 	s.mux = http.NewServeMux()
@@ -260,8 +305,11 @@ func New(o Options) *Server {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/report", s.handleSweepReport)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/statusz", s.handleStatusz)
 	if s.poolTrace != nil {
 		s.mux.HandleFunc("GET /debug/trace", s.handlePoolTrace)
 	}
@@ -279,13 +327,15 @@ func New(o Options) *Server {
 // process can register additional series on the same /metrics walk.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// Handler returns the service's HTTP handler (request-logging wrapped
-// when a logger is configured).
+// Handler returns the service's HTTP handler: the mux wrapped in the
+// trace-context middleware and, when a logger is configured, the
+// request logger.
 func (s *Server) Handler() http.Handler {
+	h := s.traceHandler(s.mux)
 	if s.logger == nil {
-		return s.mux
+		return h
 	}
-	return s.loggingHandler(s.mux)
+	return s.loggingHandler(h)
 }
 
 // statusRecorder captures the response code for request logs.
@@ -369,8 +419,18 @@ func (s *Server) onJobDone(snap jobs.Snapshot) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		return
+		return // a sweep cell: the sweep runner's OnCellDone hook covers it
 	}
+	var qw, rt time.Duration
+	if !snap.StartedAt.IsZero() {
+		qw = snap.StartedAt.Sub(snap.EnqueuedAt)
+		if !snap.FinishedAt.IsZero() {
+			rt = snap.FinishedAt.Sub(snap.StartedAt)
+		}
+	}
+	s.jobLat.queueWait.Observe(qw.Seconds())
+	s.jobLat.run.Observe(rt.Seconds())
+	s.emitWide(wideOfJob(exp, snap, qw, rt))
 	if snap.Status == jobs.StatusDone {
 		if body, isRaw := snap.Result.(json.RawMessage); isRaw {
 			s.cache.Put(exp.key, body)
@@ -401,18 +461,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
+	sc := obs.SpanFrom(r.Context()) // request span, from the trace middleware
 
 	// Cache hit: mint a terminal record served from the stored bytes.
 	// The single GetOrigin call is the submission's one counted lookup —
 	// the short-circuit below must not consult the cache again.
-	if val, hit := s.cache.GetOrigin(key, originJob); hit {
+	lookStart := time.Now()
+	val, hit := s.cache.GetOrigin(key, originJob)
+	s.jobLat.lookup.Observe(time.Since(lookStart).Seconds())
+	if hit {
 		body := val.(json.RawMessage)
 		s.mu.Lock()
 		exp := s.newRecordLocked(key, cfg)
 		exp.cached = true
 		exp.result = body
+		exp.traceID = sc.TraceID()
 		resp := s.responseOfLocked(exp)
 		s.mu.Unlock()
+		if sc.Valid() {
+			sc.Complete("jobs", "cache-hit", lookStart, time.Now(), obs.SA("id", exp.id))
+		}
 		s.logSubmit(exp.id, true, false)
 		writeJSON(w, http.StatusOK, resp)
 		return
@@ -424,12 +492,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if exp, ok := s.byID[liveID]; ok {
 			resp := s.responseOfLocked(exp)
 			s.mu.Unlock()
+			if sc.Valid() {
+				now := time.Now()
+				sc.Complete("jobs", "coalesced", now, now, obs.SA("id", exp.id))
+			}
 			s.logSubmit(exp.id, false, true)
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 	}
 	exp := s.newRecordLocked(key, cfg)
+	exp.traceID = sc.TraceID()
 	var tr *obs.Tracer
 	if s.opts.TraceCapacity > 0 {
 		tr = obs.NewTracer(s.opts.TraceCapacity)
@@ -454,7 +527,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return json.RawMessage(b), nil
 	}
-	if err := s.pool.Submit(exp.id, fn); err != nil {
+	// Only the span context rides along: the job outlives this request,
+	// so ctx cancellation must not (and does not) bound it.
+	if err := s.pool.SubmitTraced(r.Context(), exp.id, fn); err != nil {
 		s.dropRecordLocked(exp.id)
 		s.mu.Unlock()
 		switch {

@@ -218,15 +218,66 @@ func TestEventsLastEventIDResume(t *testing.T) {
 	}
 }
 
-// fetchEvents reads one full (closed-bus) SSE stream. id may carry a
-// pre-built path suffix with query parameters.
+// TestSweepEventsLastEventIDResume mirrors the resume contract on the
+// sweep-cell stream: reconnecting with a cursor — header or ?after= —
+// replays only the cell/sweep events strictly after it, and the
+// resumed stream still ends with the terminal sweep event.
+func TestSweepEventsLastEventIDResume(t *testing.T) {
+	_, c := startServer(t, Options{Workers: 2, QueueDepth: 8, EventHistory: 2048})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	sub, err := c.SubmitSweep(ctx, fig5MiniSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitSweep(ctx, sub.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	path := "/v1/sweeps/" + sub.ID + "/events"
+	full := fetchSSE(t, c, path, nil)
+	if len(full) < 4 {
+		t.Fatalf("stream too short to test resume: %d events", len(full))
+	}
+	if last := full[len(full)-1]; last.typ != "sweep" {
+		t.Fatalf("stream does not end with the terminal sweep event: %+v", last)
+	}
+	cursor := full[len(full)/2].id
+
+	hdr := map[string]string{"Last-Event-ID": fmt.Sprint(cursor)}
+	for name, evs := range map[string][]sseEvent{
+		"header": fetchSSE(t, c, path, hdr),
+		"query":  fetchSSE(t, c, path+"?after="+fmt.Sprint(cursor), nil),
+	} {
+		if want := len(full) - len(full)/2 - 1; len(evs) != want {
+			t.Errorf("%s resume returned %d events, want %d", name, len(evs), want)
+		}
+		for _, ev := range evs {
+			if ev.id <= cursor {
+				t.Errorf("%s resume replayed event %d at or before cursor %d", name, ev.id, cursor)
+			}
+		}
+		if len(evs) > 0 && evs[len(evs)-1].typ != "sweep" {
+			t.Errorf("%s resume lost the terminal sweep event: %+v", name, evs[len(evs)-1])
+		}
+	}
+}
+
+// fetchEvents reads one full (closed-bus) experiment SSE stream. id may
+// carry a pre-built path suffix with query parameters.
 func fetchEvents(t *testing.T, c *Client, id string, hdr map[string]string) []sseEvent {
 	t.Helper()
 	path := id
 	if !strings.Contains(path, "/events") {
 		path += "/events"
 	}
-	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/v1/experiments/"+path, nil)
+	return fetchSSE(t, c, "/v1/experiments/"+path, hdr)
+}
+
+// fetchSSE reads one full (closed-bus) SSE stream at path.
+func fetchSSE(t *testing.T, c *Client, path string, hdr map[string]string) []sseEvent {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

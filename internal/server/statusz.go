@@ -1,0 +1,150 @@
+package server
+
+// GET /debug/statusz: a self-contained HTML snapshot of the service —
+// pool load and saturation, cache effectiveness by origin, recent
+// sweeps, retained traces, and the tail of the wide-event stream — for
+// a human with a browser and no Prometheus. Everything here is served
+// from in-memory state; rendering takes no locks longer than the
+// snapshot copies require.
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rescache"
+)
+
+var statuszTmpl = template.Must(template.New("statusz").Funcs(template.FuncMap{
+	"dur": func(d time.Duration) string { return d.Round(time.Microsecond).String() },
+	"pct": func(f float64) string { return fmt.Sprintf("%.0f%%", 100*f) },
+	"ts":  func(t time.Time) string { return t.Format("15:04:05.000") },
+}).Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>rfidd statusz</title>
+<style>
+body { font-family: monospace; margin: 1.5em; background: #fafafa; color: #222; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.4em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #bbb; padding: 2px 8px; text-align: left; }
+th { background: #eee; }
+.num { text-align: right; }
+.muted { color: #888; }
+</style></head><body>
+<h1>rfidd statusz</h1>
+<p>snapshot {{ts .Now}} &middot; up {{.Uptime}}</p>
+
+<h2>worker pool</h2>
+<table>
+<tr><th>workers</th><th>busy</th><th>utilisation</th><th>queue</th><th>queue high-water</th><th>busy-seconds</th></tr>
+<tr><td class="num">{{.Pool.Workers}}</td><td class="num">{{.Pool.Busy}}</td>
+<td class="num">{{pct .Pool.Utilisation}}</td><td class="num">{{.Pool.QueueDepth}}</td>
+<td class="num">{{.Pool.QueueHighWater}}</td><td class="num">{{printf "%.3f" .Pool.BusySeconds}}</td></tr>
+</table>
+<table>
+<tr><th>submitted</th><th>done</th><th>failed</th><th>canceled</th><th>retries</th></tr>
+<tr><td class="num">{{.Pool.Submitted}}</td><td class="num">{{.Pool.Done}}</td>
+<td class="num">{{.Pool.Failed}}</td><td class="num">{{.Pool.Canceled}}</td>
+<td class="num">{{.Pool.Retries}}</td></tr>
+</table>
+
+<h2>result cache</h2>
+<table>
+<tr><th>origin</th><th>hits</th><th>misses</th><th>hit ratio</th></tr>
+<tr><td>job</td><td class="num">{{.JobCache.Hits}}</td><td class="num">{{.JobCache.Misses}}</td><td class="num">{{pct .JobCache.HitRatio}}</td></tr>
+<tr><td>sweep</td><td class="num">{{.SweepCache.Hits}}</td><td class="num">{{.SweepCache.Misses}}</td><td class="num">{{pct .SweepCache.HitRatio}}</td></tr>
+</table>
+<p>{{.Cache.Entries}}/{{.Cache.Capacity}} entries &middot; {{.Experiments}} experiment records indexed</p>
+
+<h2>sweeps</h2>
+{{if .Sweeps}}<table>
+<tr><th>id</th><th>status</th><th>cells</th><th>done</th><th>cached</th><th>coalesced</th><th>failed</th><th>canceled</th></tr>
+{{range .Sweeps}}<tr><td>{{.ID}}</td><td>{{.Status}}</td>
+<td class="num">{{.Counts.Cells}}</td><td class="num">{{.Counts.Done}}</td>
+<td class="num">{{.Counts.Cached}}</td><td class="num">{{.Counts.Coalesced}}</td>
+<td class="num">{{.Counts.Failed}}</td><td class="num">{{.Counts.Canceled}}</td></tr>
+{{end}}</table>{{else}}<p class="muted">none</p>{{end}}
+
+<h2>traces</h2>
+{{if not .Tracing}}<p class="muted">service tracing disabled</p>
+{{else if .Traces}}<table>
+<tr><th>trace</th><th>spans</th><th>dropped</th><th>started</th></tr>
+{{range .Traces}}<tr><td><a href="/v1/traces/{{.ID}}">{{.ID}}</a></td>
+<td class="num">{{.Spans}}</td><td class="num">{{.Dropped}}</td><td>{{ts .StartedAt}}</td></tr>
+{{end}}</table>{{else}}<p class="muted">none recorded yet</p>{{end}}
+
+<h2>recent wide events <span class="muted">({{.WideTotal}} total)</span></h2>
+{{if .Wide}}<table>
+<tr><th>time</th><th>origin</th><th>id</th><th>status</th><th>alg</th><th>det</th><th>tags</th><th>frame</th><th>cache</th><th>queue wait</th><th>run</th><th>err</th></tr>
+{{range .Wide}}<tr><td>{{ts .Time}}</td><td>{{.Origin}}</td><td>{{.ID}}</td>
+<td>{{.Status}}</td><td>{{.Algorithm}}</td><td>{{.Detector}}</td>
+<td class="num">{{.Tags}}</td><td class="num">{{.FrameSize}}</td><td>{{.Cache}}</td>
+<td class="num">{{dur .QueueWait}}</td><td class="num">{{dur .RunTime}}</td><td>{{.Err}}</td></tr>
+{{end}}</table>{{else}}<p class="muted">none yet</p>{{end}}
+</body></html>
+`))
+
+// statuszData is the snapshot the template renders.
+type statuszData struct {
+	Now         time.Time
+	Uptime      time.Duration
+	Pool        poolView
+	Cache       rescache.Stats
+	JobCache    rescache.Stats
+	SweepCache  rescache.Stats
+	Experiments int64
+	Sweeps      []SweepResponse
+	Tracing     bool
+	Traces      []obs.TraceSummary
+	Wide        []wideEvent
+	WideTotal   uint64
+}
+
+// poolView adds the derived utilisation to jobs.Stats for the template.
+type poolView struct {
+	Workers, Busy, QueueDepth, QueueHighWater int
+	Submitted, Done, Failed, Canceled, Retries uint64
+	BusySeconds                                float64
+	Utilisation                                float64
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	ps := s.pool.Stats()
+	d := statuszData{
+		Now:    time.Now(),
+		Uptime: time.Since(s.startedAt).Round(time.Second),
+		Pool: poolView{
+			Workers: ps.Workers, Busy: ps.Busy,
+			QueueDepth: ps.QueueDepth, QueueHighWater: ps.QueueHighWater,
+			Submitted: ps.Submitted, Done: ps.Done, Failed: ps.Failed,
+			Canceled: ps.Canceled, Retries: ps.Retries,
+			BusySeconds: ps.BusySeconds, Utilisation: ps.Utilisation(),
+		},
+		Cache:       s.cache.Stats(),
+		JobCache:    s.cache.OriginStats(originJob),
+		SweepCache:  s.cache.OriginStats(originSweep),
+		Experiments: s.records.Load(),
+		Tracing:     s.spans != nil,
+		Wide:        s.wide.recent(32),
+		WideTotal:   s.wide.count(),
+	}
+	s.mu.Lock()
+	for i := len(s.sweepOrder) - 1; i >= 0 && len(d.Sweeps) < 16; i-- {
+		if sw := s.sweepByID[s.sweepOrder[i]]; sw != nil {
+			d.Sweeps = append(d.Sweeps, sweepResponseOf(sw.Snapshot()))
+		}
+	}
+	s.mu.Unlock()
+	if s.spans != nil {
+		sums := s.spans.Summaries()
+		if len(sums) > 16 { // newest are appended last; show the tail
+			sums = sums[len(sums)-16:]
+		}
+		d.Traces = sums
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := statuszTmpl.Execute(w, d); err != nil && s.logger != nil {
+		s.logger.Warn("statusz render failed", "err", err)
+	}
+}

@@ -157,8 +157,10 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	id := "swp-" + strconv.FormatUint(s.nextSweepID, 10)
 	s.mu.Unlock()
 	// The sweep outlives this request: run it on the background context
-	// (DELETE /v1/sweeps/{id} cancels it).
-	sw, err := s.sweeps.Start(context.Background(), id, spec, bus)
+	// (DELETE /v1/sweeps/{id} cancels it). Only the request's span
+	// context rides along, parenting the sweep and cell spans.
+	sctx := obs.WithSpan(context.Background(), obs.SpanFrom(r.Context()))
+	sw, err := s.sweeps.Start(sctx, id, spec, bus)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return

@@ -470,6 +470,12 @@ func RunContextPool(ctx context.Context, c Config, sp *ScratchPool) (*Aggregate,
 	}
 	tr := obs.TracerFrom(ctx)
 	bus := obs.BusFrom(ctx)
+	sc := obs.SpanFrom(ctx)
+	if sc.Valid() && sc.TraceID() != "" {
+		// Stamp the service trace ID into the ring trace so the two can
+		// be joined after the fact (the server merges them at export).
+		tr.Instant("sim", "trace-link", 0, map[string]any{"trace": sc.TraceID()})
+	}
 	expSpan := tr.StartSpan("sim", "experiment", 0)
 	// Pre-draw per-round seeds so parallel scheduling cannot affect them.
 	parent := prng.New(c.Seed)
@@ -501,13 +507,25 @@ func RunContextPool(ctx context.Context, c Config, sp *ScratchPool) (*Aggregate,
 					continue // drain without computing
 				}
 				sp := tr.StartSpan("sim", "round", tid)
+				rsp := sc.Start("sim", "round")
 				s, err := runRound(c, seeds[r], roundEnv{round: r, tr: tr, bus: bus, tid: tid}, rs)
 				if s == nil {
 					sp.End(map[string]any{"round": r, "error": fmt.Sprint(err)})
+					if rsp.Live() {
+						rsp.End(obs.SA("round", r), obs.SA("error", fmt.Sprint(err)))
+					} else {
+						rsp.End()
+					}
 					results[r] = roundResult{err: err}
 					continue
 				}
 				sp.End(roundArgs(r, s))
+				if rsp.Live() {
+					rsp.End(obs.SA("round", r), obs.SA("slots", s.Census.Slots()),
+						obs.SA("identified", s.TagsIdentified))
+				} else {
+					rsp.End()
+				}
 				results[r] = roundResult{fold: summarizeRound(s), ok: true}
 				done := completed.Add(1)
 				if bus.Enabled() {

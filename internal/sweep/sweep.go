@@ -41,6 +41,16 @@ type Runner struct {
 	// pool (default: pool workers + 2), so a huge sweep cannot occupy
 	// the whole bounded queue and starve single-job traffic.
 	Window int
+	// CacheLookup, when set, observes the duration of every result-cache
+	// lookup the runner performs.
+	CacheLookup *obs.Histogram
+	// WindowWait, when set, observes time spent waiting for a slot in
+	// the per-sweep in-flight window — the sweep-side saturation signal.
+	WindowWait *obs.Histogram
+	// OnCellDone, when set, is called once per cell as it reaches a
+	// terminal state (from the feeder or a waiter goroutine; keep it
+	// fast and do not call back into the sweep).
+	OnCellDone func(CellDone)
 
 	started   atomic.Uint64
 	finished  atomic.Uint64
@@ -99,6 +109,17 @@ type CellState struct {
 	Err string
 }
 
+// CellDone describes one cell's terminal outcome for the OnCellDone
+// hook: a copy of the terminal state plus the decomposed latencies of
+// the underlying job. Cached, coalesced and never-started cells report
+// zero durations.
+type CellDone struct {
+	SweepID   string
+	State     CellState
+	QueueWait time.Duration
+	RunTime   time.Duration
+}
+
 // Counts summarises a sweep's cell outcomes.
 type Counts struct {
 	Cells     int `json:"cells"`
@@ -134,6 +155,8 @@ type Sweep struct {
 	bus         *obs.Bus
 	cancel      context.CancelFunc
 	done        chan struct{}
+	span        obs.SpanHandle  // the sweep-level span, ended in finish
+	sctx        obs.SpanContext // parent context for per-cell spans
 
 	mu         sync.Mutex
 	cells      []CellState
@@ -162,6 +185,9 @@ func (r *Runner) Start(ctx context.Context, id string, spec Spec, bus *obs.Bus) 
 	if cellWorkers < 1 {
 		cellWorkers = 1
 	}
+	// The span context rides in on ctx (obs.WithSpan); only the trace
+	// position is kept — the derived ctx below governs cancellation.
+	span := obs.SpanFrom(ctx).Start("sweep", "sweep "+id)
 	ctx, cancel := context.WithCancel(ctx)
 	s := &Sweep{
 		id:          id,
@@ -172,6 +198,8 @@ func (r *Runner) Start(ctx context.Context, id string, spec Spec, bus *obs.Bus) 
 		bus:         bus,
 		cancel:      cancel,
 		done:        make(chan struct{}),
+		span:        span,
+		sctx:        span.Context(),
 		cells:       make([]CellState, len(cells)),
 		jobIDs:      make(map[int]string),
 		dups:        make(map[int][]int),
@@ -183,6 +211,11 @@ func (r *Runner) Start(ctx context.Context, id string, spec Spec, bus *obs.Bus) 
 		key, err := rescache.ConfigKey(c.Config)
 		if err != nil {
 			cancel()
+			if span.Live() {
+				span.End(obs.SA("status", "failed"))
+			} else {
+				span.End()
+			}
 			return nil, fmt.Errorf("sweep: keying cell %d: %w", i, err)
 		}
 		st := CellState{Cell: c, Key: key, Status: jobs.StatusQueued, DupOf: -1}
@@ -214,21 +247,33 @@ func (s *Sweep) run(ctx context.Context, r *Runner) {
 			continue // resolved when its primary finishes
 		}
 		if ctx.Err() != nil {
-			s.finishCell(r, i, jobs.StatusCanceled, nil, context.Canceled, false)
+			s.completeCellSpan(i, "canceled", time.Now())
+			s.finishCell(r, i, jobs.StatusCanceled, nil, context.Canceled, false, 0, 0)
 			continue
 		}
 		if r.Cache != nil {
-			if v, hit := r.Cache.GetOrigin(s.cells[i].Key, origin); hit {
+			lookStart := time.Now()
+			v, hit := r.Cache.GetOrigin(s.cells[i].Key, origin)
+			if r.CacheLookup != nil {
+				r.CacheLookup.Observe(time.Since(lookStart).Seconds())
+			}
+			if hit {
 				if body, ok := v.(json.RawMessage); ok {
-					s.finishCell(r, i, jobs.StatusDone, body, nil, true)
+					s.completeCellSpan(i, "cache", lookStart)
+					s.finishCell(r, i, jobs.StatusDone, body, nil, true, 0, 0)
 					continue
 				}
 			}
 		}
+		semStart := time.Now()
 		select {
 		case sem <- struct{}{}:
+			if r.WindowWait != nil {
+				r.WindowWait.Observe(time.Since(semStart).Seconds())
+			}
 		case <-ctx.Done():
-			s.finishCell(r, i, jobs.StatusCanceled, nil, context.Canceled, false)
+			s.completeCellSpan(i, "canceled", semStart)
+			s.finishCell(r, i, jobs.StatusCanceled, nil, context.Canceled, false, 0, 0)
 			continue
 		}
 		jobID := s.id + "/c" + strconv.Itoa(i)
@@ -251,20 +296,22 @@ func (s *Sweep) run(ctx context.Context, r *Runner) {
 			}
 			return json.RawMessage(b), nil
 		}
-		if err := s.submit(ctx, r, jobID, fn); err != nil {
+		cellSpan := s.sctx.Start("cell", s.cells[i].Label)
+		if err := s.submit(ctx, r, jobID, fn, cellSpan.Context()); err != nil {
 			<-sem
 			status := jobs.StatusFailed
 			if errors.Is(err, context.Canceled) || errors.Is(err, jobs.ErrClosed) {
 				status = jobs.StatusCanceled
 			}
-			s.finishCell(r, i, status, nil, err, false)
+			s.endCellSpan(cellSpan, i, string(status), "submit-error")
+			s.finishCell(r, i, status, nil, err, false, 0, 0)
 			continue
 		}
 		s.mu.Lock()
 		s.jobIDs[i] = jobID
 		s.mu.Unlock()
 		wg.Add(1)
-		go func(i int, key, jobID string) {
+		go func(i int, key, jobID string, cellSpan obs.SpanHandle) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			// Terminal state is guaranteed: canceled jobs finish fast and
@@ -275,38 +322,69 @@ func (s *Sweep) run(ctx context.Context, r *Runner) {
 			delete(s.jobIDs, i)
 			s.mu.Unlock()
 			s.pool.Forget(jobID) // keep the pool index bounded under cell streams
+			var qw, rt time.Duration
+			if !snap.StartedAt.IsZero() {
+				qw = snap.StartedAt.Sub(snap.EnqueuedAt)
+				if !snap.FinishedAt.IsZero() {
+					rt = snap.FinishedAt.Sub(snap.StartedAt)
+				}
+			}
 			if err != nil {
-				s.finishCell(r, i, jobs.StatusFailed, nil, err, false)
+				s.endCellSpan(cellSpan, i, string(jobs.StatusFailed), "run")
+				s.finishCell(r, i, jobs.StatusFailed, nil, err, false, qw, rt)
 				return
 			}
+			s.endCellSpan(cellSpan, i, string(snap.Status), "run")
 			switch snap.Status {
 			case jobs.StatusDone:
 				body, ok := snap.Result.(json.RawMessage)
 				if !ok {
-					s.finishCell(r, i, jobs.StatusFailed, nil, fmt.Errorf("sweep: cell %d returned %T", i, snap.Result), false)
+					s.finishCell(r, i, jobs.StatusFailed, nil, fmt.Errorf("sweep: cell %d returned %T", i, snap.Result), false, qw, rt)
 					return
 				}
 				if r.Cache != nil {
 					r.Cache.Put(key, body)
 				}
-				s.finishCell(r, i, jobs.StatusDone, body, nil, false)
+				s.finishCell(r, i, jobs.StatusDone, body, nil, false, qw, rt)
 			case jobs.StatusCanceled:
-				s.finishCell(r, i, jobs.StatusCanceled, nil, snap.Err, false)
+				s.finishCell(r, i, jobs.StatusCanceled, nil, snap.Err, false, qw, rt)
 			default:
-				s.finishCell(r, i, jobs.StatusFailed, nil, snap.Err, false)
+				s.finishCell(r, i, jobs.StatusFailed, nil, snap.Err, false, qw, rt)
 			}
-		}(i, s.cells[i].Key, jobID)
+		}(i, s.cells[i].Key, jobID, cellSpan)
 	}
 	wg.Wait()
 	s.finish(r)
 }
 
+// completeCellSpan records a span for a cell that never ran on the
+// pool: cache hits span the lookup, canceled cells get a zero-duration
+// marker. No-op when the sweep carries no trace context.
+func (s *Sweep) completeCellSpan(i int, disposition string, start time.Time) {
+	if !s.sctx.Valid() {
+		return
+	}
+	s.sctx.Complete("cell", s.cells[i].Label, start, time.Now(),
+		obs.SA("cell", i), obs.SA("disposition", disposition))
+}
+
+// endCellSpan closes a primary cell's live span with its outcome.
+func (s *Sweep) endCellSpan(h obs.SpanHandle, i int, status, disposition string) {
+	if h.Live() {
+		h.End(obs.SA("cell", i), obs.SA("status", status), obs.SA("disposition", disposition))
+		return
+	}
+	h.End()
+}
+
 // submit enqueues the cell job, waiting out transient queue-full
 // rejections so a sweep larger than the bounded queue still drains.
-func (s *Sweep) submit(ctx context.Context, r *Runner, id string, fn jobs.Func) error {
+// The cell span context sc parents the job's queue-wait and run spans.
+func (s *Sweep) submit(ctx context.Context, r *Runner, id string, fn jobs.Func, sc obs.SpanContext) error {
+	tctx := obs.WithSpan(context.Background(), sc)
 	backoff := 2 * time.Millisecond
 	for {
-		err := r.Pool.Submit(id, fn)
+		err := r.Pool.SubmitTraced(tctx, id, fn)
 		if err == nil || !errors.Is(err, jobs.ErrQueueFull) {
 			return err
 		}
@@ -336,15 +414,17 @@ func (s *Sweep) markRunning(i int) {
 
 // finishCell records one primary cell's terminal state, resolves the
 // duplicates coalesced onto it, publishes their events, and bumps the
-// runner's outcome counters.
-func (s *Sweep) finishCell(r *Runner, i int, status jobs.Status, body json.RawMessage, err error, fromCache bool) {
+// runner's outcome counters. qw and rt decompose the underlying job's
+// latency for the OnCellDone hook (zero when the cell never ran).
+func (s *Sweep) finishCell(r *Runner, i int, status jobs.Status, body json.RawMessage, err error, fromCache bool, qw, rt time.Duration) {
 	s.mu.Lock()
 	if s.cells[i].Status.Terminal() {
 		s.mu.Unlock()
 		return
 	}
 	events := make([]map[string]any, 0, 1+len(s.dups[i]))
-	terminate := func(idx int, cached bool) {
+	dones := make([]CellDone, 0, 1+len(s.dups[i]))
+	terminate := func(idx int, cached bool, qw, rt time.Duration) {
 		c := &s.cells[idx]
 		c.Status = status
 		c.Cached = cached
@@ -363,8 +443,11 @@ func (s *Sweep) finishCell(r *Runner, i int, status jobs.Status, body json.RawMe
 			r.failed.Add(1)
 		}
 		events = append(events, s.cellEventLocked(idx))
+		if r.OnCellDone != nil {
+			dones = append(dones, CellDone{SweepID: s.id, State: *c, QueueWait: qw, RunTime: rt})
+		}
 	}
-	terminate(i, fromCache)
+	terminate(i, fromCache, qw, rt)
 	if status == jobs.StatusDone && !fromCache {
 		r.run.Add(1)
 	}
@@ -375,11 +458,19 @@ func (s *Sweep) finishCell(r *Runner, i int, status jobs.Status, body json.RawMe
 	for _, di := range s.dups[i] {
 		s.counts.Coalesced++
 		r.coalesced.Add(1)
-		terminate(di, false)
+		terminate(di, false, 0, 0)
+		if s.sctx.Valid() {
+			now := time.Now()
+			s.sctx.Complete("cell", s.cells[di].Label, now, now,
+				obs.SA("cell", di), obs.SA("disposition", "coalesced"), obs.SA("dup_of", i))
+		}
 	}
 	s.mu.Unlock()
 	for _, ev := range events {
 		s.bus.Publish("cell", ev)
+	}
+	for _, d := range dones {
+		r.OnCellDone(d)
 	}
 }
 
@@ -407,11 +498,23 @@ func (s *Sweep) cellEventLocked(i int) map[string]any {
 }
 
 // finish seals the sweep: terminal status, the "sweep" event, bus
-// closure and the done signal.
+// closure and the done signal. The sweep span ends first — a client
+// that polls for the terminal status and immediately fetches the trace
+// must find the span already recorded.
 func (s *Sweep) finish(r *Runner) {
 	s.mu.Lock()
+	counts := s.counts
+	status := terminalStatus(s.canceled, counts)
+	s.mu.Unlock()
+	if s.span.Live() {
+		s.span.End(obs.SA("status", string(status)), obs.SA("cells", counts.Cells),
+			obs.SA("cached", counts.Cached), obs.SA("coalesced", counts.Coalesced),
+			obs.SA("failed", counts.Failed), obs.SA("canceled", counts.Canceled))
+	} else {
+		s.span.End()
+	}
+	s.mu.Lock()
 	s.finishedAt = time.Now()
-	status := s.statusLocked()
 	ev := map[string]any{
 		"sweep":     s.id,
 		"status":    string(status),
@@ -432,16 +535,22 @@ func (s *Sweep) finish(r *Runner) {
 // statusLocked derives the sweep-level status; s.mu must be held.
 func (s *Sweep) statusLocked() jobs.Status {
 	if !s.finishedAt.IsZero() {
-		switch {
-		case s.canceled || s.counts.Canceled > 0:
-			return jobs.StatusCanceled
-		case s.counts.Failed > 0:
-			return jobs.StatusFailed
-		default:
-			return jobs.StatusDone
-		}
+		return terminalStatus(s.canceled, s.counts)
 	}
 	return jobs.StatusRunning
+}
+
+// terminalStatus folds cell outcomes into the sweep-level terminal
+// status.
+func terminalStatus(canceled bool, c Counts) jobs.Status {
+	switch {
+	case canceled || c.Canceled > 0:
+		return jobs.StatusCanceled
+	case c.Failed > 0:
+		return jobs.StatusFailed
+	default:
+		return jobs.StatusDone
+	}
 }
 
 // ID returns the sweep's identifier.
