@@ -7,6 +7,7 @@
 //	rfidsim -tags 5000 -alg bt -detector crccd
 //	rfidsim -tags 500 -alg fsa -frame 300 -detector qcd -compare   # vs CRC-CD
 //	rfidsim -tags 500 -alg fsa -frame 300 -trace out.json          # chrome://tracing export
+//	rfidsim -tags 50000 -alg fsa -frame 30000 -stat-mode           # vectorised stat mode (fast sweeps)
 //	rfidsim -sweep spec.json                                       # parameter-grid sweep, merged table
 //	rfidsim -sweep spec.json -csv                                  # ... as CSV
 //
@@ -52,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tau        = fs.Float64("tau", 1, "μs per bit")
 		workers    = fs.Int("workers", 0, "parallel rounds (0 = GOMAXPROCS)")
 		confirm    = fs.Bool("confirm-empty", true, "FSA reader terminates on an all-idle frame")
+		statMode   = fs.Bool("stat-mode", false, "vectorised Monte-Carlo mode: same distributions, no per-tag simulation (framed ALOHA, ideal channel only)")
 		ber        = fs.Float64("ber", 0, "channel bit-error rate (FSA only)")
 		capture    = fs.Float64("capture", 0, "capture-effect probability (FSA only)")
 		compare    = fs.Bool("compare", false, "also run CRC-CD on the same workload and report EI")
@@ -135,6 +137,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Detector: *detector, Strength: *strength, CRCName: *crcName,
 		TauMicros: *tau, Workers: *workers, ConfirmEmpty: *confirm,
 		BER: *ber, CaptureProb: *capture,
+	}
+	if *statMode {
+		cfg.Mode = rfid.ModeStat
 	}
 	agg, err := rfid.RunContext(ctx, cfg)
 	finishProgress()

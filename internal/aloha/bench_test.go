@@ -33,6 +33,35 @@ func BenchmarkQAdaptive500(b *testing.B) {
 	}
 }
 
+// qcd8Stat is BenchmarkStatMode*'s detector model: QCD-8 over 64-bit
+// IDs, matching the exact-mode benchmarks' detect.NewQCD(8, 64).
+var qcd8Stat = StatModel{Name: "QCD-8", ContentionBits: 16, IDPhaseBits: 64, Strength: 8}
+
+// BenchmarkStatModeQAdaptive500 is BenchmarkQAdaptive500's stat-mode
+// counterpart: same workload (500 tags, QCD-8, Gen-2 defaults), one
+// session per iteration, pooled scratch. The bench gate reports the
+// exact/stat ratio of the two; the ISSUE-8 target is >= 5x.
+func BenchmarkStatModeQAdaptive500(b *testing.B) {
+	var sc StatScratch
+	rng := prng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng.Seed(uint64(i) + 1)
+		RunQAdaptiveStat(500, qcd8Stat, DefaultQConfig(), tm, rng, StatOptions{Scratch: &sc})
+	}
+}
+
+// BenchmarkStatModeFSA500 mirrors BenchmarkFSA500QCD in stat mode.
+func BenchmarkStatModeFSA500(b *testing.B) {
+	var sc StatScratch
+	rng := prng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng.Seed(uint64(i) + 1)
+		RunFSAStat(500, qcd8Stat, NewFixed(300), tm, rng, StatOptions{Scratch: &sc})
+	}
+}
+
 func BenchmarkEDFSA500(b *testing.B) {
 	det := detect.NewQCD(8, 64)
 	b.ReportAllocs()

@@ -1,0 +1,167 @@
+package aloha
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/prng"
+	"repro/internal/signal"
+)
+
+// statSessionInvariants checks the bookkeeping identities every
+// stat-mode session must satisfy for n tags under a model with an ID
+// phase of extra bits.
+func statSessionInvariants(t *testing.T, s *metrics.Session, n int, model StatModel) {
+	t.Helper()
+	if s.TagsIdentified != int64(n) {
+		t.Errorf("TagsIdentified = %d, want %d", s.TagsIdentified, n)
+	}
+	if len(s.DelaysMicros) != n {
+		t.Errorf("len(DelaysMicros) = %d, want %d", len(s.DelaysMicros), n)
+	}
+	// Every tag is identified in exactly one true-single slot.
+	if s.Census.Single != int64(n) {
+		t.Errorf("Census.Single = %d, want %d", s.Census.Single, n)
+	}
+	d := s.Detection
+	if d.DetectedCollided+d.FalseSingle != d.TrueCollided {
+		t.Errorf("detection tallies inconsistent: %d + %d != %d", d.DetectedCollided, d.FalseSingle, d.TrueCollided)
+	}
+	if d.TrueCollided != s.Census.Collided {
+		t.Errorf("TrueCollided = %d, want Census.Collided = %d", d.TrueCollided, s.Census.Collided)
+	}
+	if d.Phantom != d.FalseSingle {
+		t.Errorf("Phantom = %d, want FalseSingle = %d (every stat false single is a phantom)", d.Phantom, d.FalseSingle)
+	}
+	// Airtime identity: every slot pays contention, every declared single
+	// (true or false) pays the ID phase.
+	declared := int64(n) + d.FalseSingle
+	wantBits := s.Census.Slots()*int64(model.ContentionBits) + declared*int64(model.IDPhaseBits)
+	if s.Bits != wantBits {
+		t.Errorf("Bits = %d, want %d", s.Bits, wantBits)
+	}
+	if got, want := s.TimeMicros, float64(s.Bits)*tm.TauMicros; got != want {
+		t.Errorf("TimeMicros = %v, want %v", got, want)
+	}
+	// Delays are recorded in slot order within a monotone clock.
+	prev := 0.0
+	for i, d := range s.DelaysMicros {
+		if d < prev {
+			t.Fatalf("delay %d = %v decreased below %v", i, d, prev)
+		}
+		prev = d
+	}
+	if prev > s.TimeMicros {
+		t.Errorf("last delay %v exceeds session time %v", prev, s.TimeMicros)
+	}
+}
+
+func TestRunFSAStatInvariants(t *testing.T) {
+	model := StatModel{Name: "QCD-4", ContentionBits: 8, IDPhaseBits: 64, Strength: 4}
+	s := RunFSAStat(400, model, NewFixed(256), tm, prng.New(5), StatOptions{})
+	statSessionInvariants(t, s, 400, model)
+	if s.Census.Frames < 2 {
+		t.Errorf("Frames = %d, want several", s.Census.Frames)
+	}
+}
+
+func TestRunFSAStatConfirmEmpty(t *testing.T) {
+	model := StatModel{Name: "oracle", ContentionBits: 1, IDPhaseBits: 64, MissExp: -1}
+	withOut := RunFSAStat(100, model, NewFixed(64), tm, prng.New(9), StatOptions{})
+	with := RunFSAStat(100, model, NewFixed(64), tm, prng.New(9), StatOptions{ConfirmEmpty: true})
+	if with.Census.Frames <= withOut.Census.Frames {
+		t.Errorf("ConfirmEmpty did not add a trailing frame: %d vs %d", with.Census.Frames, withOut.Census.Frames)
+	}
+	// The confirm frame(s) contain only idle slots.
+	if with.Census.Single != withOut.Census.Single || with.TagsIdentified != 100 {
+		t.Error("ConfirmEmpty changed identification results")
+	}
+}
+
+func TestRunEDFSAStatInvariants(t *testing.T) {
+	model := StatModel{Name: "CRC-CD/CRC-32", ContentionBits: 96, IDPhaseBits: 0, MissExp: 32}
+	s := RunEDFSAStat(700, model, EDFSAConfig{MaxFrame: 128}, tm, prng.New(21), StatOptions{})
+	statSessionInvariants(t, s, 700, model)
+}
+
+func TestRunQAdaptiveStatInvariants(t *testing.T) {
+	model := StatModel{Name: "QCD-8", ContentionBits: 16, IDPhaseBits: 64, Strength: 8}
+	s := RunQAdaptiveStat(300, model, DefaultQConfig(), tm, prng.New(33), StatOptions{})
+	statSessionInvariants(t, s, 300, model)
+}
+
+// TestStatMatchesExactMeans is a coarse distribution check at the engine
+// level (the KS harness in internal/sim is the rigorous one): across
+// enough rounds, stat-mode mean slots and throughput must land within a
+// few percent of exact mode's on the same workload.
+func TestStatMatchesExactMeans(t *testing.T) {
+	const n, f, rounds = 200, 128, 60
+	det := detect.NewQCD(8, 64)
+	var exactSlots, statSlots float64
+	rng := prng.New(77)
+	model := StatModel{Name: "QCD-8", ContentionBits: 16, IDPhaseBits: 64, Strength: 8}
+	for r := 0; r < rounds; r++ {
+		p := pop(n, uint64(r)+1)
+		es := Run(p, det, NewFixed(f), tm)
+		exactSlots += float64(es.Census.Slots())
+		ss := RunFSAStat(n, model, NewFixed(f), tm, rng, StatOptions{})
+		statSlots += float64(ss.Census.Slots())
+	}
+	exactSlots /= rounds
+	statSlots /= rounds
+	if rel := math.Abs(exactSlots-statSlots) / exactSlots; rel > 0.05 {
+		t.Errorf("mean slots diverge: exact %.1f vs stat %.1f (%.1f%%)", exactSlots, statSlots, 100*rel)
+	}
+}
+
+// TestStatObserveFeed checks the audit hook sees exactly the non-idle
+// slots with consistent verdicts.
+func TestStatObserveFeed(t *testing.T) {
+	model := StatModel{Name: "QCD-2", ContentionBits: 4, IDPhaseBits: 64, Strength: 2}
+	var singles, falseSingles, detected int64
+	obs := func(truth, declared signal.SlotType, m int) {
+		switch {
+		case truth == signal.Single && declared == signal.Single && m == 1:
+			singles++
+		case truth == signal.Collided && declared == signal.Single && m > 1:
+			falseSingles++
+		case truth == signal.Collided && declared == signal.Collided && m > 1:
+			detected++
+		default:
+			t.Fatalf("impossible observation: truth=%v declared=%v m=%d", truth, declared, m)
+		}
+	}
+	s := RunFSAStat(300, model, NewFixed(128), tm, prng.New(4), StatOptions{Observe: obs})
+	if singles != s.Census.Single {
+		t.Errorf("observed %d singles, session says %d", singles, s.Census.Single)
+	}
+	if falseSingles != s.Detection.FalseSingle || detected != s.Detection.DetectedCollided {
+		t.Errorf("observed (%d,%d) false/detected, session says (%d,%d)",
+			falseSingles, detected, s.Detection.FalseSingle, s.Detection.DetectedCollided)
+	}
+	if falseSingles == 0 {
+		t.Error("QCD-2 over 300 tags should produce false singles")
+	}
+}
+
+// TestStatScratchReuse pins that a pooled scratch and session produce
+// the same results as fresh ones for the same seed (scratch contents
+// must never leak into results).
+func TestStatScratchReuse(t *testing.T) {
+	model := StatModel{Name: "QCD-8", ContentionBits: 16, IDPhaseBits: 64, Strength: 8}
+	var sc StatScratch
+	var sess metrics.Session
+	run := func(opt StatOptions, seed uint64) metrics.Census {
+		rng := prng.New(seed)
+		return RunQAdaptiveStat(250, model, DefaultQConfig(), tm, rng, opt).Census
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		fresh := run(StatOptions{}, seed)
+		pooled := run(StatOptions{Scratch: &sc, Session: &sess}, seed)
+		if fresh != pooled {
+			t.Fatalf("seed %d: pooled census %+v != fresh %+v", seed, pooled, fresh)
+		}
+	}
+}

@@ -95,15 +95,13 @@ func Xor(s, t BitString) BitString {
 }
 
 // Not returns the bitwise complement of s. This is the QCD collision
-// function f(r) = ~r (Theorem 1 of the paper).
+// function f(r) = ~r (Theorem 1 of the paper). It is NotInto with a
+// fresh destination: results of 64 bits or fewer stay inline and free,
+// longer results pay exactly one allocation. Hot paths that complement
+// repeatedly should hold a destination and call NotInto directly.
 func Not(s BitString) BitString {
-	if s.n <= 64 {
-		return BitString{w: ^s.word() & maskTop(s.n), n: s.n}
-	}
-	out := s.Clone()
-	notBytes(out.b)
-	out.clearPad()
-	return out
+	var dst BitString
+	return NotInto(&dst, s)
 }
 
 // NotInto stores the complement of s into dst, reusing dst's backing
@@ -125,20 +123,13 @@ func NotInto(dst *BitString, s BitString) BitString {
 	return out
 }
 
-// Concat returns the concatenation s ⊕ t (s's bits first).
+// Concat returns the concatenation s ⊕ t (s's bits first). It is
+// ConcatInto with a fresh destination: inline results are free, longer
+// results pay exactly one allocation. Hot paths that concatenate
+// repeatedly should hold a destination and call ConcatInto directly.
 func Concat(s, t BitString) BitString {
-	total := s.n + t.n
-	if total <= 64 {
-		return BitString{w: s.word() | t.word()>>uint(s.n), n: total}
-	}
-	out := BitString{b: make([]byte, (total+7)/8), n: total}
-	if s.n <= 64 && t.n <= 64 {
-		concatWords(out.b, s, t, total)
-		return out
-	}
-	writeBits(out.b, 0, s)
-	writeBits(out.b, s.n, t)
-	return out
+	var dst BitString
+	return ConcatInto(&dst, s, t)
 }
 
 // ConcatInto stores s ⊕ t into dst, reusing dst's backing storage when
@@ -179,23 +170,13 @@ func concatWords(b []byte, s, t BitString, total int) {
 	}
 }
 
-// Slice returns the sub-string of bits [lo, hi). It panics if the range is
-// invalid. Sub-strings of 64 bits or fewer are extracted with shifted word
-// reads and returned inline without allocating.
+// Slice returns the sub-string of bits [lo, hi). It panics if the range
+// is invalid. It is SliceInto with a fresh destination: sub-strings of
+// 64 bits or fewer are extracted with shifted word reads and returned
+// inline without allocating; longer ones pay exactly one allocation.
 func (s BitString) Slice(lo, hi int) BitString {
-	if lo < 0 || hi > s.n || lo > hi {
-		panic(fmt.Sprintf("bitstr: slice [%d,%d) of %d-bit string", lo, hi, s.n))
-	}
-	m := hi - lo
-	if m <= 64 {
-		if m == 0 {
-			return BitString{}
-		}
-		return BitString{w: s.extractWord(lo, m), n: m}
-	}
-	out := BitString{b: make([]byte, (m+7)/8), n: m}
-	s.sliceBytes(out.b, lo, m)
-	return out
+	var dst BitString
+	return s.SliceInto(&dst, lo, hi)
 }
 
 // SliceInto stores the sub-string [lo, hi) of s into dst, reusing dst's

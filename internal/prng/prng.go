@@ -10,7 +10,10 @@
 // combination recommended by the xoshiro authors.
 package prng
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // Source is a xoshiro256** generator. It is NOT safe for concurrent use;
 // give each goroutine its own Source via Split.
@@ -25,6 +28,10 @@ func New(seed uint64) *Source {
 	src.seed(seed)
 	return &src
 }
+
+// Seed re-initialises s from seed exactly as New does, so a pooled
+// Source can be reused across rounds without a fresh allocation.
+func (s *Source) Seed(seed uint64) { s.seed(seed) }
 
 // seed initialises s from seed via SplitMix64.
 func (s *Source) seed(seed uint64) {
@@ -59,6 +66,65 @@ func (s *Source) Uint64() uint64 {
 	s.s2 ^= t
 	s.s3 = bits.RotateLeft64(s.s3, 45)
 	return result
+}
+
+// FillUint64 fills dst with the next len(dst) outputs of the stream —
+// exactly the values len(dst) successive Uint64 calls would return. The
+// generator state lives in registers for the whole pass, so filling a
+// frame's worth of draws costs a fraction of the equivalent call loop;
+// this is the base kernel of the simulator's vectorised stat mode.
+func (s *Source) FillUint64(dst []uint64) {
+	s0, s1, s2, s3 := s.s0, s.s1, s.s2, s.s3
+	for i := range dst {
+		dst[i] = bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+	}
+	s.s0, s.s1, s.s2, s.s3 = s0, s1, s2, s3
+}
+
+// FillIntn fills dst with uniform draws from [0, n) — the values len(dst)
+// successive Intn(n) calls would return, consuming the same underlying
+// Uint64 stream (including Lemire rejection resamples), so bulk and
+// per-call consumers stay interchangeable. dst is int32 because every
+// bounded draw in the simulator is a slot or group index (frames top out
+// at 2^15 slots); it panics if n <= 0 or n overflows int32.
+func (s *Source) FillIntn(dst []int32, n int) {
+	if n <= 0 {
+		panic("prng: FillIntn with non-positive n")
+	}
+	if n > 1<<31-1 {
+		panic("prng: FillIntn bound overflows int32")
+	}
+	un := uint64(n)
+	// thresh = 2^64 mod n < n, so testing lo < thresh directly accepts and
+	// rejects exactly the draws Uint64n's lazy form does.
+	thresh := -un % un
+	s0, s1, s2, s3 := s.s0, s.s1, s.s2, s.s3
+	next := func() uint64 {
+		r := bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		return r
+	}
+	for i := range dst {
+		hi, lo := bits.Mul64(next(), un)
+		for lo < thresh {
+			hi, lo = bits.Mul64(next(), un)
+		}
+		dst[i] = int32(hi)
+	}
+	s.s0, s.s1, s.s2, s.s3 = s0, s1, s2, s3
 }
 
 // Split derives a new statistically independent Source from s, advancing s.
@@ -104,6 +170,82 @@ func (s *Source) Uint64n(n uint64) uint64 {
 // Float64 returns a uniform float64 in [0, 1).
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// binomialInversionCap is the largest mean n·p the CDF-inversion sampler
+// handles; above it (1-p)^n underflows long before float64's range ends,
+// so Binomial switches to a rounded normal approximation, whose error at
+// that size is far below anything a Monte-Carlo round count can resolve.
+const binomialInversionCap = 64
+
+// Binomial returns a draw from Binomial(n, p): the number of successes
+// in n independent trials of probability p. The simulator's stat mode
+// uses it to realise slot occupancies without per-tag draws — when R
+// tags each pick uniformly among the F slots of a frame and slots are
+// revealed in order, the count in the next slot given the past is
+// Binomial(remaining, 1/(slots left)), the sequential decomposition of
+// the multinomial.
+//
+// Small means draw by CDF inversion (exact up to float64 rounding, O(np)
+// expected iterations); means above binomialInversionCap use a clamped
+// rounded-normal approximation. It panics if n < 0 or p is outside [0,1].
+func (s *Source) Binomial(n int, p float64) int {
+	if n < 0 {
+		panic("prng: Binomial with negative n")
+	}
+	if p < 0 || p > 1 {
+		panic("prng: Binomial probability out of [0,1]")
+	}
+	if n == 0 || p == 0 {
+		return 0
+	}
+	if p == 1 {
+		return n
+	}
+	mean := float64(n) * p
+	if mean > binomialInversionCap {
+		// Normal approximation N(np, np(1-p)), rounded and clamped. At
+		// np > 64 the skew correction is below 1e-2 counts; stat mode
+		// only reads such large counts as "collided with multiplicity m",
+		// where the m-dependence (a 2^-l(m-1) miss probability) is long
+		// past underflow anyway.
+		z := s.normal()
+		k := int(math.Round(mean + z*math.Sqrt(mean*(1-p))))
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	// CDF inversion via the pmf recurrence
+	// P(k+1) = P(k) · (n-k)/(k+1) · p/(1-p), seeded at P(0) = (1-p)^n.
+	u := s.Float64()
+	q := 1 - p
+	r := p / q
+	pk := math.Exp(float64(n) * math.Log(q))
+	cum := pk
+	k := 0
+	for cum <= u && k < n {
+		k++
+		pk *= r * float64(n-k+1) / float64(k)
+		cum += pk
+		if pk == 0 {
+			break // deep-tail underflow; cum can no longer grow
+		}
+	}
+	return k
+}
+
+// normal returns a standard normal draw (Box–Muller, one half used).
+func (s *Source) normal() float64 {
+	u1 := s.Float64()
+	for u1 == 0 {
+		u1 = s.Float64()
+	}
+	u2 := s.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 }
 
 // Bits returns n random bits packed into the low bits of a uint64.

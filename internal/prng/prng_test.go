@@ -198,6 +198,152 @@ func TestUint64nBounds(t *testing.T) {
 	}
 }
 
+func TestFillUint64MatchesStream(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		ref := New(99)
+		want := make([]uint64, n)
+		for i := range want {
+			want[i] = ref.Uint64()
+		}
+		s := New(99)
+		got := make([]uint64, n)
+		s.FillUint64(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("FillUint64 len %d: draw %d = %#x, want %#x", n, i, got[i], want[i])
+			}
+		}
+		// The state must have advanced identically: the next draw agrees.
+		if s.Uint64() != ref.Uint64() {
+			t.Fatalf("FillUint64 len %d left the state out of sync", n)
+		}
+	}
+}
+
+func TestFillIntnMatchesIntn(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 30, 3000, 1 << 15} {
+		ref := New(7)
+		want := make([]int32, 500)
+		for i := range want {
+			want[i] = int32(ref.Intn(n))
+		}
+		s := New(7)
+		got := make([]int32, 500)
+		s.FillIntn(got, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("FillIntn(%d): draw %d = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+		if s.Uint64() != ref.Uint64() {
+			t.Fatalf("FillIntn(%d) consumed a different number of raw draws", n)
+		}
+	}
+}
+
+func TestFillIntnPanicsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FillIntn(%d) did not panic", n)
+				}
+			}()
+			New(1).FillIntn(make([]int32, 4), n)
+		}()
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	s := New(3)
+	if got := s.Binomial(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, .5) = %d", got)
+	}
+	if got := s.Binomial(10, 0); got != 0 {
+		t.Errorf("Binomial(10, 0) = %d", got)
+	}
+	if got := s.Binomial(10, 1); got != 10 {
+		t.Errorf("Binomial(10, 1) = %d", got)
+	}
+	for _, bad := range []struct {
+		n int
+		p float64
+	}{{-1, 0.5}, {10, -0.1}, {10, 1.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Binomial(%d, %v) did not panic", bad.n, bad.p)
+				}
+			}()
+			s.Binomial(bad.n, bad.p)
+		}()
+	}
+}
+
+// TestBinomialMatchesPMF chi-squares the inversion sampler against the
+// exact Binomial(n, p) pmf on small n where every mass is computable.
+func TestBinomialMatchesPMF(t *testing.T) {
+	const n, draws = 8, 40000
+	p := 0.3
+	s := New(11)
+	var counts [n + 1]int
+	for i := 0; i < draws; i++ {
+		k := s.Binomial(n, p)
+		if k < 0 || k > n {
+			t.Fatalf("draw %d out of [0,%d]", k, n)
+		}
+		counts[k]++
+	}
+	// Exact pmf by the same recurrence (independent of the sampler's u).
+	pmf := make([]float64, n+1)
+	pmf[0] = math.Pow(1-p, n)
+	for k := 1; k <= n; k++ {
+		pmf[k] = pmf[k-1] * (p / (1 - p)) * float64(n-k+1) / float64(k)
+	}
+	chi2 := 0.0
+	for k := 0; k <= n; k++ {
+		exp := pmf[k] * draws
+		if exp < 1 {
+			continue // deep tail; one stray draw would dominate chi2
+		}
+		d := float64(counts[k]) - exp
+		chi2 += d * d / exp
+	}
+	// ~8 effective dof; chi2 > 35 is p < 1e-4 territory.
+	if chi2 > 35 {
+		t.Errorf("chi-square %.1f too large; counts %v", chi2, counts)
+	}
+}
+
+// TestBinomialLargeMeanMoments checks the normal-approximation branch
+// (mean above binomialInversionCap) keeps the right first two moments.
+func TestBinomialLargeMeanMoments(t *testing.T) {
+	const n, draws = 5000, 20000
+	p := 0.25 // mean 1250, far above the inversion cap
+	s := New(13)
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		k := s.Binomial(n, p)
+		if k < 0 || k > n {
+			t.Fatalf("draw %d out of [0,%d]", k, n)
+		}
+		f := float64(k)
+		sum += f
+		sumSq += f * f
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	wantMean := float64(n) * p
+	wantVar := wantMean * (1 - p)
+	// 4σ tolerance on the sample mean; 10% on the sample variance.
+	if math.Abs(mean-wantMean) > 4*math.Sqrt(wantVar/draws) {
+		t.Errorf("mean %.2f, want %.2f", mean, wantMean)
+	}
+	if math.Abs(variance-wantVar)/wantVar > 0.10 {
+		t.Errorf("variance %.1f, want %.1f", variance, wantVar)
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	s := New(1)
 	b.ReportAllocs()
@@ -211,5 +357,25 @@ func BenchmarkIntn(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = s.Intn(3000)
+	}
+}
+
+// BenchmarkFillUint64 measures the bulk kernel per element, against
+// BenchmarkUint64's per-call cost, over a frame-sized batch.
+func BenchmarkFillUint64(b *testing.B) {
+	s := New(1)
+	buf := make([]uint64, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += len(buf) {
+		s.FillUint64(buf)
+	}
+}
+
+func BenchmarkFillIntn(b *testing.B) {
+	s := New(1)
+	buf := make([]int32, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += len(buf) {
+		s.FillIntn(buf, 3000)
 	}
 }

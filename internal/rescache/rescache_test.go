@@ -41,6 +41,54 @@ func TestConfigKeyCanonicalises(t *testing.T) {
 	}
 }
 
+// TestConfigKeySeparatesModes is the stat-mode cache-isolation
+// regression test: the same grid point in exact and stat mode must
+// never share a cache entry, in either lookup direction, because the
+// two modes' aggregates follow different draw sequences. It also pins
+// the compatibility contract: explicit "exact" hashes identically to
+// the default empty Mode, so pre-Mode cache keys stay valid.
+func TestConfigKeySeparatesModes(t *testing.T) {
+	base := sim.Config{Tags: 100, Algorithm: sim.AlgFSA, FrameSize: 60, Detector: sim.DetQCD}
+
+	exact := base
+	exact.Mode = sim.ModeExact
+	stat := base
+	stat.Mode = sim.ModeStat
+
+	kDefault, err := ConfigKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kExact, err := ConfigKey(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kStat, err := ConfigKey(stat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kDefault != kExact {
+		t.Errorf("explicit exact mode changed the key: %s vs %s (pre-Mode cache entries invalidated)", kExact, kDefault)
+	}
+	if kStat == kExact {
+		t.Fatal("exact and stat configs share a cache key")
+	}
+
+	// Populate one mode, look up the other — both directions must miss.
+	c := New(8)
+	c.Put(kExact, "exact-aggregate")
+	if v, ok := c.GetOrigin(kStat, "job"); ok {
+		t.Errorf("stat lookup served the exact aggregate %v", v)
+	}
+	c.Put(kStat, "stat-aggregate")
+	if v, _ := c.GetOrigin(kExact, "job"); v != "exact-aggregate" {
+		t.Errorf("exact lookup returned %v", v)
+	}
+	if v, _ := c.GetOrigin(kStat, "job"); v != "stat-aggregate" {
+		t.Errorf("stat lookup returned %v", v)
+	}
+}
+
 func TestGetPutAndCounters(t *testing.T) {
 	c := New(4)
 	if _, ok := c.Get("a"); ok {

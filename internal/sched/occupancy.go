@@ -1,0 +1,93 @@
+package sched
+
+import "math/bits"
+
+// Occupancy is the word-packed slot census of one frame, the stat-mode
+// counterpart of Frame: instead of bucketing tag pointers per slot it
+// records, per slot, only whether anyone responded (seen), whether more
+// than one did (multi), and how many (counts) — everything a closed-form
+// detector verdict needs. Verdicts then evaluate per 64-slot word
+// (popcounts and mask scans) instead of per slot.
+//
+// The arrays keep an all-zero invariant between frames: Add dirties
+// exactly the slots named by its draws, and Reset with the same draws
+// cleans exactly those, so a 2^15-slot Q frame costs O(draws), not
+// O(slots), per round. The zero value is ready to use; not safe for
+// concurrent use.
+type Occupancy struct {
+	seen   []uint64 // bit s: slot s had >= 1 responder
+	multi  []uint64 // bit s: slot s had >= 2 responders
+	counts []int32  // per-slot responder count
+	slots  int
+}
+
+// Ensure sizes the arrays for a frame of the given slot count. Newly
+// grown storage is zeroed; existing storage is trusted clean (the
+// Add/Reset contract maintains that).
+func (o *Occupancy) Ensure(slots int) {
+	o.slots = slots
+	words := (slots + 63) >> 6
+	if cap(o.seen) < words {
+		o.seen = make([]uint64, words)
+		o.multi = make([]uint64, words)
+	}
+	o.seen = o.seen[:words]
+	o.multi = o.multi[:words]
+	if cap(o.counts) < slots {
+		o.counts = make([]int32, slots)
+	}
+	o.counts = o.counts[:slots]
+}
+
+// Add folds one batch of slot draws (each in [0, slots)) into the
+// occupancy. It may be called several times per frame; Reset must then
+// replay the same draws.
+func (o *Occupancy) Add(draws []int32) {
+	seen, multi, counts := o.seen, o.multi, o.counts
+	for _, d := range draws {
+		counts[d]++
+		w, bit := d>>6, uint64(1)<<uint(d&63)
+		multi[w] |= seen[w] & bit
+		seen[w] |= bit
+	}
+}
+
+// Reset restores the all-zero invariant by clearing exactly the slots the
+// given draws dirtied. Passing the union of every batch Add consumed
+// since the last Reset is the caller's contract.
+func (o *Occupancy) Reset(draws []int32) {
+	seen, multi, counts := o.seen, o.multi, o.counts
+	for _, d := range draws {
+		counts[d] = 0
+		seen[d>>6] = 0
+		multi[d>>6] = 0
+	}
+}
+
+// Slots returns the slot count of the current frame.
+func (o *Occupancy) Slots() int { return o.slots }
+
+// Words returns the number of 64-slot words covering the frame.
+func (o *Occupancy) Words() int { return len(o.seen) }
+
+// SeenWord returns word w of the responded-slot mask.
+func (o *Occupancy) SeenWord(w int) uint64 { return o.seen[w] }
+
+// MultiWord returns word w of the collided-slot mask.
+func (o *Occupancy) MultiWord(w int) uint64 { return o.multi[w] }
+
+// OneWord returns word w of the true-single mask (seen and not multi).
+func (o *Occupancy) OneWord(w int) uint64 { return o.seen[w] &^ o.multi[w] }
+
+// Count returns slot s's responder count.
+func (o *Occupancy) Count(s int) int { return int(o.counts[s]) }
+
+// Census popcounts the masks into the frame's ground-truth slot census.
+func (o *Occupancy) Census() (idle, single, collided int) {
+	for w, s := range o.seen {
+		single += bits.OnesCount64(s &^ o.multi[w])
+		collided += bits.OnesCount64(o.multi[w])
+	}
+	idle = o.slots - single - collided
+	return idle, single, collided
+}

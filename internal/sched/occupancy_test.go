@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestOccupancyCensusAndCounts(t *testing.T) {
+	var o Occupancy
+	o.Ensure(130) // spans three words, last one partial
+	draws := []int32{0, 0, 63, 64, 64, 64, 129}
+	o.Add(draws)
+
+	idle, single, collided := o.Census()
+	if idle != 126 || single != 2 || collided != 2 {
+		t.Fatalf("census = (%d,%d,%d), want (126,2,2)", idle, single, collided)
+	}
+	wantCounts := map[int]int{0: 2, 63: 1, 64: 3, 129: 1}
+	for s := 0; s < 130; s++ {
+		if got := o.Count(s); got != wantCounts[s] {
+			t.Fatalf("Count(%d) = %d, want %d", s, got, wantCounts[s])
+		}
+	}
+	if o.OneWord(0) != 1<<63 {
+		t.Errorf("OneWord(0) = %#x, want bit 63 only", o.OneWord(0))
+	}
+	if o.MultiWord(0) != 1 || o.MultiWord(1) != 1 {
+		t.Errorf("multi words = %#x %#x, want 1 1", o.MultiWord(0), o.MultiWord(1))
+	}
+}
+
+// TestOccupancyResetRestoresInvariant checks the sparse-clean contract:
+// after Reset(draws) every array is all-zero again, so reuse across
+// frames of different sizes never sees stale state.
+func TestOccupancyResetRestoresInvariant(t *testing.T) {
+	var o Occupancy
+	rng := prng.New(41)
+	draws := make([]int32, 300)
+	for frame := 0; frame < 50; frame++ {
+		slots := 1 + rng.Intn(1<<12)
+		o.Ensure(slots)
+		rng.FillIntn(draws, slots)
+		o.Add(draws)
+		o.Reset(draws)
+		for w := 0; w < o.Words(); w++ {
+			if o.SeenWord(w) != 0 || o.MultiWord(w) != 0 {
+				t.Fatalf("frame %d (%d slots): word %d not cleaned", frame, slots, w)
+			}
+		}
+		for s := 0; s < slots; s++ {
+			if o.Count(s) != 0 {
+				t.Fatalf("frame %d: count[%d] not cleaned", frame, s)
+			}
+		}
+	}
+}
+
+// TestOccupancyMatchesScalar cross-checks mask building against a naive
+// per-slot tally over random draws.
+func TestOccupancyMatchesScalar(t *testing.T) {
+	var o Occupancy
+	rng := prng.New(17)
+	for trial := 0; trial < 20; trial++ {
+		slots := 1 + rng.Intn(500)
+		n := rng.Intn(800)
+		draws := make([]int32, n)
+		rng.FillIntn(draws, slots)
+
+		ref := make([]int, slots)
+		for _, d := range draws {
+			ref[d]++
+		}
+		o.Ensure(slots)
+		o.Add(draws)
+		var idle, single, collided int
+		for s, m := range ref {
+			switch {
+			case m == 0:
+				idle++
+			case m == 1:
+				single++
+			default:
+				collided++
+			}
+			if o.Count(s) != m {
+				t.Fatalf("trial %d: Count(%d) = %d, want %d", trial, s, o.Count(s), m)
+			}
+		}
+		gi, gs, gc := o.Census()
+		if gi != idle || gs != single || gc != collided {
+			t.Fatalf("trial %d: census (%d,%d,%d), want (%d,%d,%d)", trial, gi, gs, gc, idle, single, collided)
+		}
+		o.Reset(draws)
+	}
+}

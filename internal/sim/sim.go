@@ -56,6 +56,22 @@ const (
 	PolicyOptimal    = "optimal"
 )
 
+// Simulation modes accepted by Config.Mode.
+//
+// ModeExact is the default: per-tag PRNG streams consumed in population
+// index order, bit-identical across releases and pinned by the golden
+// tests. ModeStat is the opt-in vectorised Monte-Carlo mode: slot draws
+// are bulk-filled per frame and detector verdicts evaluate over
+// word-packed occupancy masks (see internal/aloha's stat engines).
+// Stat-mode aggregates are still deterministic in (Config, Seed) and
+// bit-identical across worker counts, but follow a different draw
+// sequence than exact mode; the two agree distributionally (the KS
+// equivalence harness in this package pins that), not draw for draw.
+const (
+	ModeExact = "exact"
+	ModeStat  = "stat"
+)
+
 // Config describes one experiment configuration.
 type Config struct {
 	Tags   int    // population size n
@@ -70,6 +86,14 @@ type Config struct {
 	Detector string // qcd | crccd | oracle
 	Strength int    // QCD strength l (default 8)
 	CRCName  string // CRC preset for crccd (default CRC-32/IEEE)
+
+	// Mode selects the simulation fidelity: ModeExact (the default; ""
+	// means exact) or the vectorised ModeStat. Mode is part of the
+	// canonical configuration — the result cache never serves one mode's
+	// aggregate for the other. The canonical spelling of exact mode is
+	// the empty string, so pre-Mode configurations keep their canonical
+	// hashes and golden serialisations.
+	Mode string `json:",omitempty"`
 
 	TauMicros float64 // per-bit airtime (default 1 μs)
 	Workers   int     // parallel rounds (default GOMAXPROCS)
@@ -105,6 +129,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TauMicros == 0 {
 		c.TauMicros = 1
+	}
+	if c.Mode == ModeExact {
+		c.Mode = "" // canonical spelling of the default mode
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -157,6 +184,20 @@ func (c Config) Validate() error {
 	case DetOracle:
 	default:
 		return fmt.Errorf("sim: unknown detector %q", c.Detector)
+	}
+	switch c.Mode {
+	case "", ModeExact:
+	case ModeStat:
+		switch c.Algorithm {
+		case AlgFSA, AlgEDFSA, AlgQAdaptive:
+		default:
+			return fmt.Errorf("sim: stat mode does not support algorithm %q (framed-ALOHA only)", c.Algorithm)
+		}
+		if c.BER > 0 || c.CaptureProb > 0 {
+			return fmt.Errorf("sim: stat mode models the ideal channel only (BER/CaptureProb must be 0)")
+		}
+	default:
+		return fmt.Errorf("sim: unknown mode %q", c.Mode)
 	}
 	return nil
 }
@@ -229,6 +270,8 @@ type RoundScratch struct {
 	sess   metrics.Session
 	imp    air.Impairment
 	impRng prng.Source
+	stat   aloha.StatScratch
+	rng    prng.Source
 }
 
 // ScratchPool is a concurrency-safe free list of RoundScratch, letting
@@ -293,6 +336,9 @@ func runRound(c Config, roundSeed uint64, env roundEnv, rs *RoundScratch) (*metr
 	c = c.withDefaults()
 	if err := c.Validate(); err != nil {
 		return nil, err
+	}
+	if c.Mode == ModeStat {
+		return runRoundStat(c, roundSeed, env, rs)
 	}
 	rng := prng.New(roundSeed)
 	pop := rs.pop.NewPopulation(c.Tags, c.IDBits, rng)

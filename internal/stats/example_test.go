@@ -24,5 +24,5 @@ func ExampleKolmogorovSmirnov() {
 		stats.Normalize(qcdDelays),
 	)
 	fmt.Printf("%.2f\n", d) // identical normalised shapes
-	// Output: 0.20
+	// Output: 0.00
 }

@@ -23,9 +23,19 @@ func KolmogorovSmirnov(a, b []float64) float64 {
 	i, j := 0, 0
 	na, nb := float64(len(as)), float64(len(bs))
 	for i < len(as) && j < len(bs) {
-		if as[i] <= bs[j] {
+		// Advance both walks through every copy of the smaller value
+		// before reading the CDF gap: both empirical CDFs jump at a tied
+		// value simultaneously, so measuring mid-tie would inflate D by
+		// the tie mass — fatal for discrete observables (slot counts,
+		// rates massed at zero) where most of the sample is ties.
+		v := as[i]
+		if bs[j] < v {
+			v = bs[j]
+		}
+		for i < len(as) && as[i] == v {
 			i++
-		} else {
+		}
+		for j < len(bs) && bs[j] == v {
 			j++
 		}
 		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
@@ -71,6 +81,23 @@ func KSPValue(d float64, na, nb int) float64 {
 		return 1
 	}
 	return p
+}
+
+// KSCriticalValue returns the two-sample KS rejection threshold at
+// significance level alpha for sample sizes na and nb: reject equality
+// when D exceeds c(α)·sqrt((na+nb)/(na·nb)) with
+// c(α) = sqrt(−ln(α/2)/2). The familiar c(0.05) ≈ 1.358 falls out.
+// Stat-mode equivalence harnesses compare against this rather than a
+// p-value so a fixed-seed test has one deterministic pass bound.
+func KSCriticalValue(alpha float64, na, nb int) float64 {
+	if alpha <= 0 || alpha >= 1 {
+		panic("stats: KS critical value needs alpha in (0,1)")
+	}
+	if na < 1 || nb < 1 {
+		panic("stats: KS critical value needs positive sample sizes")
+	}
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c * math.Sqrt(float64(na+nb)/(float64(na)*float64(nb)))
 }
 
 // Normalize returns xs scaled by its mean (a copy), for shape-only

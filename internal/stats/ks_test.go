@@ -8,9 +8,26 @@ import (
 
 func TestKSIdenticalSamples(t *testing.T) {
 	a := []float64{1, 2, 3, 4, 5}
-	if d := KolmogorovSmirnov(a, a); d > 0.2+1e-12 {
-		// Tie-walking gives at most 1/n between identical samples.
-		t.Errorf("KS of identical samples = %v", d)
+	if d := KolmogorovSmirnov(a, a); d != 0 {
+		t.Errorf("KS of identical samples = %v, want 0", d)
+	}
+}
+
+// TestKSTiedSamplesNotInflated pins the discrete-data behaviour: both
+// CDFs jump together at a tied value, so shared ties contribute nothing
+// to D. A sample massed at one point vs itself must give D = 0, and two
+// mostly-zero samples must measure only the genuine mass difference.
+func TestKSTiedSamplesNotInflated(t *testing.T) {
+	constant := []float64{7, 7, 7, 7, 7, 7}
+	if d := KolmogorovSmirnov(constant, constant); d != 0 {
+		t.Errorf("KS of identical constant samples = %v, want 0", d)
+	}
+	// 90% zeros both sides, the rest at different values: D is the CDF gap
+	// between the tails (0.1), not the tie mass at zero.
+	a := []float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+	b := []float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 2}
+	if d := KolmogorovSmirnov(a, b); math.Abs(d-0.1) > 1e-12 {
+		t.Errorf("KS of shared-tie samples = %v, want 0.1", d)
 	}
 }
 
@@ -85,6 +102,39 @@ func TestKSPValueBounds(t *testing.T) {
 		if p < 0 || p > 1 {
 			t.Errorf("p(%v) = %v out of [0,1]", d, p)
 		}
+	}
+}
+
+func TestKSCriticalValue(t *testing.T) {
+	// Equal samples of 100: threshold = c(α)·sqrt(2/100); c(0.05) ≈ 1.358.
+	got := KSCriticalValue(0.05, 100, 100)
+	want := 1.3581 * math.Sqrt(2.0/100)
+	if math.Abs(got-want) > 1e-3 {
+		t.Errorf("critical(0.05, 100, 100) = %v, want ≈ %v", got, want)
+	}
+	// Stricter alpha → larger threshold; more data → smaller threshold.
+	if KSCriticalValue(0.01, 100, 100) <= got {
+		t.Error("alpha 0.01 threshold not above alpha 0.05")
+	}
+	if KSCriticalValue(0.05, 1000, 1000) >= got {
+		t.Error("larger samples did not shrink the threshold")
+	}
+	// Consistency with KSPValue: D at the threshold has p ≈ α.
+	if p := KSPValue(got, 100, 100); math.Abs(p-0.05) > 0.02 {
+		t.Errorf("p-value at the 0.05 critical D = %v, want ≈ 0.05", p)
+	}
+	for _, bad := range []struct {
+		alpha  float64
+		na, nb int
+	}{{0, 10, 10}, {1, 10, 10}, {0.05, 0, 10}, {0.05, 10, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("KSCriticalValue(%v, %d, %d) did not panic", bad.alpha, bad.na, bad.nb)
+				}
+			}()
+			KSCriticalValue(bad.alpha, bad.na, bad.nb)
+		}()
 	}
 }
 

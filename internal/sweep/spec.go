@@ -28,6 +28,7 @@ const (
 	FieldDetector  = "detector"  // collision detector
 	FieldPolicy    = "policy"    // FSA frame policy
 	FieldCRC       = "crc"       // CRC preset for crccd
+	FieldMode      = "mode"      // simulation fidelity: exact | stat
 	FieldCase      = "case"      // linked (tags, frame) pairs — the paper's Table VI cases
 )
 
@@ -147,7 +148,7 @@ func intField(f string) bool {
 // stringField reports whether the field takes string values.
 func stringField(f string) bool {
 	switch f {
-	case FieldAlgorithm, FieldDetector, FieldPolicy, FieldCRC:
+	case FieldAlgorithm, FieldDetector, FieldPolicy, FieldCRC, FieldMode:
 		return true
 	}
 	return false
@@ -277,6 +278,8 @@ func (a Axis) apply(cfg *sim.Config, vi int) {
 		cfg.FramePolicy = a.Strings[vi]
 	case FieldCRC:
 		cfg.CRCName = a.Strings[vi]
+	case FieldMode:
+		cfg.Mode = a.Strings[vi]
 	}
 }
 

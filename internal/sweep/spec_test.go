@@ -50,6 +50,49 @@ func TestExpandOrderAndLabels(t *testing.T) {
 	}
 }
 
+// TestModeAxis pins the mode grid dimension: exact and stat cells of
+// the same workload expand side by side with distinct canonical
+// configurations (exact's canonical Mode spelling is the empty string),
+// so the result cache can never serve one mode's aggregate for the
+// other.
+func TestModeAxis(t *testing.T) {
+	s := Spec{
+		Base: baseCfg(),
+		Axes: []Axis{{Field: FieldMode, Strings: []string{sim.ModeExact, sim.ModeStat}}},
+	}
+	cells, err := s.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	if cells[0].Label != "mode=exact" || cells[1].Label != "mode=stat" {
+		t.Errorf("labels = %q, %q", cells[0].Label, cells[1].Label)
+	}
+	if cells[0].Config.Mode != "" {
+		t.Errorf("exact cell canonical Mode = %q, want empty", cells[0].Config.Mode)
+	}
+	if cells[1].Config.Mode != sim.ModeStat {
+		t.Errorf("stat cell Mode = %q", cells[1].Config.Mode)
+	}
+	if reflect.DeepEqual(cells[0].Config, cells[1].Config) {
+		t.Error("exact and stat cells canonicalised to the same config")
+	}
+	// A mode axis over an algorithm stat mode cannot run fails expansion
+	// at the offending cell rather than at run time.
+	bad := Spec{
+		Base: baseCfg(),
+		Axes: []Axis{
+			{Field: FieldAlgorithm, Strings: []string{sim.AlgFSA, sim.AlgBT}},
+			{Field: FieldMode, Strings: []string{sim.ModeExact, sim.ModeStat}},
+		},
+	}
+	if _, err := bad.Expand(); err == nil || !strings.Contains(err.Error(), "stat mode") {
+		t.Errorf("bt+stat cell expanded without error (err=%v)", err)
+	}
+}
+
 func TestExpandDeterministic(t *testing.T) {
 	s := Spec{
 		Base: baseCfg(),

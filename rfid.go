@@ -71,6 +71,16 @@ const (
 	PolicyOptimal    = sim.PolicyOptimal
 )
 
+// Simulation modes for Config.Mode. The default ("" or ModeExact) is
+// the bit-exact per-tag simulation; ModeStat is the opt-in vectorised
+// Monte-Carlo mode — same distributions at a fraction of the cost, for
+// framed-ALOHA algorithms on the ideal channel (see internal/sim for
+// the equivalence contract).
+const (
+	ModeExact = sim.ModeExact
+	ModeStat  = sim.ModeStat
+)
+
 // Run executes Config.Rounds Monte-Carlo identification sessions in
 // parallel and folds them into a deterministic Aggregate.
 func Run(c Config) (*Aggregate, error) { return sim.Run(c) }

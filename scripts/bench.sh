@@ -26,10 +26,11 @@ COUNT=${BENCH_COUNT:-1}
 TIME=${BENCH_TIME:-1s}
 FILTER=${BENCH_FILTER:-.}
 
-# The packages that make up the slot hot path, innermost first, plus
-# the sweep grid expander (its allocs/op guards spec-expansion cost)
-# and the span layer (its disabled path must stay at 0 allocs/op).
-PKGS="./internal/bitstr ./internal/detect ./internal/air ./internal/sched ./internal/aloha ./internal/qtree ./internal/sim ./internal/sweep ./internal/obs"
+# The packages that make up the slot hot path, innermost first — the
+# prng bulk-fill kernels feeding stat mode included — plus the sweep
+# grid expander (its allocs/op guards spec-expansion cost) and the span
+# layer (its disabled path must stay at 0 allocs/op).
+PKGS="./internal/prng ./internal/bitstr ./internal/detect ./internal/air ./internal/sched ./internal/aloha ./internal/qtree ./internal/sim ./internal/sweep ./internal/obs"
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT

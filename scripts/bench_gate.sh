@@ -93,8 +93,21 @@ if [ "$status" -ne 0 ]; then
     echo "    (intentional change? refresh with: scripts/bench.sh)" >&2
     exit 1
 fi
+
+# Headline throughput ratio: the stat-mode Q-adaptive round against its
+# exact-mode twin, from the fresh run. Informational — the ≥5x contract
+# itself is enforced by TestStatModeFasterThanExact — but surfacing it
+# here makes speedup erosion visible in every gate log.
+RATIO=$(awk '
+$1 ~ /^repro\/internal\/aloha\/BenchmarkQAdaptive500(-[0-9]+)?$/         { exact = $2 + 0 }
+$1 ~ /^repro\/internal\/aloha\/BenchmarkStatModeQAdaptive500(-[0-9]+)?$/ { stat = $2 + 0 }
+END { if (exact > 0 && stat > 0) printf "%.1f", exact / stat }' "$FRESH.new")
+SPEEDUP=''
+if [ -n "$RATIO" ]; then
+    SPEEDUP="; stat/exact QAdaptive500 speedup ${RATIO}x"
+fi
 if [ "$ALLOCS_ONLY" -ne 0 ]; then
-    echo "==> bench_gate: ok (no allocs/op growth; ns/op informational)" >&2
+    echo "==> bench_gate: ok (no allocs/op growth; ns/op informational${SPEEDUP})" >&2
 else
-    echo "==> bench_gate: ok (within ${TOL}% ns/op, no allocs/op growth)" >&2
+    echo "==> bench_gate: ok (within ${TOL}% ns/op, no allocs/op growth${SPEEDUP})" >&2
 fi
