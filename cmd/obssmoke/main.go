@@ -9,7 +9,16 @@
 //     sweep span parents every cell span,
 //   - pool (jobs) and simulator (sim) spans landed in the same trace,
 //   - GET /debug/statusz renders the self-contained HTML snapshot with
-//     its pool / cache / sweeps / wide-event sections.
+//     its pool / cache / sweeps / wide-event sections,
+//   - GET /v1/metrics/history serves non-empty rate series for the
+//     queue-wait, run-latency and cache-hit-ratio of the sweep it just
+//     drove,
+//   - a synthetic SLO breach (a goroutine-ceiling gauge objective the
+//     smoke violates on purpose, with tiny burn windows) walks
+//     pending → firing → resolved on the alert bus, in /v1/alerts and
+//     on statusz, then clears,
+//   - the full /metrics exposition — including the new runtime_*,
+//     obs_tsdb_* and slo_* series — passes obs.LintPrometheus.
 //
 // Exits non-zero on any violation — in particular on an empty span
 // tree — so scripts/check.sh and CI can gate on it.
@@ -26,6 +35,8 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/tsdb"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -39,8 +50,39 @@ func main() {
 	fmt.Println("obssmoke: ok")
 }
 
+// Synthetic SLO policy: a gauge objective on the process goroutine
+// count, which the smoke can push over threshold deterministically by
+// parking goroutines — no dependence on simulator or scheduler speed.
+// The fast pair is disabled (unreachable burn) so the objective walks
+// the slow pair: pending once the short window is hot, firing once the
+// long window confirms.
+const (
+	goroutineCeiling = 1500
+	parkedGoroutines = 3000
+)
+
+func smokeSLOConfig() slo.Config {
+	return slo.Config{
+		Windows: slo.Windows{
+			Fast: slo.Duration(60 * time.Millisecond), FastLong: slo.Duration(180 * time.Millisecond), FastBurn: 1e9,
+			Slow: slo.Duration(150 * time.Millisecond), SlowLong: slo.Duration(450 * time.Millisecond), SlowBurn: 5,
+		},
+		Objectives: []slo.Objective{{
+			Name: "smoke-goroutine-ceiling", Kind: slo.KindGauge,
+			Series: "runtime_goroutines", Threshold: goroutineCeiling, Target: 0.9,
+			Description: "synthetic objective the smoke breaches on purpose",
+		}},
+	}
+}
+
 func run() error {
-	svc := server.New(server.Options{Workers: 2, QueueDepth: 16, CacheSize: 64})
+	cfg := smokeSLOConfig()
+	svc := server.New(server.Options{
+		Workers: 2, QueueDepth: 16, CacheSize: 64,
+		HistoryInterval:  25 * time.Millisecond,
+		HistoryRetention: 2 * time.Minute,
+		SLOConfig:        &cfg,
+	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -57,6 +99,24 @@ func run() error {
 	c := server.NewClient("http://" + ln.Addr().String())
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
+
+	// A counter step only registers in the history if the ring holds the
+	// pre-step value, so wait for at least one real sample before driving
+	// traffic. (Series exist from construction; require Samples > 0.)
+	if err := waitFor(ctx, "first history tick", func() (bool, error) {
+		idx, err := c.HistoryIndex(ctx)
+		if err != nil {
+			return false, err
+		}
+		for _, info := range idx.Series {
+			if info.Samples > 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	}); err != nil {
+		return err
+	}
 
 	spec := sweep.Spec{
 		Name: "obssmoke",
@@ -89,7 +149,208 @@ func run() error {
 	if err := checkTrace(ctx, c, traceID); err != nil {
 		return err
 	}
-	return checkStatusz(ctx, c, sub.ID)
+	if err := checkStatusz(ctx, c, sub.ID); err != nil {
+		return err
+	}
+	if err := checkHistory(ctx, c); err != nil {
+		return err
+	}
+	if err := checkSyntheticAlert(ctx, c); err != nil {
+		return err
+	}
+	return checkLint(ctx, c)
+}
+
+// waitFor polls cond until it holds, cond fails hard, or ctx ends.
+func waitFor(ctx context.Context, what string, cond func() (bool, error)) error {
+	for {
+		ok, err := cond()
+		if err != nil {
+			return fmt.Errorf("waiting for %s: %w", what, err)
+		}
+		if ok {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("timed out waiting for %s", what)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// checkHistory asserts the history store served real derived series for
+// the sweep that just ran: per-second rates for the queue-wait and
+// run-latency counts, and raw points for the cache hit ratio.
+func checkHistory(ctx context.Context, c *server.Client) error {
+	rateSeries := []string{
+		`rfidd_queue_wait_seconds_count{origin="sweep"}`,
+		`rfidd_run_seconds_count{origin="sweep"}`,
+	}
+	// The sweep's count steps land on the next tick; poll briefly.
+	if err := waitFor(ctx, "sweep rate series", func() (bool, error) {
+		resp, err := c.MetricsHistory(ctx, rateSeries, 0, tsdb.ReduceRate)
+		if err != nil {
+			return false, err
+		}
+		for _, res := range resp.Results {
+			if maxPoint(res.Points) <= 0 {
+				return false, nil
+			}
+		}
+		return true, nil
+	}); err != nil {
+		return err
+	}
+	resp, err := c.MetricsHistory(ctx, []string{"rfidd_cache_hit_ratio"}, 0, tsdb.ReduceRaw)
+	if err != nil {
+		return fmt.Errorf("cache hit ratio history: %w", err)
+	}
+	if len(resp.Results) != 1 || len(resp.Results[0].Points) == 0 {
+		return fmt.Errorf("cache hit ratio history is empty")
+	}
+	return nil
+}
+
+// maxPoint returns the largest finite point value (0 for none).
+func maxPoint(pts []tsdb.Point) float64 {
+	var max float64
+	for _, p := range pts {
+		if p.V == p.V && p.V > max {
+			max = p.V
+		}
+	}
+	return max
+}
+
+// checkSyntheticAlert breaches the smoke's goroutine-ceiling objective
+// by parking goroutines, follows the alert through pending → firing on
+// /v1/alerts and statusz, releases the goroutines, waits for the clear,
+// and finally replays the bus to assert the exact transition order.
+func checkSyntheticAlert(ctx context.Context, c *server.Client) error {
+	state := func() (string, int, error) {
+		resp, err := c.Alerts(ctx)
+		if err != nil {
+			return "", 0, err
+		}
+		for _, a := range resp.Alerts {
+			if a.Objective == "smoke-goroutine-ceiling" {
+				return a.State, resp.Firing, nil
+			}
+		}
+		return "", 0, fmt.Errorf("objective smoke-goroutine-ceiling missing from /v1/alerts")
+	}
+	if st, firing, err := state(); err != nil {
+		return err
+	} else if st != slo.StateInactive || firing != 0 {
+		return fmt.Errorf("before breach: state=%s firing=%d, want inactive/0 "+
+			"(is the baseline goroutine count already above %d?)", st, firing, goroutineCeiling)
+	}
+
+	// Breach: hold the process goroutine count far above the ceiling.
+	release := make(chan struct{})
+	released := false
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+	for i := 0; i < parkedGoroutines; i++ {
+		go func() { <-release }()
+	}
+
+	sawPending := false
+	if err := waitFor(ctx, "synthetic alert to fire", func() (bool, error) {
+		st, firing, err := state()
+		if err != nil {
+			return false, err
+		}
+		if st == slo.StatePending {
+			sawPending = true
+		}
+		return st == slo.StateFiring && firing == 1, nil
+	}); err != nil {
+		return err
+	}
+	body, err := c.Statusz(ctx)
+	if err != nil {
+		return fmt.Errorf("statusz during breach: %w", err)
+	}
+	if !strings.Contains(body, "smoke-goroutine-ceiling") || !strings.Contains(body, "firing") {
+		return fmt.Errorf("statusz does not show the firing synthetic alert")
+	}
+
+	// Clear: release the goroutines and wait for the breach to age out.
+	released = true
+	close(release)
+	if err := waitFor(ctx, "synthetic alert to clear", func() (bool, error) {
+		st, firing, err := state()
+		if err != nil {
+			return false, err
+		}
+		return firing == 0 && (st == slo.StateResolved || st == slo.StateInactive), nil
+	}); err != nil {
+		return err
+	}
+
+	// The bus replay ring holds the whole transition log; polling above
+	// may have skipped states, the bus cannot.
+	var states []string
+	wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer wcancel()
+	err = c.WatchAlerts(wctx, func(ev server.WatchEvent) error {
+		if ev.Type == "alert" {
+			if to, _ := ev.Data["to"].(string); to != "" {
+				states = append(states, to)
+			}
+		}
+		if hasSubsequence(states, []string{slo.StatePending, slo.StateFiring, slo.StateResolved}) {
+			return server.ErrStopWatch
+		}
+		return nil
+	})
+	if err != nil && wctx.Err() == nil {
+		return fmt.Errorf("alert event stream: %w", err)
+	}
+	if !hasSubsequence(states, []string{slo.StatePending, slo.StateFiring, slo.StateResolved}) {
+		return fmt.Errorf("alert bus transitions %v missing pending→firing→resolved", states)
+	}
+	if !sawPending {
+		// Not fatal — polling raced past it — but the bus check above
+		// proves the state machine went through pending regardless.
+		fmt.Println("obssmoke: note: pending observed on the bus only (poll raced past it)")
+	}
+	return nil
+}
+
+// hasSubsequence reports whether want appears in got, in order.
+func hasSubsequence(got, want []string) bool {
+	i := 0
+	for _, s := range got {
+		if i < len(want) && s == want[i] {
+			i++
+		}
+	}
+	return i == len(want)
+}
+
+// checkLint runs the structural Prometheus linter over the full live
+// exposition, covering the runtime_*, obs_tsdb_* and slo_* families
+// this surface added.
+func checkLint(ctx context.Context, c *server.Client) error {
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics fetch: %w", err)
+	}
+	for _, fam := range []string{"runtime_goroutines", "obs_tsdb_ticks_total", "slo_burn_rate"} {
+		if !strings.Contains(text, fam) {
+			return fmt.Errorf("exposition missing %s", fam)
+		}
+	}
+	if errs := obs.LintPrometheus(text); len(errs) > 0 {
+		return fmt.Errorf("exposition fails lint: %v", errs)
+	}
+	return nil
 }
 
 // checkTrace fetches the sweep's trace and walks the span tree.

@@ -46,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs/slo"
 	"repro/internal/server"
 )
 
@@ -66,6 +67,9 @@ func main() {
 		sweepCells   = flag.Int("sweep-max-cells", 0, "max cells one POST /v1/sweeps may expand to (0 = default)")
 		auditFlag    = flag.Bool("audit", false, "shadow every verdict with the ground-truth oracle (GET /v1/audit)")
 		auditCap     = flag.Int("audit-exemplars", 64, "audit misclassification exemplar ring capacity")
+		histInterval = flag.Duration("history-interval", time.Second, "metrics history sample interval (0 disables history and SLO alerting)")
+		histRetain   = flag.Duration("history-retention", 16*time.Minute, "metrics history retention window")
+		sloConfig    = flag.String("slo-config", "", "JSON SLO policy file (empty = built-in defaults)")
 		pprof        = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		logFormat    = flag.String("log-format", "text", "log output format: text | json")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
@@ -92,6 +96,19 @@ func main() {
 	if st == 0 {
 		st = -1
 	}
+	hi := *histInterval
+	if hi == 0 {
+		hi = -1
+	}
+	var sloCfg *slo.Config
+	if *sloConfig != "" {
+		cfg, err := slo.Load(*sloConfig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfidd:", err)
+			os.Exit(2)
+		}
+		sloCfg = &cfg
+	}
 	svc := server.New(server.Options{
 		Workers:           *workers,
 		QueueDepth:        *queue,
@@ -106,6 +123,9 @@ func main() {
 		SweepMaxCells:     *sweepCells,
 		EnableAudit:       *auditFlag,
 		AuditExemplars:    *auditCap,
+		HistoryInterval:   hi,
+		HistoryRetention:  *histRetain,
+		SLOConfig:         sloCfg,
 		Logger:            logger,
 		EnablePprof:       *pprof,
 	})

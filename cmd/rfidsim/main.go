@@ -215,9 +215,12 @@ func baselineErr(stderr io.Writer, err error, timeout time.Duration) int {
 }
 
 // renderProgress consumes the telemetry stream and keeps one live
-// status line on w, rewritten in place per completed round.
+// status line on w, rewritten in place per completed round. The line
+// carries process health (goroutines, heap, GC) alongside simulation
+// progress so a long run's resource trajectory is visible at a glance.
 func renderProgress(w io.Writer, sub *rfid.TelemetrySubscription, done chan<- struct{}) {
 	defer close(done)
+	rc := obs.NewRuntimeCollector()
 	audits := 0
 	printed := false
 	for ev := range sub.Events() {
@@ -225,13 +228,29 @@ func renderProgress(w io.Writer, sub *rfid.TelemetrySubscription, done chan<- st
 		case "audit":
 			audits++
 		case "round":
-			fmt.Fprintf(w, "\rround %v/%v  slots %v  identified %v  audit hits %d    ",
-				ev.Data["completed"], ev.Data["rounds"], ev.Data["slots"], ev.Data["identified"], audits)
+			rs := rc.Stats()
+			fmt.Fprintf(w, "\rround %v/%v  slots %v  identified %v  audit hits %d  | gor %d  heap %s  gc %d    ",
+				ev.Data["completed"], ev.Data["rounds"], ev.Data["slots"], ev.Data["identified"], audits,
+				rs.Goroutines, fmtBytes(rs.HeapInuse), rs.GCCycles)
 			printed = true
 		}
 	}
 	if printed {
 		fmt.Fprintln(w)
+	}
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }
 

@@ -10,9 +10,16 @@
 //
 // -sweep pins the event tail to one sweep ID (default: the newest
 // running sweep, falling back to the newest overall). -frames N
-// renders N frames and exits, for scripted or CI use; by default
-// rfidtop runs until interrupted. Rates ("recent" columns) are deltas
-// between consecutive polls.
+// renders N frames and exits, for scripted or CI use; -once renders a
+// single plain-text frame (no escape codes, no event tail) and exits,
+// for cron jobs and pipes. By default rfidtop runs until interrupted.
+//
+// Rates ("recent" columns) come from the daemon's metrics history
+// (/v1/metrics/history), so the first frame shows real rates instead
+// of zeros and a reconnect never shows garbage deltas; when the daemon
+// runs with history disabled, rfidtop falls back to client-side deltas
+// between consecutive polls. Firing SLO alerts (/v1/alerts) get their
+// own pane, omitted when alerting is off.
 package main
 
 import (
@@ -28,6 +35,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs/slo"
+	"repro/internal/obs/tsdb"
 	"repro/internal/server"
 )
 
@@ -38,6 +47,7 @@ func main() {
 		sweepID  = flag.String("sweep", "", "sweep ID to tail (default: newest)")
 		tailLen  = flag.Int("events", 10, "event-tail length")
 		frames   = flag.Int("frames", 0, "render this many frames then exit (0 = run until interrupted)")
+		once     = flag.Bool("once", false, "render one plain-text frame and exit (implies -frames 1, no event tail)")
 	)
 	flag.Parse()
 
@@ -48,13 +58,20 @@ func main() {
 		addr:     *addr,
 		interval: *interval,
 		pinned:   *sweepID,
+		plain:    *once,
 		tail:     newTail(*tailLen),
 	}
-	if err := d.run(ctx, *frames); err != nil && ctx.Err() == nil {
+	n := *frames
+	if *once {
+		n = 1
+	}
+	if err := d.run(ctx, n); err != nil && ctx.Err() == nil {
 		fmt.Fprintln(os.Stderr, "rfidtop:", err)
 		os.Exit(1)
 	}
-	fmt.Print("\x1b[0m\n")
+	if !*once {
+		fmt.Print("\x1b[0m\n")
+	}
 }
 
 // dash is the dashboard state carried between frames.
@@ -63,8 +80,9 @@ type dash struct {
 	addr     string
 	interval time.Duration
 	pinned   string // -sweep flag; "" = auto
+	plain    bool   // -once: no escape codes, no event tail
 
-	prev   map[string]float64 // last /metrics sample, for rates
+	prev   map[string]float64 // last /metrics sample, for fallback rates
 	prevAt time.Time
 
 	tail       *tail
@@ -114,7 +132,11 @@ func (d *dash) frame(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	d.retarget(ctx, sweeps)
+	rates := d.histRates(pctx, m)
+	alerts, alertsOn := d.alerts(pctx)
+	if !d.plain {
+		d.retarget(ctx, sweeps)
+	}
 
 	var b strings.Builder
 	b.WriteString("\x1b[H\x1b[2J") // home + clear
@@ -123,15 +145,80 @@ func (d *dash) frame(ctx context.Context) error {
 	fmt.Fprintf(&b, "\x1b[1mrfidtop\x1b[0m  %s  %s  (ctrl-c to quit)\n\n",
 		d.addr, now.Format("15:04:05"))
 
-	d.poolSection(&b, m, dt)
+	d.poolSection(&b, m, dt, rates)
 	d.latencySection(&b, m)
 	d.cacheSection(&b, m)
+	if alertsOn {
+		alertSection(&b, alerts)
+	}
 	d.sweepSection(&b, sweeps)
-	d.eventSection(&b)
+	if !d.plain {
+		d.eventSection(&b)
+	}
 
 	d.prev, d.prevAt = m, now
-	_, err = os.Stdout.WriteString(b.String())
+	out := b.String()
+	if d.plain {
+		out = stripANSI(out)
+	}
+	_, err = os.Stdout.WriteString(out)
 	return err
+}
+
+// histRates pulls the "recent" rate columns from the daemon's metrics
+// history, which is correct on the very first frame and across
+// reconnects. A daemon without history (404) yields ok=false and the
+// caller falls back to client-side deltas.
+type histRates struct {
+	ok         bool
+	jobsPerSec float64
+	busyFrac   float64
+}
+
+// histWindow is how far back the "recent" columns look when served
+// from history.
+const histWindow = 30 * time.Second
+
+func (d *dash) histRates(ctx context.Context, m map[string]float64) histRates {
+	resp, err := d.client.MetricsHistory(ctx, []string{
+		"rfidd_jobs_done_total",
+		"rfidd_worker_busy_seconds_total",
+	}, histWindow, "rate")
+	if err != nil || len(resp.Results) != 2 {
+		return histRates{}
+	}
+	r := histRates{ok: true, jobsPerSec: meanPoints(resp.Results[0].Points)}
+	if workers := m["rfidd_workers"]; workers > 0 {
+		// Rate of busy-seconds per wall second, split across the pool.
+		r.busyFrac = meanPoints(resp.Results[1].Points) / workers
+	}
+	return r
+}
+
+// meanPoints averages the finite points of one history result.
+func meanPoints(pts []tsdb.Point) float64 {
+	var sum float64
+	var n int
+	for _, p := range pts {
+		if p.V == p.V { // skip NaN gaps
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// alerts fetches the SLO alert table; on=false when the daemon runs
+// with alerting disabled (404) or the poll fails.
+func (d *dash) alerts(ctx context.Context) (server.AlertsResponse, bool) {
+	resp, err := d.client.Alerts(ctx)
+	if err != nil {
+		return server.AlertsResponse{}, false
+	}
+	return resp, true
 }
 
 // retarget points the SSE tail at the pinned sweep, or the newest
@@ -166,12 +253,17 @@ func (d *dash) retarget(ctx context.Context, sweeps []server.SweepResponse) {
 	}()
 }
 
-func (d *dash) poolSection(b *strings.Builder, m map[string]float64, dt float64) {
+func (d *dash) poolSection(b *strings.Builder, m map[string]float64, dt float64, h histRates) {
 	workers := m["rfidd_workers"]
-	busyFrac := 0.0
-	if d.prev != nil && dt > 0 && workers > 0 {
-		busyFrac = (m["rfidd_worker_busy_seconds_total"] - d.prev["rfidd_worker_busy_seconds_total"]) /
-			(dt * workers)
+	busyFrac, jobsPerSec := h.busyFrac, h.jobsPerSec
+	if !h.ok {
+		// No server-side history: fall back to deltas between polls
+		// (zero on the first frame by construction).
+		if d.prev != nil && dt > 0 && workers > 0 {
+			busyFrac = (m["rfidd_worker_busy_seconds_total"] - d.prev["rfidd_worker_busy_seconds_total"]) /
+				(dt * workers)
+		}
+		jobsPerSec = d.rate(m, "rfidd_jobs_done_total", dt)
 	}
 	fmt.Fprintf(b, "\x1b[1mpool\x1b[0m     workers %.0f  busy %.0f  busy%%(recent) %s  queue %.0f (hiwater %.0f)\n",
 		workers, m["rfidd_workers_busy"], pct(busyFrac),
@@ -179,7 +271,27 @@ func (d *dash) poolSection(b *strings.Builder, m map[string]float64, dt float64)
 	fmt.Fprintf(b, "         jobs done %.0f  failed %.0f  canceled %.0f  retries %.0f  done/s %s\n\n",
 		m["rfidd_jobs_done_total"], m["rfidd_jobs_failed_total"],
 		m["rfidd_jobs_canceled_total"], m["rfidd_jobs_retries_total"],
-		rateStr(d.rate(m, "rfidd_jobs_done_total", dt)))
+		rateStr(jobsPerSec))
+}
+
+// alertSection renders the SLO alert pane: a one-line summary plus a
+// row per objective that is anywhere but inactive.
+func alertSection(b *strings.Builder, resp server.AlertsResponse) {
+	head := "\x1b[1malerts\x1b[0m  "
+	if resp.Firing > 0 {
+		head = "\x1b[1;31malerts\x1b[0m  "
+	}
+	fmt.Fprintf(b, "%s %d firing / %d objectives\n", head, resp.Firing, len(resp.Alerts))
+	shown := 0
+	for _, a := range resp.Alerts {
+		if a.State == slo.StateInactive || shown >= 6 {
+			continue
+		}
+		shown++
+		fmt.Fprintf(b, "         %-24s %-9s target %.3f  burn fast %.2f  slow %.2f\n",
+			a.Objective, a.State, a.Target, a.Burn["fast"], a.Burn["slow"])
+	}
+	b.WriteByte('\n')
 }
 
 func (d *dash) latencySection(b *strings.Builder, m map[string]float64) {
@@ -320,6 +432,25 @@ func (t *tail) snapshot() (string, []string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.target, append([]string(nil), t.lines...)
+}
+
+// stripANSI drops CSI escape sequences, turning a rendered frame into
+// the -once plain-text form safe for pipes and logs.
+func stripANSI(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x1b && i+1 < len(s) && s[i+1] == '[' {
+			j := i + 2
+			for j < len(s) && (s[j] < 0x40 || s[j] > 0x7e) {
+				j++
+			}
+			i = j
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
 }
 
 // parseProm flattens a Prometheus text exposition into series → value,

@@ -1,0 +1,209 @@
+package obs
+
+// Concurrency accounting tests: the TraceStore's span/drop counters and
+// the Bus's subscriber-drop counter must stay exact while traces are
+// being evicted and subscribers are being dropped under racing writers.
+// Run with -race to catch unsynchronised counter paths.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTraceStoreDropAccountingUnderConcurrentEviction hammers a tiny
+// store from many goroutines so traces are constantly evicted out from
+// under in-flight recorders, then checks the conservation law: every
+// attempted span is either retained or counted as dropped, exactly
+// once.
+func TestTraceStoreDropAccountingUnderConcurrentEviction(t *testing.T) {
+	const (
+		workers        = 8
+		tracesPer      = 40
+		spansPerTrace  = 24 // above the 16-span per-trace floor → cap drops too
+		maxTraces      = 4  // far fewer than live writers → eviction churn
+		maxSpansPerTrc = 16
+	)
+	s := NewTraceStore(maxTraces, maxSpansPerTrc)
+
+	var attempts atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < tracesPer; i++ {
+				sc := s.StartTrace(fmt.Sprintf("t-%d-%d", w, i))
+				now := time.Now()
+				for k := 0; k < spansPerTrace; k++ {
+					// Complete records immediately; by the time it runs the
+					// trace may have been evicted by another goroutine.
+					sc.Complete("test", "work", now, now.Add(time.Microsecond))
+					attempts.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	kept := s.spansTotal.Load()
+	dropped := s.spanDrops.Load()
+	if got, want := kept+dropped, attempts.Load(); got != want {
+		t.Fatalf("kept %d + dropped %d = %d spans accounted, want %d attempted",
+			kept, dropped, got, want)
+	}
+	if dropped == 0 {
+		t.Fatal("no spans dropped: eviction churn never happened, test is vacuous")
+	}
+	if s.evictions.Load() == 0 {
+		t.Fatal("no traces evicted despite opening far more than the cap")
+	}
+
+	// The retained set respects the cap and the lock-free gauge mirror
+	// agrees with the map.
+	sums := s.Summaries()
+	if len(sums) > maxTraces {
+		t.Fatalf("retained %d traces, cap is %d", len(sums), maxTraces)
+	}
+	if got := s.nTraces.Load(); got != int64(len(sums)) {
+		t.Fatalf("nTraces mirror = %d, map holds %d", got, len(sums))
+	}
+	// Every retained trace obeys the per-trace span cap, and the spans
+	// kept across buckets never exceed what spansTotal claims.
+	var inBuckets uint64
+	for _, sum := range sums {
+		if sum.Spans > maxSpansPerTrc {
+			t.Fatalf("trace %s holds %d spans, per-trace cap is %d", sum.ID, sum.Spans, maxSpansPerTrc)
+		}
+		inBuckets += uint64(sum.Spans)
+	}
+	if inBuckets > kept {
+		t.Fatalf("buckets hold %d spans but only %d were ever recorded", inBuckets, kept)
+	}
+}
+
+// TestBusDropCounterUnderConcurrentPublish races publishers against
+// stalled subscribers: each stalled subscriber must be dropped exactly
+// once, the shared registry counter must agree with the bus's own
+// count, and live readers must never be dropped.
+func TestBusDropCounterUnderConcurrentPublish(t *testing.T) {
+	const (
+		publishers = 4
+		eventsPer  = 200
+		stalled    = 6
+	)
+	reg := NewRegistry()
+	drops := reg.Counter("test_drops_total", "subscribers dropped")
+	b := NewBus(8)
+	b.CountDropsInto(drops)
+
+	// Stalled consumers: buffer 1, never read. Each fills after one
+	// event and is dropped on the next fan-out.
+	stalledSubs := make([]*Subscription, stalled)
+	for i := range stalledSubs {
+		stalledSubs[i] = b.Subscribe(1, 0)
+	}
+	// One live consumer that keeps up and counts what it sees.
+	live := b.Subscribe(publishers*eventsPer+16, 0)
+
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < eventsPer; i++ {
+				b.Publish("tick", nil)
+			}
+		}(p)
+	}
+	wg.Wait()
+	b.Close()
+
+	var liveGot int
+	for range live.Events() {
+		liveGot++
+	}
+	if liveGot != publishers*eventsPer {
+		t.Fatalf("live subscriber saw %d events, want %d", liveGot, publishers*eventsPer)
+	}
+	if got := b.Dropped(); got != stalled {
+		t.Fatalf("bus dropped %d subscribers, want the %d stalled ones", got, stalled)
+	}
+	if got := drops.Value(); got != stalled {
+		t.Fatalf("shared drop counter = %d, want %d (must match Bus.Dropped)", got, stalled)
+	}
+	// A dropped subscription's channel is closed after at most its
+	// buffered event; draining must terminate.
+	for i, sub := range stalledSubs {
+		n := 0
+		for range sub.Events() {
+			n++
+		}
+		if n > 1 {
+			t.Fatalf("stalled subscriber %d drained %d events, buffer was 1", i, n)
+		}
+	}
+}
+
+// TestBusDropCounterUnderSubscriberChurn mixes subscribe/close/drop
+// cycles with racing publishers and checks the two drop counters stay
+// in lockstep — a subscriber that detaches cleanly must never count as
+// dropped.
+func TestBusDropCounterUnderSubscriberChurn(t *testing.T) {
+	reg := NewRegistry()
+	drops := reg.Counter("test_churn_drops_total", "subscribers dropped")
+	b := NewBus(4)
+	b.CountDropsInto(drops)
+
+	stop := make(chan struct{})
+	var pubs sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		pubs.Add(1)
+		go func() {
+			defer pubs.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					b.Publish("tick", nil)
+				}
+			}
+		}()
+	}
+
+	var churn sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for i := 0; i < 50; i++ {
+				if i%2 == 0 {
+					// Well-behaved: drain a little, then detach cleanly.
+					sub := b.Subscribe(64, 0)
+					for j := 0; j < 3; j++ {
+						select {
+						case <-sub.Events():
+						default:
+						}
+					}
+					sub.Close()
+				} else {
+					// Stalled: tiny buffer, never read. The bus drops it as
+					// soon as the buffer fills; no need to wait for that here.
+					_ = b.Subscribe(1, 0)
+				}
+			}
+		}()
+	}
+	churn.Wait()
+	close(stop)
+	pubs.Wait()
+	b.Close()
+
+	if got, want := drops.Value(), b.Dropped(); got != want {
+		t.Fatalf("shared counter = %d, bus dropped = %d; counters diverged", got, want)
+	}
+}

@@ -21,6 +21,12 @@ type Label struct{ Key, Value string }
 // L is shorthand for Label{Key: k, Value: v}.
 func L(k, v string) Label { return Label{Key: k, Value: v} }
 
+// RenderLabels renders a label set exactly as the registry keys its
+// series (`{k="v",...}`, "" for the empty set), so external consumers —
+// the metrics-history store, SLO selectors — can name a series without
+// duplicating the escaping rules.
+func RenderLabels(labels ...Label) string { return renderLabels(labels) }
+
 // renderLabels encodes a label set as `{k="v",...}` in the given order,
 // escaping per the Prometheus text format. Empty sets render as "".
 func renderLabels(labels []Label) string {
@@ -149,6 +155,32 @@ func (h *Histogram) Count() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.total
+}
+
+// Snapshot returns the sum and count under one lock acquisition, so a
+// periodic sampler sees a consistent (sum, count) pair.
+func (h *Histogram) Snapshot() (sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum, h.total
+}
+
+// CumulativeAtMost returns how many observations landed in buckets whose
+// upper bound is <= bound — the "good event" count for a latency
+// objective "X% of requests under bound seconds". A bound below the
+// first bucket counts nothing; a bound at or above the last finite
+// bucket counts everything except the +Inf overflow.
+func (h *Histogram) CumulativeAtMost(bound float64) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	for i, b := range h.bounds {
+		if b > bound {
+			break
+		}
+		cum += h.counts[i]
+	}
+	return cum
 }
 
 // Sum returns the sum of observed values.

@@ -132,6 +132,71 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	return h
 }
 
+// Sample is one series' numeric reading during a Registry.Each walk.
+// Counters and gauges carry Value; histograms carry Sum and Count (the
+// per-bucket detail stays behind Histogram.CumulativeAtMost).
+type Sample struct {
+	Name   string // family name
+	Labels string // rendered label set, "" when unlabelled
+	Kind   string // "counter", "gauge" or "histogram"
+	Value  float64
+	Sum    float64
+	Count  uint64
+}
+
+// SampleVisitor receives one Sample per series from Registry.Each. It
+// is an interface rather than a func so a long-lived visitor (the
+// metrics-history sampler) costs no closure allocation per walk.
+type SampleVisitor interface {
+	VisitSample(Sample)
+}
+
+// Each walks every series in registration order, delivering a numeric
+// Sample to v. Like WritePrometheus it holds the registry lock for the
+// walk, so visitors and func-backed collectors must not register
+// metrics (nor block on locks held by goroutines that do) from inside
+// the callback. The walk itself performs no allocations.
+func (r *Registry) Each(v SampleVisitor) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.order {
+		for _, key := range f.order {
+			s := Sample{Name: f.name, Labels: key, Kind: f.typ}
+			switch c := f.series[key].(type) {
+			case *Counter:
+				s.Value = float64(c.Value())
+			case *Gauge:
+				s.Value = c.Value()
+			case *counterFunc:
+				s.Value = float64(c.fn())
+			case *floatCounterFunc:
+				s.Value = c.fn()
+			case *gaugeFunc:
+				s.Value = c.fn()
+			case *Histogram:
+				s.Sum, s.Count = c.Snapshot()
+			default:
+				continue
+			}
+			v.VisitSample(s)
+		}
+	}
+}
+
+// LookupHistogram returns the histogram registered under name with the
+// given rendered label set (as produced by RenderLabels), or nil when
+// no such series exists or the series is not a histogram.
+func (r *Registry) LookupHistogram(name, labels string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		return nil
+	}
+	h, _ := f.series[labels].(*Histogram)
+	return h
+}
+
 // WritePrometheus renders every family in registration order, emitting
 // the HELP/TYPE header once per family. The registry lock is held for
 // the walk, so func-backed collectors must not register metrics (and

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// GCPauseBuckets are histogram bounds for GC stop-the-world pauses in
+// seconds (10µs to 100ms — beyond that the collector is the incident).
+var GCPauseBuckets = []float64{
+	0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1,
+}
+
+// RuntimeStats is one cached reading of the Go runtime's health.
+type RuntimeStats struct {
+	Goroutines    int
+	GOMAXPROCS    int
+	HeapInuse     uint64 // bytes currently in in-use heap spans
+	HeapAlloc     uint64 // bytes of live heap objects
+	TotalAlloc    uint64 // cumulative bytes allocated (monotone)
+	GCCycles      uint32
+	LastGCPause   time.Duration
+	TotalGCPause  time.Duration
+}
+
+// RuntimeCollector samples the Go runtime (goroutine count, heap,
+// GC pauses) into gauge/counter/histogram series. runtime.ReadMemStats
+// briefly stops the world, so readings are cached and refreshed at
+// most every refreshEvery; a /metrics scrape storm costs one reading.
+type RuntimeCollector struct {
+	refreshEvery time.Duration
+	pauses       *Histogram
+
+	mu      sync.Mutex
+	ms      runtime.MemStats
+	asOf    time.Time
+	lastGC  uint32
+	gor     int
+}
+
+// NewRuntimeCollector returns an unregistered collector; call Register
+// to expose its series, Stats to read it directly (rfidsim -progress).
+func NewRuntimeCollector() *RuntimeCollector {
+	return &RuntimeCollector{
+		refreshEvery: 100 * time.Millisecond,
+		pauses:       NewHistogram(GCPauseBuckets...),
+	}
+}
+
+// refresh re-reads runtime stats if the cache is stale, feeding any GC
+// pauses completed since the last reading into the pause histogram.
+// It takes only the collector's own lock (plus the histogram's), so it
+// is safe to call from func-backed collectors under the registry lock.
+func (rc *RuntimeCollector) refresh() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	now := time.Now()
+	if now.Sub(rc.asOf) < rc.refreshEvery {
+		return
+	}
+	rc.asOf = now
+	rc.gor = runtime.NumGoroutine()
+	runtime.ReadMemStats(&rc.ms)
+	// PauseNs is a circular buffer of the most recent 256 pause
+	// durations, indexed by GC cycle number; replay the cycles that
+	// completed since the previous reading (capped at the buffer).
+	newGC := rc.ms.NumGC
+	if n := newGC - rc.lastGC; n > 0 {
+		if n > uint32(len(rc.ms.PauseNs)) {
+			n = uint32(len(rc.ms.PauseNs))
+		}
+		for c := newGC - n + 1; c <= newGC; c++ {
+			ns := rc.ms.PauseNs[(c+255)%256]
+			rc.pauses.Observe(float64(ns) / float64(time.Second))
+		}
+	}
+	rc.lastGC = newGC
+}
+
+// Stats returns the current (cached) reading.
+func (rc *RuntimeCollector) Stats() RuntimeStats {
+	rc.refresh()
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return RuntimeStats{
+		Goroutines:   rc.gor,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		HeapInuse:    rc.ms.HeapInuse,
+		HeapAlloc:    rc.ms.HeapAlloc,
+		TotalAlloc:   rc.ms.TotalAlloc,
+		GCCycles:     rc.ms.NumGC,
+		LastGCPause:  time.Duration(rc.ms.PauseNs[(rc.ms.NumGC+255)%256]),
+		TotalGCPause: time.Duration(rc.ms.PauseTotalNs),
+	}
+}
+
+// Register exposes the collector's series on reg. Each func-backed
+// series refreshes the shared cache, so one scrape performs at most
+// one ReadMemStats.
+func (rc *RuntimeCollector) Register(reg *Registry) {
+	reg.GaugeFunc("runtime_goroutines", "Live goroutines.", func() float64 {
+		rc.refresh()
+		rc.mu.Lock()
+		defer rc.mu.Unlock()
+		return float64(rc.gor)
+	})
+	reg.GaugeFunc("runtime_gomaxprocs", "GOMAXPROCS scheduler width.", func() float64 {
+		return float64(runtime.GOMAXPROCS(0))
+	})
+	reg.GaugeFunc("runtime_heap_inuse_bytes", "Bytes in in-use heap spans.", func() float64 {
+		rc.refresh()
+		rc.mu.Lock()
+		defer rc.mu.Unlock()
+		return float64(rc.ms.HeapInuse)
+	})
+	reg.CounterFunc("runtime_heap_alloc_bytes_total", "Cumulative heap bytes allocated.", func() uint64 {
+		rc.refresh()
+		rc.mu.Lock()
+		defer rc.mu.Unlock()
+		return rc.ms.TotalAlloc
+	})
+	reg.CounterFunc("runtime_gc_cycles_total", "Completed GC cycles.", func() uint64 {
+		rc.refresh()
+		rc.mu.Lock()
+		defer rc.mu.Unlock()
+		return uint64(rc.ms.NumGC)
+	})
+	// The pause histogram is fed by refresh and needs a histogram-typed
+	// family, which func-backed registration cannot provide — so the
+	// already-populated histogram is bound into the family directly.
+	reg.mu.Lock()
+	f := reg.familyLocked("runtime_gc_pause_seconds", "GC stop-the-world pause durations.", "histogram")
+	f.addLocked(nil, rc.pauses)
+	reg.mu.Unlock()
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorStats(t *testing.T) {
+	rc := NewRuntimeCollector()
+	st := rc.Stats()
+	if st.Goroutines < 1 {
+		t.Fatalf("Goroutines = %d, want >= 1", st.Goroutines)
+	}
+	if st.GOMAXPROCS < 1 {
+		t.Fatalf("GOMAXPROCS = %d, want >= 1", st.GOMAXPROCS)
+	}
+	if st.HeapInuse == 0 || st.TotalAlloc == 0 {
+		t.Fatalf("heap stats = %+v, want non-zero", st)
+	}
+}
+
+func TestRuntimeCollectorCachesReadings(t *testing.T) {
+	rc := NewRuntimeCollector()
+	first := rc.Stats()
+	// Allocate aggressively: a cached reading within refreshEvery must
+	// not move even though TotalAlloc has.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1<<12))
+	}
+	_ = sink
+	if again := rc.Stats(); again.TotalAlloc != first.TotalAlloc {
+		t.Fatalf("reading moved within the refresh interval: %d -> %d",
+			first.TotalAlloc, again.TotalAlloc)
+	}
+	rc.refreshEvery = 0 // force refresh
+	if again := rc.Stats(); again.TotalAlloc < first.TotalAlloc {
+		t.Fatalf("TotalAlloc went backwards: %d -> %d", first.TotalAlloc, again.TotalAlloc)
+	}
+}
+
+func TestRuntimeCollectorGCPauses(t *testing.T) {
+	rc := NewRuntimeCollector()
+	rc.refreshEvery = 0
+	rc.Stats()
+	before := rc.pauses.Count()
+	runtime.GC()
+	runtime.GC()
+	rc.Stats()
+	if after := rc.pauses.Count(); after < before+2 {
+		t.Fatalf("pause observations %d -> %d, want two forced GC cycles recorded", before, after)
+	}
+}
+
+func TestRuntimeCollectorRegisterExposition(t *testing.T) {
+	rc := NewRuntimeCollector()
+	rc.refreshEvery = 0
+	reg := NewRegistry()
+	rc.Register(reg)
+	runtime.GC()
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"runtime_goroutines ",
+		"runtime_gomaxprocs ",
+		"runtime_heap_inuse_bytes ",
+		"runtime_heap_alloc_bytes_total ",
+		"runtime_gc_cycles_total ",
+		"runtime_gc_pause_seconds_bucket",
+		"runtime_gc_pause_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if problems := LintPrometheus(out); len(problems) != 0 {
+		t.Fatalf("runtime series fail lint: %v", problems)
+	}
+}
+
+func TestRuntimeCollectorSampledIntoVisitor(t *testing.T) {
+	rc := NewRuntimeCollector()
+	rc.refreshEvery = 0
+	reg := NewRegistry()
+	rc.Register(reg)
+	seen := map[string]string{}
+	reg.Each(visitorFunc(func(s Sample) { seen[s.Name] = s.Kind }))
+	if seen["runtime_goroutines"] != "gauge" {
+		t.Fatalf("runtime_goroutines kind = %q, want gauge", seen["runtime_goroutines"])
+	}
+	if seen["runtime_gc_pause_seconds"] != "histogram" {
+		t.Fatalf("runtime_gc_pause_seconds kind = %q, want histogram", seen["runtime_gc_pause_seconds"])
+	}
+}
+
+type visitorFunc func(Sample)
+
+func (f visitorFunc) VisitSample(s Sample) { f(s) }
+
+func TestRuntimeCollectorRefreshBound(t *testing.T) {
+	rc := NewRuntimeCollector()
+	if rc.refreshEvery < 10*time.Millisecond {
+		t.Fatalf("refreshEvery = %v, want a real cache window (ReadMemStats stops the world)", rc.refreshEvery)
+	}
+}

@@ -1,0 +1,358 @@
+package slo
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
+)
+
+// testWindows are tiny so a handful of synthetic ticks walks the full
+// pending→firing→resolved→inactive cycle.
+func testWindows() Windows {
+	return Windows{
+		Fast: Duration(2 * time.Second), FastLong: Duration(6 * time.Second), FastBurn: 10,
+		Slow: Duration(4 * time.Second), SlowLong: Duration(10 * time.Second), SlowBurn: 5,
+	}
+}
+
+type fixture struct {
+	reg   *obs.Registry
+	store *tsdb.Store
+	bus   *obs.Bus
+	eng   *Engine
+	now   time.Time
+}
+
+func newFixture(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	reg := obs.NewRegistry()
+	store := tsdb.New(reg, tsdb.Options{Interval: time.Second, Retention: time.Minute})
+	bus := obs.NewBus(128)
+	eng, err := New(cfg, store, reg, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{reg: reg, store: store, bus: bus, eng: eng, now: time.Unix(1000, 0)}
+}
+
+// tick samples and evaluates once, advancing the clock one interval.
+func (f *fixture) tick() {
+	f.store.Sample(f.now)
+	f.eng.Evaluate(f.now)
+	f.now = f.now.Add(time.Second)
+}
+
+func (f *fixture) state(t *testing.T, objective string) Alert {
+	t.Helper()
+	for _, a := range f.eng.Alerts() {
+		if a.Objective == objective {
+			return a
+		}
+	}
+	t.Fatalf("objective %q not in Alerts()", objective)
+	return Alert{}
+}
+
+func TestLatencyObjectiveLifecycle(t *testing.T) {
+	// The slow pair is parked out of reach so the test exercises the
+	// fast pair's pending→firing confirmation in isolation.
+	w := testWindows()
+	w.SlowBurn = 1e9
+	cfg := Config{Windows: w, Objectives: []Objective{{
+		Name: "run-latency", Kind: KindLatency,
+		Series: `run_seconds{origin="job"}`, Threshold: 1, Target: 0.99,
+	}}}
+	f := newFixture(t, cfg)
+	h := f.reg.Histogram("run_seconds", "Run latency.", obs.DefaultLatencyBuckets,
+		obs.L("origin", "job"))
+
+	// Healthy traffic, heavy enough that the 6s long window dilutes
+	// the first breach below the burn threshold.
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 10; j++ {
+			h.Observe(0.01)
+		}
+		f.tick()
+	}
+	if got := f.state(t, "run-latency"); got.State != StateInactive {
+		t.Fatalf("healthy state = %s, want inactive", got.State)
+	}
+
+	// A burst of slow requests: the 2s fast window goes hot at once
+	// (bad fraction ~1/3, budget 0.01 → burn ~33) but the long window
+	// still remembers the good traffic → pending, not firing.
+	for j := 0; j < 5; j++ {
+		h.Observe(30)
+	}
+	f.tick()
+	if got := f.state(t, "run-latency"); got.State != StatePending {
+		t.Fatalf("after first breach state = %s (burn %v), want pending", got.State, got.Burn)
+	}
+	// The breach sustains: the long window confirms → firing.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			h.Observe(30)
+		}
+		f.tick()
+	}
+	if got := f.state(t, "run-latency"); got.State != StateFiring {
+		t.Fatalf("sustained breach state = %s, want firing", got.State)
+	}
+
+	// Traffic stops: window deltas decay to zero → resolved, then
+	// after a quiet fast window, inactive.
+	for i := 0; i < 12; i++ {
+		f.tick()
+	}
+	if got := f.state(t, "run-latency"); got.State != StateInactive {
+		t.Fatalf("post-recovery state = %s, want inactive", got.State)
+	}
+
+	// The full cycle was published on the bus (the replay ring is
+	// pre-buffered into the subscription, so a non-blocking drain
+	// sees everything).
+	sub := f.bus.Subscribe(1, 0)
+	var seq []string
+drain:
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				break drain
+			}
+			if ev.Type == "alert" {
+				seq = append(seq, ev.Data["to"].(string))
+			}
+		default:
+			break drain
+		}
+	}
+	want := []string{StatePending, StateFiring, StateResolved, StateInactive}
+	if len(seq) != len(want) {
+		t.Fatalf("bus transitions = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("bus transitions = %v, want %v", seq, want)
+		}
+	}
+
+	// Counted into the registry and annotated into the store.
+	for _, to := range want {
+		sel := obs.RenderLabels(obs.L("objective", "run-latency"), obs.L("to", to))
+		if d, ok := f.store.Delta("slo_transitions_total", sel, "", 0); !ok || d < 1 {
+			t.Fatalf("slo_transitions_total{to=%q} delta = %g/%v, want >= 1", to, d, ok)
+		}
+	}
+	if anns := f.store.Annotations(time.Time{}); len(anns) < 4 {
+		t.Fatalf("got %d alert annotations, want >= 4", len(anns))
+	}
+}
+
+func TestIdleServiceIsNotOutOfSLO(t *testing.T) {
+	cfg := Config{Windows: testWindows(), Objectives: []Objective{{
+		Name: "run-latency", Kind: KindLatency,
+		Series: "run_seconds", Threshold: 1, Target: 0.99,
+	}}}
+	f := newFixture(t, cfg)
+	// The judged histogram is never registered and never observed.
+	for i := 0; i < 10; i++ {
+		f.tick()
+	}
+	got := f.state(t, "run-latency")
+	if got.State != StateInactive {
+		t.Fatalf("idle state = %s, want inactive", got.State)
+	}
+	for w, b := range got.Burn {
+		if b != 0 {
+			t.Fatalf("idle burn[%s] = %g, want 0", w, b)
+		}
+	}
+}
+
+func TestRatioObjective(t *testing.T) {
+	cfg := Config{Windows: testWindows(), Objectives: []Objective{{
+		Name: "hit-ratio", Kind: KindRatio,
+		Good:  []string{"hits_total"},
+		Total: []string{"hits_total", "misses_total"},
+		Target: 0.5,
+	}}}
+	f := newFixture(t, cfg)
+	hits := f.reg.Counter("hits_total", "Hits.")
+	misses := f.reg.Counter("misses_total", "Misses.")
+
+	// All misses: bad fraction 1, budget 0.5 → burn 2 < thresholds.
+	for i := 0; i < 3; i++ {
+		misses.Add(10)
+		f.tick()
+	}
+	if got := f.state(t, "hit-ratio"); got.State != StateInactive {
+		t.Fatalf("burn-2 state = %s, want inactive (burn below thresholds)", got.State)
+	}
+	if got := f.state(t, "hit-ratio"); got.Burn["fast"] != 2 {
+		t.Fatalf("all-miss fast burn = %g, want 2", got.Burn["fast"])
+	}
+	// All hits: burn falls to 0.
+	for i := 0; i < 6; i++ {
+		hits.Add(100)
+		f.tick()
+	}
+	if got := f.state(t, "hit-ratio"); got.Burn["fast"] >= 1 {
+		t.Fatalf("mostly-hit fast burn = %g, want < 1", got.Burn["fast"])
+	}
+}
+
+func TestGaugeObjectiveFiresViaSlowPair(t *testing.T) {
+	// A gauge's bad fraction caps at 1, so its burn caps at 1/budget;
+	// with target 0.9 (budget 0.1, cap 10) only the slow pair (burn 5)
+	// can fire — that asymmetry is deliberate: saturation alerts are
+	// slow-burn by nature.
+	cfg := Config{Windows: testWindows(), Objectives: []Objective{{
+		Name: "saturation", Kind: KindGauge,
+		Series: "util", Threshold: 0.95, Target: 0.9,
+	}}}
+	f := newFixture(t, cfg)
+	util := f.reg.Gauge("util", "Utilisation.")
+	util.Set(0.99)
+	for i := 0; i < 12; i++ {
+		f.tick()
+	}
+	if got := f.state(t, "saturation"); got.State != StateFiring {
+		t.Fatalf("pegged gauge state = %s, want firing", got.State)
+	}
+	util.Set(0.2)
+	for i := 0; i < 15; i++ {
+		f.tick()
+	}
+	if got := f.state(t, "saturation"); got.State != StateInactive {
+		t.Fatalf("recovered gauge state = %s, want inactive", got.State)
+	}
+}
+
+func TestFiringGaugeAndFiring(t *testing.T) {
+	cfg := Config{Windows: testWindows(), Objectives: []Objective{{
+		Name: "saturation", Kind: KindGauge,
+		Series: "util", Threshold: 0.5, Target: 0.9,
+	}}}
+	f := newFixture(t, cfg)
+	f.reg.Gauge("util", "Utilisation.").Set(1)
+	for i := 0; i < 12; i++ {
+		f.tick()
+	}
+	if got := f.eng.Firing(); len(got) != 1 || got[0].Objective != "saturation" {
+		t.Fatalf("Firing() = %+v, want the one firing objective", got)
+	}
+	if d, ok := f.store.Delta("slo_transitions_total",
+		obs.RenderLabels(obs.L("objective", "saturation"), obs.L("to", "firing")), "", 0); !ok || d < 1 {
+		t.Fatalf("firing transition counter delta = %g/%v, want >= 1", d, ok)
+	}
+}
+
+func TestNilEngineDisabled(t *testing.T) {
+	var e *Engine
+	e.Evaluate(time.Now()) // must not panic
+	if got := e.Alerts(); got != nil {
+		t.Fatalf("nil engine Alerts = %v, want nil", got)
+	}
+	if got := e.Firing(); len(got) != 0 {
+		t.Fatalf("nil engine Firing = %v, want empty", got)
+	}
+	if got := e.Config(); len(got.Objectives) != 0 {
+		t.Fatalf("nil engine Config = %+v, want zero", got)
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The default slow-long window must fit in the default tsdb
+	// retention, or burn evaluation silently sees a truncated window.
+	reg := obs.NewRegistry()
+	store := tsdb.New(reg, tsdb.Options{})
+	if got, want := store.Retention(), cfg.Windows.SlowLong.D(); got < want {
+		t.Fatalf("default tsdb retention %v < slow_long window %v", got, want)
+	}
+}
+
+func TestConfigLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slo.json")
+	doc := `{
+	  "windows": {"fast":"10s","fast_long":"1m","fast_burn":14.4,
+	              "slow":"30s","slow_long":"5m","slow_burn":6},
+	  "objectives": [
+	    {"name":"lat","kind":"latency","series":"run_seconds","threshold":5,"target":0.99}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Windows.Fast.D() != 10*time.Second || len(cfg.Objectives) != 1 {
+		t.Fatalf("loaded config = %+v", cfg)
+	}
+	// Omitted windows fall back to defaults.
+	noWin := `{"objectives":[{"name":"lat","kind":"latency","series":"s","threshold":1,"target":0.9}]}`
+	if err := os.WriteFile(path, []byte(noWin), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Windows != DefaultWindows() {
+		t.Fatalf("omitted windows = %+v, want defaults", cfg.Windows)
+	}
+}
+
+func TestConfigValidationRejects(t *testing.T) {
+	base := func() Config {
+		return Config{Windows: DefaultWindows(), Objectives: []Objective{{
+			Name: "x", Kind: KindLatency, Series: "s", Threshold: 1, Target: 0.9,
+		}}}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"bad target", func(c *Config) { c.Objectives[0].Target = 1.5 }},
+		{"missing series", func(c *Config) { c.Objectives[0].Series = "" }},
+		{"unknown kind", func(c *Config) { c.Objectives[0].Kind = "percentile" }},
+		{"duplicate name", func(c *Config) { c.Objectives = append(c.Objectives, c.Objectives[0]) }},
+		{"inverted windows", func(c *Config) { c.Windows.FastLong = Duration(time.Second) }},
+		{"zero burn", func(c *Config) { c.Windows.SlowBurn = 0 }},
+		{"ratio without series", func(c *Config) {
+			c.Objectives[0] = Objective{Name: "r", Kind: KindRatio, Target: 0.5}
+		}},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("%s: Validate accepted an invalid config", tc.name)
+		}
+	}
+}
+
+func TestEngineSeriesPassLint(t *testing.T) {
+	reg := obs.NewRegistry()
+	store := tsdb.New(reg, tsdb.Options{Interval: time.Second, Retention: time.Minute})
+	store.Register(reg)
+	if _, err := New(DefaultConfig(), store, reg, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if problems := obs.LintPrometheus(buf.String()); len(problems) != 0 {
+		t.Fatalf("lint problems in tsdb/slo series: %v", problems)
+	}
+}

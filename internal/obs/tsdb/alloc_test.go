@@ -1,0 +1,55 @@
+//go:build !race
+
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestSampleSteadyStateAllocatesNothing pins the store's core cost
+// contract: once every series has been seen, a Sample tick allocates
+// nothing. (Excluded under -race: the race runtime itself allocates.)
+func TestSampleSteadyStateAllocatesNothing(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c_total", "Counter.").Add(1)
+	reg.Gauge("g", "Gauge.").Set(1)
+	h := reg.Histogram("h_seconds", "Histogram.", obs.DefaultLatencyBuckets)
+	h.Observe(0.5)
+	s := New(reg, Options{Interval: time.Second, Retention: time.Minute})
+	s.Probe("p_total", "", KindCounter, func() float64 { return 1 })
+	now := time.Unix(1000, 0)
+	s.Sample(now) // first tick creates the rings
+	if got := testing.AllocsPerRun(100, func() {
+		now = now.Add(time.Second)
+		s.Sample(now)
+	}); got != 0 {
+		t.Fatalf("steady-state Sample allocates %v allocs/op, want 0", got)
+	}
+}
+
+// TestDisabledPathAllocatesNothing pins the disabled contract: a nil
+// store (history off) costs callers nothing on the hot paths that
+// stay instrumented unconditionally.
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	var s *Store
+	if got := testing.AllocsPerRun(100, func() {
+		s.Sample(time.Time{})
+		s.Annotate("job", "failed")
+	}); got != 0 {
+		t.Fatalf("nil-store path allocates %v allocs/op, want 0", got)
+	}
+	reg := obs.NewRegistry()
+	reg.Gauge("g", "Gauge.").Set(1)
+	st := New(reg, Options{})
+	st.Sample(time.Unix(1000, 0))
+	st.SetEnabled(false)
+	if got := testing.AllocsPerRun(100, func() {
+		st.Sample(time.Time{})
+		st.Annotate("job", "failed")
+	}); got != 0 {
+		t.Fatalf("paused-store path allocates %v allocs/op, want 0", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -498,4 +499,55 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 		return "", &apiError{StatusCode: resp.StatusCode, Message: string(b)}
 	}
 	return string(b), nil
+}
+
+// HistoryIndex lists the history store's retained series.
+func (c *Client) HistoryIndex(ctx context.Context) (HistoryIndexResponse, error) {
+	var out HistoryIndexResponse
+	err := c.do(ctx, http.MethodGet, "/v1/metrics/history", nil, &out)
+	return out, err
+}
+
+// MetricsHistory fetches derived points for one or more series
+// selectors over the trailing window (0 = full retention). reduce ""
+// takes the server's per-kind default (counters rate, gauges raw,
+// histograms avg).
+func (c *Client) MetricsHistory(ctx context.Context, selectors []string, window time.Duration, reduce string) (HistoryResponse, error) {
+	q := url.Values{}
+	for _, sel := range selectors {
+		q.Add("series", sel)
+	}
+	if window > 0 {
+		q.Set("window", window.String())
+	}
+	if reduce != "" {
+		q.Set("reduce", reduce)
+	}
+	var out HistoryResponse
+	err := c.do(ctx, http.MethodGet, "/v1/metrics/history?"+q.Encode(), nil, &out)
+	return out, err
+}
+
+// Alerts fetches every SLO objective's alert status.
+func (c *Client) Alerts(ctx context.Context) (AlertsResponse, error) {
+	var out AlertsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/alerts", nil, &out)
+	return out, err
+}
+
+// ErrStopWatch, returned from a watch callback, ends the watch cleanly.
+var ErrStopWatch = errors.New("stop watch")
+
+// WatchAlerts streams SLO alert transitions (SSE). The alert bus's
+// replay ring means a fresh watch first delivers the retained
+// transition history, then live transitions. The watch runs until ctx
+// ends or fn returns an error; ErrStopWatch ends it with a nil error.
+func (c *Client) WatchAlerts(ctx context.Context, fn func(WatchEvent) error) error {
+	err := c.watch(ctx, "/v1/alerts/events",
+		func(WatchEvent) bool { return false }, fn,
+		func() (bool, error) { return false, nil })
+	if errors.Is(err, ErrStopWatch) {
+		return nil
+	}
+	return err
 }

@@ -55,6 +55,8 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/audit"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/tsdb"
 	"repro/internal/report"
 	"repro/internal/rescache"
 	"repro/internal/sim"
@@ -118,6 +120,20 @@ type Options struct {
 	EnableAudit bool
 	// AuditExemplars bounds the audit exemplar ring (default 64).
 	AuditExemplars int
+
+	// HistoryInterval paces the metrics-history sampler (default 1s;
+	// negative disables history and SLO evaluation entirely — the
+	// instrumented paths then cost one atomic load, like spans).
+	HistoryInterval time.Duration
+	// HistoryRetention bounds how far back the history rings reach
+	// (default 16m, covering the default SLO slow window).
+	HistoryRetention time.Duration
+	// SLOConfig is the burn-rate alerting policy evaluated over the
+	// history store; nil takes slo.DefaultConfig(). Ignored when
+	// history is disabled.
+	SLOConfig *slo.Config
+	// AlertEventHistory bounds the alert bus's replay ring (default 256).
+	AlertEventHistory int
 }
 
 func (o Options) withDefaults() Options {
@@ -156,6 +172,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SweepRecordCap <= 0 {
 		o.SweepRecordCap = 256
+	}
+	if o.HistoryInterval == 0 {
+		o.HistoryInterval = time.Second
+	}
+	if o.HistoryRetention <= 0 {
+		o.HistoryRetention = 16 * time.Minute
+	}
+	if o.AlertEventHistory <= 0 {
+		o.AlertEventHistory = 256
 	}
 	return o
 }
@@ -231,6 +256,13 @@ type Server struct {
 	sweepLat   originLat       // latency decomposition, sweep cells
 	windowWait *obs.Histogram  // sweep in-flight-window wait
 
+	hist        *tsdb.Store           // metrics history; nil when disabled
+	slos        *slo.Engine           // burn-rate alerting; nil when disabled
+	alertBus    *obs.Bus              // alert transition events; nil when disabled
+	runstats    *obs.RuntimeCollector // goroutines/heap/GC series
+	samplerStop chan struct{}         // closes to stop the sampler goroutine
+	samplerOnce sync.Once
+
 	sweeps *sweep.Runner
 
 	mu          sync.Mutex
@@ -290,6 +322,7 @@ func New(o Options) *Server {
 		// the histograms are created.
 	}
 	s.registerMetrics()
+	s.startHistory()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
@@ -307,6 +340,9 @@ func New(o Options) *Server {
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
+	s.mux.HandleFunc("GET /v1/metrics/history", s.handleMetricsHistory)
+	s.mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
+	s.mux.HandleFunc("GET /v1/alerts/events", s.handleAlertEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/statusz", s.handleStatusz)
@@ -403,9 +439,13 @@ func (s *Server) onTransition(t jobs.Transition) {
 	})
 }
 
-// Shutdown stops accepting work and drains queued and running
-// experiments; see jobs.Pool.Shutdown for deadline semantics.
-func (s *Server) Shutdown(ctx context.Context) error { return s.pool.Shutdown(ctx) }
+// Shutdown stops the history sampler, then stops accepting work and
+// drains queued and running experiments; see jobs.Pool.Shutdown for
+// deadline semantics.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopHistory()
+	return s.pool.Shutdown(ctx)
+}
 
 // onJobDone records latency and, on success, publishes the result bytes
 // to the cache and releases the in-flight coalescing slot.
@@ -431,6 +471,9 @@ func (s *Server) onJobDone(snap jobs.Snapshot) {
 	s.jobLat.queueWait.Observe(qw.Seconds())
 	s.jobLat.run.Observe(rt.Seconds())
 	s.emitWide(wideOfJob(exp, snap, qw, rt))
+	if snap.Status == jobs.StatusFailed {
+		s.hist.Annotate("job", exp.id+" failed") // nil-safe when history is off
+	}
 	if snap.Status == jobs.StatusDone {
 		if body, isRaw := snap.Result.(json.RawMessage); isRaw {
 			s.cache.Put(exp.key, body)

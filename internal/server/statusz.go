@@ -10,10 +10,14 @@ package server
 import (
 	"fmt"
 	"html/template"
+	"math"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/tsdb"
 	"repro/internal/rescache"
 )
 
@@ -31,9 +35,18 @@ th, td { border: 1px solid #bbb; padding: 2px 8px; text-align: left; }
 th { background: #eee; }
 .num { text-align: right; }
 .muted { color: #888; }
+.firing { background: #c62828; color: #fff; padding: 0.5em 0.8em; margin: 0.8em 0; }
+.firing a { color: #fff; }
+.spark { font-family: monospace; letter-spacing: 1px; }
+.state-firing { color: #c62828; font-weight: bold; }
+.state-pending { color: #ef6c00; }
+.state-resolved { color: #2e7d32; }
 </style></head><body>
 <h1>rfidd statusz</h1>
 <p>snapshot {{ts .Now}} &middot; up {{.Uptime}}</p>
+{{if .Firing}}<div class="firing">&#9888; {{len .Firing}} SLO alert{{if gt (len .Firing) 1}}s{{end}} firing:
+{{range .Firing}} <b>{{.Objective}}</b> (burn fast {{printf "%.1f" (index .Burn "fast")}}, slow {{printf "%.1f" (index .Burn "slow")}}){{end}}
+&middot; <a href="/v1/alerts">/v1/alerts</a></div>{{end}}
 
 <h2>worker pool</h2>
 <table>
@@ -74,6 +87,30 @@ th { background: #eee; }
 <td class="num">{{.Spans}}</td><td class="num">{{.Dropped}}</td><td>{{ts .StartedAt}}</td></tr>
 {{end}}</table>{{else}}<p class="muted">none recorded yet</p>{{end}}
 
+<h2>trends <span class="muted">(history, last {{.TrendWindow}})</span></h2>
+{{if not .History}}<p class="muted">metrics history disabled</p>
+{{else if .Trends}}<table>
+<tr><th>series</th><th>trend</th><th>last</th></tr>
+{{range .Trends}}<tr><td>{{.Name}}</td><td class="spark">{{.Spark}}</td><td class="num">{{.Last}}</td></tr>
+{{end}}</table>{{else}}<p class="muted">no samples yet</p>{{end}}
+
+<h2>slo alerts</h2>
+{{if not .SLO}}<p class="muted">slo alerting disabled</p>
+{{else}}<table>
+<tr><th>objective</th><th>state</th><th>target</th><th>burn fast</th><th>burn slow</th><th>since</th></tr>
+{{range .Alerts}}<tr><td>{{.Objective}}</td><td class="state-{{.State}}">{{.State}}</td>
+<td class="num">{{pct .Target}}</td>
+<td class="num">{{printf "%.2f" (index .Burn "fast")}}</td>
+<td class="num">{{printf "%.2f" (index .Burn "slow")}}</td>
+<td>{{if .Since.IsZero}}&mdash;{{else}}{{ts .Since}}{{end}}</td></tr>
+{{end}}</table>{{end}}
+
+<h2>timeline annotations</h2>
+{{if .Annotations}}<table>
+<tr><th>time</th><th>kind</th><th>event</th></tr>
+{{range .Annotations}}<tr><td>{{ts .T}}</td><td>{{.Kind}}</td><td>{{.Text}}</td></tr>
+{{end}}</table>{{else}}<p class="muted">none yet</p>{{end}}
+
 <h2>recent wide events <span class="muted">({{.WideTotal}} total)</span></h2>
 {{if .Wide}}<table>
 <tr><th>time</th><th>origin</th><th>id</th><th>status</th><th>alg</th><th>det</th><th>tags</th><th>frame</th><th>cache</th><th>queue wait</th><th>run</th><th>err</th></tr>
@@ -99,6 +136,78 @@ type statuszData struct {
 	Traces      []obs.TraceSummary
 	Wide        []wideEvent
 	WideTotal   uint64
+
+	History     bool
+	SLO         bool
+	TrendWindow time.Duration
+	Trends      []trendRow
+	Alerts      []slo.Alert
+	Firing      []slo.Alert
+	Annotations []tsdb.Annotation
+}
+
+// trendRow is one sparkline line in the trends table.
+type trendRow struct {
+	Name  string
+	Spark string
+	Last  string
+}
+
+// sparkRunes span eight amplitude levels, lowest to highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders up to width trailing points as a min-max-scaled
+// bar string; a flat series renders mid-height so it reads as "alive".
+func sparkline(pts []tsdb.Point, width int) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	if len(pts) > width {
+		pts = pts[len(pts)-width:]
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		lo = math.Min(lo, p.V)
+		hi = math.Max(hi, p.V)
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		level := 3 // flat series: mid-height
+		if hi > lo {
+			level = int((p.V - lo) / (hi - lo) * 7)
+		}
+		b.WriteRune(sparkRunes[level])
+	}
+	return b.String()
+}
+
+// statuszTrends derives the sparkline rows from the history store.
+func (s *Server) statuszTrends(window time.Duration) []trendRow {
+	rows := []struct{ name, sel, reduce, unit string }{
+		{"queue depth", "rfidd_queue_depth", tsdb.ReduceRaw, ""},
+		{"jobs done /s", "rfidd_jobs_done_total", tsdb.ReduceRate, "/s"},
+		{"run latency job", `rfidd_run_seconds{origin="job"}`, tsdb.ReduceAvg, "s"},
+		{"run latency sweep", `rfidd_run_seconds{origin="sweep"}`, tsdb.ReduceAvg, "s"},
+		{"queue wait job", `rfidd_queue_wait_seconds{origin="job"}`, tsdb.ReduceAvg, "s"},
+		{"cache hit ratio", "rfidd_cache_hit_ratio", tsdb.ReduceRaw, ""},
+		{"worker utilisation", "rfidd_worker_utilisation", tsdb.ReduceRaw, ""},
+		{"goroutines", "runtime_goroutines", tsdb.ReduceRaw, ""},
+		{"heap in use", "runtime_heap_inuse_bytes", tsdb.ReduceRaw, "B"},
+	}
+	out := make([]trendRow, 0, len(rows))
+	for _, row := range rows {
+		res, err := s.hist.Query(row.sel, window, row.reduce)
+		if err != nil || len(res.Points) == 0 {
+			continue
+		}
+		last := res.Points[len(res.Points)-1].V
+		out = append(out, trendRow{
+			Name:  row.name,
+			Spark: sparkline(res.Points, 48),
+			Last:  fmt.Sprintf("%.3g%s", last, row.unit),
+		})
+	}
+	return out
 }
 
 // poolView adds the derived utilisation to jobs.Stats for the template.
@@ -142,6 +251,24 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			sums = sums[len(sums)-16:]
 		}
 		d.Traces = sums
+	}
+	if s.hist != nil {
+		d.History = true
+		d.TrendWindow = s.hist.Retention()
+		if w := 5 * time.Minute; d.TrendWindow > w {
+			d.TrendWindow = w
+		}
+		d.Trends = s.statuszTrends(d.TrendWindow)
+		anns := s.hist.Annotations(time.Time{})
+		if len(anns) > 16 { // newest are appended last; show the tail
+			anns = anns[len(anns)-16:]
+		}
+		d.Annotations = anns
+	}
+	if s.slos != nil {
+		d.SLO = true
+		d.Alerts = s.slos.Alerts()
+		d.Firing = s.slos.Firing()
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := statuszTmpl.Execute(w, d); err != nil && s.logger != nil {

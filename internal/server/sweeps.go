@@ -174,6 +174,17 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.logger != nil {
 		s.logger.Info("sweep submitted", "id", id, "cells", cells, "axes", spec.AxisNames())
 	}
+	// Mark the sweep's lifetime on the metrics history timeline, so a
+	// latency spike on a sparkline can be read against what was running.
+	if s.hist != nil {
+		s.hist.Annotate("sweep", fmt.Sprintf("%s started (%d cells)", id, cells))
+		go func() {
+			<-sw.Done()
+			snap := sw.Snapshot()
+			s.hist.Annotate("sweep", fmt.Sprintf("%s %s (%d done, %d failed)",
+				id, snap.Status, snap.Counts.Done, snap.Counts.Failed))
+		}()
+	}
 	w.Header().Set("Location", "/v1/sweeps/"+id)
 	writeJSON(w, http.StatusAccepted, sweepResponseOf(sw.Snapshot()))
 }

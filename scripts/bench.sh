@@ -28,9 +28,11 @@ FILTER=${BENCH_FILTER:-.}
 
 # The packages that make up the slot hot path, innermost first — the
 # prng bulk-fill kernels feeding stat mode included — plus the sweep
-# grid expander (its allocs/op guards spec-expansion cost) and the span
-# layer (its disabled path must stay at 0 allocs/op).
-PKGS="./internal/prng ./internal/bitstr ./internal/detect ./internal/air ./internal/sched ./internal/aloha ./internal/qtree ./internal/sim ./internal/sweep ./internal/obs"
+# grid expander (its allocs/op guards spec-expansion cost), the span
+# layer, the metrics history store and the SLO engine (their disabled
+# paths must stay at 0 allocs/op, and the enabled sampling/evaluation
+# ticks must stay allocation-free in steady state).
+PKGS="./internal/prng ./internal/bitstr ./internal/detect ./internal/air ./internal/sched ./internal/aloha ./internal/qtree ./internal/sim ./internal/sweep ./internal/obs ./internal/obs/tsdb ./internal/obs/slo"
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT

@@ -18,7 +18,7 @@ go test -race "$@" ./...
 echo "==> sweep smoke (2x2 grid through the service)"
 go run ./cmd/sweepsmoke
 
-echo "==> observability smoke (traced sweep, span tree, statusz)"
+echo "==> observability smoke (traced sweep, span tree, statusz, history, SLO alert cycle)"
 go run ./cmd/obssmoke
 
 echo "==> ok"
