@@ -10,6 +10,7 @@
 //	rfidsim -tags 50000 -alg fsa -frame 30000 -stat-mode           # vectorised stat mode (fast sweeps)
 //	rfidsim -sweep spec.json                                       # parameter-grid sweep, merged table
 //	rfidsim -sweep spec.json -csv                                  # ... as CSV
+//	rfidsim -scenario spec.json                                    # streaming warehouse scenario (internal/scenario)
 //
 // With -trace (Chrome trace-event JSON) or -trace-jsonl (one event per
 // line) the run records per-round and per-frame spans. On a -timeout
@@ -58,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		capture    = fs.Float64("capture", 0, "capture-effect probability (FSA only)")
 		compare    = fs.Bool("compare", false, "also run CRC-CD on the same workload and report EI")
 		sweepPath  = fs.String("sweep", "", "run a parameter-grid sweep from this JSON spec file (\"-\" = stdin) instead of a single experiment")
+		scenPath   = fs.String("scenario", "", "run a streaming warehouse scenario from this JSON spec file (\"-\" = stdin) instead of a single experiment")
 		sweepCSV   = fs.Bool("csv", false, "with -sweep, emit the merged output as CSV")
 		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON instead of a table")
 		timeout    = fs.Duration("timeout", 0, "abort the experiment after this duration (0 = no limit)")
@@ -81,6 +83,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *sweepPath != "" {
 		return runSweep(ctx, *sweepPath, *workers, *jsonOut, *sweepCSV, *progress, stdout, stderr)
+	}
+	if *scenPath != "" {
+		return runScenario(ctx, *scenPath, *workers, *jsonOut, *progress, stdout, stderr)
 	}
 
 	var tracer *obs.Tracer

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -318,5 +319,66 @@ func TestRunSweepCLI(t *testing.T) {
 	}
 	if code := run([]string{"-sweep", bad}, &out, &errb); code == 0 {
 		t.Error("malformed spec accepted")
+	}
+}
+
+// TestRunScenarioCLI drives the -scenario path: a small streaming
+// warehouse spec from a file, rendered as the summary table and as
+// JSON, with -workers pinned results identical to the default.
+func TestRunScenarioCLI(t *testing.T) {
+	spec := `{
+		"name": "cli-smoke",
+		"side_metres": 24, "readers": 16,
+		"read_range_metres": 5, "interference_radius_metres": 9,
+		"arrivals_per_second": 4000, "dwell_micros": 150000,
+		"duration_micros": 200000, "session_micros": 2000, "seed": 7
+	}`
+	path := filepath.Join(t.TempDir(), "scn.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scenario", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"cli-smoke", "miss rate", "first-read latency mean"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("table output lacks %q:\n%s", want, out.String())
+		}
+	}
+
+	decode := func(args ...string) map[string]any {
+		out.Reset()
+		errb.Reset()
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("%v exit code = %d, stderr: %s", args, code, errb.String())
+		}
+		var res map[string]any
+		if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+			t.Fatalf("-json output invalid: %v\n%s", err, out.String())
+		}
+		return res
+	}
+	res := decode("-scenario", path, "-json")
+	if n, _ := res["read"].(float64); n == 0 {
+		t.Errorf("JSON result read nothing: %v", res)
+	}
+	// Worker count is scheduling only: pinning one worker must not move
+	// a single tally.
+	serial := decode("-scenario", path, "-json", "-workers", "1")
+	delete(res["spec"].(map[string]any), "workers")
+	delete(serial["spec"].(map[string]any), "workers")
+	if !reflect.DeepEqual(res, serial) {
+		t.Errorf("-workers 1 diverged:\n%v\nvs\n%v", serial, res)
+	}
+
+	// A malformed spec file must fail cleanly.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"readers": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-scenario", bad}, &out, &errb); code == 0 {
+		t.Error("invalid spec accepted")
 	}
 }

@@ -1,0 +1,154 @@
+// Command scenariosmoke is the CI smoke test for the streaming
+// warehouse engine behind the service: it boots rfidd in-process on a
+// loopback listener, runs a small arena end to end through POST
+// /v1/scenarios, and asserts the engine's determinism contract over the
+// wire — the same spec pinned to 1 and 4 workers must produce
+// byte-identical results (the workers field aside), the SSE stream must
+// deliver epoch progress plus the terminal event, and the full live
+// /metrics exposition must pass the Prometheus text-format linter.
+// Exits non-zero on any violation, so scripts/check.sh can gate on it.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/scenario"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scenariosmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("scenariosmoke: ok")
+}
+
+func run() error {
+	svc := server.New(server.Options{Workers: 2, QueueDepth: 16})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		_ = svc.Shutdown(ctx)
+	}()
+
+	c := server.NewClient("http://" + ln.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	spec := scenario.Spec{
+		Name:                     "smoke",
+		SideMetres:               24,
+		Readers:                  16,
+		ReadRangeMetres:          5,
+		InterferenceRadiusMetres: 9,
+		ArrivalsPerSecond:        4000,
+		DwellMicros:              150_000,
+		DurationMicros:           400_000,
+		SessionMicros:            2000,
+		Seed:                     7,
+	}
+
+	// One run per worker count, watched over SSE. Results must match
+	// bit for bit: worker count is scheduling, never arithmetic.
+	results := map[int]json.RawMessage{}
+	for _, workers := range []int{1, 4} {
+		s := spec
+		s.Workers = workers
+		sub, err := c.SubmitScenario(ctx, s)
+		if err != nil {
+			return fmt.Errorf("submit (workers=%d): %w", workers, err)
+		}
+		epochs := 0
+		var terminal map[string]any
+		err = c.WatchScenario(ctx, sub.ID, func(ev server.WatchEvent) error {
+			switch ev.Type {
+			case "epoch":
+				epochs++
+			case "scenario":
+				terminal = ev.Data
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("watch %s: %w", sub.ID, err)
+		}
+		if epochs == 0 {
+			return fmt.Errorf("%s streamed no epoch events", sub.ID)
+		}
+		if terminal["status"] != "done" {
+			return fmt.Errorf("%s terminal event %v", sub.ID, terminal)
+		}
+		fin, err := c.GetScenario(ctx, sub.ID)
+		if err != nil {
+			return fmt.Errorf("get %s: %w", sub.ID, err)
+		}
+		if fin.Status != "done" || len(fin.Result) == 0 {
+			return fmt.Errorf("%s finished %s with %d result bytes", sub.ID, fin.Status, len(fin.Result))
+		}
+		var res scenario.Result
+		if err := json.Unmarshal(fin.Result, &res); err != nil {
+			return fmt.Errorf("%s result: %w", sub.ID, err)
+		}
+		if res.Read == 0 || res.Colors < 2 {
+			return fmt.Errorf("%s degenerate result: read %d, colours %d", sub.ID, res.Read, res.Colors)
+		}
+		// Neutralise the one intentionally differing field before the
+		// byte comparison.
+		res.Spec.Workers = 0
+		canon, err := json.Marshal(&res)
+		if err != nil {
+			return err
+		}
+		results[workers] = canon
+	}
+	if !bytes.Equal(results[1], results[4]) {
+		return fmt.Errorf("worker count changed the result:\n1: %s\n4: %s", results[1], results[4])
+	}
+
+	// The whole live exposition must pass the Prometheus text-format
+	// linter — after real scenario traffic, with the scenario gauge
+	// populated.
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if !strings.Contains(text, "rfidd_scenarios 2") {
+		return fmt.Errorf("metrics lack the scenario record gauge:\n%s", grepLines(text, "scenario"))
+	}
+	if errs := obs.LintPrometheus(text); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "scenariosmoke: lint:", e)
+		}
+		return fmt.Errorf("/metrics failed exposition lint with %d errors", len(errs))
+	}
+	return nil
+}
+
+// grepLines keeps error output readable: only the exposition lines
+// containing the substring.
+func grepLines(text, substr string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

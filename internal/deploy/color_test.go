@@ -1,0 +1,73 @@
+package deploy
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// TestColorReadersDeterministic: the same floor must produce the same
+// colouring on every call — the streaming scenario's epoch schedule and
+// its cross-worker bit-identity depend on it. Run it over both the grid
+// and an adversarial random layout with many degree ties.
+func TestColorReadersDeterministic(t *testing.T) {
+	floors := map[string]*Floor{}
+
+	grid := NewFloor(100)
+	grid.PlaceReadersGrid(100, 3)
+	floors["grid"] = grid
+
+	random := NewFloor(60)
+	random.PlaceReadersRandom(80, 3, prng.New(5))
+	floors["random"] = random
+
+	for name, f := range floors {
+		adj := f.InterferenceGraph(10)
+		base, baseCount := ColorReaders(adj)
+		for trial := 0; trial < 20; trial++ {
+			colors, count := ColorReaders(adj)
+			if count != baseCount || !reflect.DeepEqual(colors, base) {
+				t.Fatalf("%s: trial %d diverged: %v (%d) vs %v (%d)",
+					name, trial, colors, count, base, baseCount)
+			}
+		}
+	}
+}
+
+// TestColorReadersProper: no two adjacent readers share a colour, every
+// reader is coloured, and the colour count is tight.
+func TestColorReadersProper(t *testing.T) {
+	f := NewFloor(60)
+	f.PlaceReadersRandom(80, 3, prng.New(9))
+	adj := f.InterferenceGraph(12)
+	colors, count := ColorReaders(adj)
+	maxSeen := -1
+	for v, c := range colors {
+		if c < 0 {
+			t.Fatalf("reader %d uncoloured", v)
+		}
+		if c > maxSeen {
+			maxSeen = c
+		}
+		for _, u := range adj[v] {
+			if colors[u] == c {
+				t.Fatalf("readers %d and %d interfere but share colour %d", v, u, c)
+			}
+		}
+	}
+	if maxSeen+1 != count {
+		t.Fatalf("count %d but highest colour %d", count, maxSeen)
+	}
+}
+
+func BenchmarkColorReaders(b *testing.B) {
+	f := NewFloor(100)
+	f.PlaceReadersGrid(400, 3)
+	adj := f.InterferenceGraph(15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ColorReaders(adj)
+	}
+}

@@ -39,8 +39,13 @@ func (f *Floor) InterferenceGraph(radius float64) [][]int {
 }
 
 // ColorReaders greedily colours the interference graph (largest degree
-// first) and returns one colour per reader plus the colour count. Readers
-// with the same colour can be activated simultaneously.
+// first, reader ID breaking ties) and returns one colour per reader plus
+// the colour count. Readers with the same colour can be activated
+// simultaneously. The visit order is a strict total order and the
+// smallest-free-colour scan consults only per-colour flags, so the
+// colouring is a pure function of the adjacency — no map-iteration or
+// sort-instability dependence — which the streaming scenario relies on
+// for bit-identical schedules.
 func ColorReaders(adj [][]int) (colors []int, count int) {
 	n := len(adj)
 	order := make([]int, n)
@@ -58,15 +63,18 @@ func ColorReaders(adj [][]int) (colors []int, count int) {
 	for i := range colors {
 		colors[i] = -1
 	}
-	for _, v := range order {
-		used := map[int]bool{}
+	// used[c] == stamp marks colour c taken by a neighbour of the current
+	// vertex; stamping avoids both a per-vertex map and a per-vertex clear.
+	used := make([]int, n+1)
+	for step, v := range order {
+		stamp := step + 1
 		for _, u := range adj[v] {
-			if colors[u] >= 0 {
-				used[colors[u]] = true
+			if c := colors[u]; c >= 0 {
+				used[c] = stamp
 			}
 		}
 		c := 0
-		for used[c] {
+		for used[c] == stamp {
 			c++
 		}
 		colors[v] = c

@@ -44,6 +44,11 @@ func (s Status) Terminal() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusCanceled
 }
 
+// NoTimeout, passed to SubmitTracedTimeout, exempts one job from the
+// pool-wide Options.Timeout: its attempts run until they finish, are
+// canceled, or the pool is force-stopped.
+const NoTimeout time.Duration = -1
+
 // Submission errors.
 var (
 	// ErrQueueFull is returned by Submit when the bounded queue cannot
@@ -87,6 +92,7 @@ type Options struct {
 	// (default 64). Submit fails with ErrQueueFull beyond it.
 	QueueDepth int
 	// Timeout bounds each attempt's run time; 0 means no limit.
+	// SubmitTracedTimeout can override it per job.
 	Timeout time.Duration
 	// Retries is how many times a transient failure is re-attempted.
 	Retries int
@@ -152,9 +158,10 @@ func (s Snapshot) Latency() time.Duration {
 
 // job is the pool-internal mutable state behind a Snapshot.
 type job struct {
-	id   string
-	fn   Func
-	sctx obs.SpanContext // service-level trace position, captured at submit
+	id      string
+	fn      Func
+	sctx    obs.SpanContext // service-level trace position, captured at submit
+	timeout time.Duration   // 0 = pool default, >0 = override, <0 = unlimited
 
 	mu         sync.Mutex
 	status     Status
@@ -266,6 +273,16 @@ func (p *Pool) Submit(id string, fn Func) error {
 // do NOT bound the job (use Cancel or Options.Timeout for that), so a
 // request-scoped ctx is safe to pass.
 func (p *Pool) SubmitTraced(ctx context.Context, id string, fn Func) error {
+	return p.SubmitTracedTimeout(ctx, id, fn, 0)
+}
+
+// SubmitTracedTimeout is SubmitTraced with a per-job attempt timeout:
+// 0 keeps the pool-wide Options.Timeout, a positive value replaces it
+// for this job, and NoTimeout removes the bound entirely. Long-running
+// job classes (streaming scenarios) share a pool whose Timeout is sized
+// for one-shot experiments; the override lets them coexist without a
+// second pool.
+func (p *Pool) SubmitTracedTimeout(ctx context.Context, id string, fn Func, timeout time.Duration) error {
 	if fn == nil {
 		return fmt.Errorf("jobs: nil Func for job %q", id)
 	}
@@ -279,7 +296,7 @@ func (p *Pool) SubmitTraced(ctx context.Context, id string, fn Func) error {
 		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
 	}
 	j := &job{
-		id: id, fn: fn,
+		id: id, fn: fn, timeout: timeout,
 		sctx:       obs.SpanFrom(ctx),
 		status:     StatusQueued,
 		enqueuedAt: time.Now(),
@@ -511,10 +528,17 @@ func (p *Pool) run(j *job, tid int) {
 		j.attempts++
 		j.mu.Unlock()
 
+		timeout := p.opts.Timeout
+		switch {
+		case j.timeout > 0:
+			timeout = j.timeout
+		case j.timeout < 0:
+			timeout = 0
+		}
 		attemptCtx := runCtx
 		var attemptCancel context.CancelFunc = func() {}
-		if p.opts.Timeout > 0 {
-			attemptCtx, attemptCancel = context.WithTimeout(runCtx, p.opts.Timeout)
+		if timeout > 0 {
+			attemptCtx, attemptCancel = context.WithTimeout(runCtx, timeout)
 		}
 		result, err = j.fn(attemptCtx)
 		attemptCancel()

@@ -175,6 +175,46 @@ func TestPerJobTimeout(t *testing.T) {
 	}
 }
 
+// TestPerJobTimeoutOverride: SubmitTracedTimeout's three regimes on a
+// pool whose default timeout is tight. NoTimeout exempts the job (it
+// finishes on its own clock), a positive override replaces the pool
+// default, and 0 inherits it.
+func TestPerJobTimeoutOverride(t *testing.T) {
+	p := newTestPool(Options{Timeout: 20 * time.Millisecond})
+	defer p.Shutdown(context.Background())
+	sleep := func(d time.Duration) Func {
+		return func(ctx context.Context) (any, error) {
+			select {
+			case <-time.After(d):
+				return "finished", nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	ctx := context.Background()
+	if err := p.SubmitTracedTimeout(ctx, "exempt", sleep(60*time.Millisecond), NoTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitTracedTimeout(ctx, "tighter", sleep(60*time.Millisecond), 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitTracedTimeout(ctx, "default", sleep(60*time.Millisecond), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, _ := p.Wait(ctx, "exempt")
+	if snap.Status != StatusDone || snap.Result != "finished" {
+		t.Errorf("exempt job = %+v, want done despite the 20ms pool timeout", snap)
+	}
+	for _, id := range []string{"tighter", "default"} {
+		snap, _ := p.Wait(ctx, id)
+		if snap.Status != StatusFailed || !errors.Is(snap.Err, context.DeadlineExceeded) {
+			t.Errorf("%s job = %+v, want failed with DeadlineExceeded", id, snap)
+		}
+	}
+}
+
 func TestCancelRunning(t *testing.T) {
 	p := newTestPool(Options{})
 	defer p.Shutdown(context.Background())

@@ -1,0 +1,105 @@
+package mobility
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/metrics"
+)
+
+// fillNonZero sets every settable (exported) field of v to a non-zero
+// probe value, recursing into structs. It fails the test on any field
+// kind it does not know how to probe, so new field types must be added
+// here deliberately.
+func fillNonZero(t *testing.T, v reflect.Value, path string) {
+	t.Helper()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := path + "." + v.Type().Field(i).Name
+		if !f.CanSet() {
+			continue // unexported: not part of the merge contract
+		}
+		switch f.Kind() {
+		case reflect.Int, reflect.Int32, reflect.Int64:
+			f.SetInt(7)
+		case reflect.Float64:
+			f.SetFloat(3.5)
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.Slice:
+			elem := reflect.New(f.Type().Elem()).Elem()
+			switch elem.Kind() {
+			case reflect.Float64:
+				elem.SetFloat(2.25)
+			case reflect.Int, reflect.Int32, reflect.Int64:
+				elem.SetInt(9)
+			default:
+				t.Fatalf("%s: no probe for slice of %s", name, elem.Kind())
+			}
+			f.Set(reflect.Append(f, elem))
+		case reflect.Struct:
+			fillNonZero(t, f, name)
+		default:
+			t.Fatalf("%s: no probe for kind %s — extend fillNonZero and mergeSession", name, f.Kind())
+		}
+	}
+}
+
+// TestMergeSessionCoversEveryField is the completeness guard for
+// mergeSession: every exported metrics.Session field (recursively) set
+// to a non-zero probe in the source must come out non-zero — in fact
+// equal, since the destination starts zero — after the merge. A field
+// added to metrics.Session without a matching mergeSession line fails
+// here instead of silently vanishing from mobile-run aggregates, which
+// is exactly how DelaysMicros went missing.
+func TestMergeSessionCoversEveryField(t *testing.T) {
+	var src metrics.Session
+	fillNonZero(t, reflect.ValueOf(&src).Elem(), "Session")
+
+	var dst metrics.Session
+	mergeSession(&dst, &src)
+
+	sv := reflect.ValueOf(src)
+	dv := reflect.ValueOf(dst)
+	for i := 0; i < sv.NumField(); i++ {
+		field := sv.Type().Field(i)
+		if !field.IsExported() {
+			continue
+		}
+		got, want := dv.Field(i).Interface(), sv.Field(i).Interface()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("mergeSession drops Session.%s: merged %v, want %v", field.Name, got, want)
+		}
+	}
+}
+
+// TestMergeSessionAccumulates pins the additive semantics over two
+// merges (counts sum, delay logs concatenate).
+func TestMergeSessionAccumulates(t *testing.T) {
+	a := metrics.Session{Bits: 10, TimeMicros: 5, TagsIdentified: 2, DelaysMicros: []float64{1, 2}}
+	b := metrics.Session{Bits: 3, TimeMicros: 2.5, TagsIdentified: 1, DelaysMicros: []float64{9}}
+	var dst metrics.Session
+	mergeSession(&dst, &a)
+	mergeSession(&dst, &b)
+	if dst.Bits != 13 || dst.TimeMicros != 7.5 || dst.TagsIdentified != 3 {
+		t.Fatalf("bad totals: %+v", dst)
+	}
+	if want := []float64{1, 2, 9}; !reflect.DeepEqual(dst.DelaysMicros, want) {
+		t.Fatalf("DelaysMicros = %v, want %v", dst.DelaysMicros, want)
+	}
+}
+
+// TestRunSessionKeepsDelays: the end-to-end consequence of the fix —
+// a mobile run's aggregate session carries one delay sample per
+// identified-tag event across all rounds.
+func TestRunSessionKeepsDelays(t *testing.T) {
+	res := Run(ProtoBT, detect.NewQCD(8, 64), Arrivals{RatePerSecond: 2000, DwellMicros: 100_000}, 500_000, 11)
+	if res.Session.TagsIdentified == 0 {
+		t.Fatal("run identified nothing")
+	}
+	if got := int64(len(res.Session.DelaysMicros)); got != res.Session.TagsIdentified {
+		t.Fatalf("aggregate session has %d delay samples for %d identifications",
+			got, res.Session.TagsIdentified)
+	}
+}

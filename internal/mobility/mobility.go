@@ -13,7 +13,6 @@ package mobility
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/bitstr"
 	"repro/internal/btree"
@@ -116,7 +115,7 @@ func Run(proto Protocol, det detect.Detector, arr Arrivals, durationMicros float
 
 	var res Result
 	now := 0.0
-	nextArrival := now + expDraw(rng, 1e6/arr.RatePerSecond)
+	nextArrival := now + rng.Exp(1e6/arr.RatePerSecond)
 	var field []*mobileTag
 	seen := make(map[string]bool)
 	nextIndex := 0
@@ -138,7 +137,7 @@ func Run(proto Protocol, det detect.Detector, arr Arrivals, durationMicros float
 		nextIndex++
 		dwell := arr.DwellMicros
 		if arr.ExponentialDwell {
-			dwell = expDraw(rng, arr.DwellMicros)
+			dwell = rng.Exp(arr.DwellMicros)
 		}
 		mt := &mobileTag{tag: t, leaveAt: at + dwell}
 		if proto == ProtoABS {
@@ -152,7 +151,7 @@ func Run(proto Protocol, det detect.Detector, arr Arrivals, durationMicros float
 		// Admit arrivals up to the clock; retire departures.
 		for nextArrival <= now && now < durationMicros {
 			admit(nextArrival)
-			nextArrival += expDraw(rng, 1e6/arr.RatePerSecond)
+			nextArrival += rng.Exp(1e6 / arr.RatePerSecond)
 		}
 		kept := field[:0]
 		for _, mt := range field {
@@ -218,20 +217,17 @@ func Run(proto Protocol, det detect.Detector, arr Arrivals, durationMicros float
 	return res
 }
 
+// mergeSession folds one round's session into the run aggregate. It
+// must cover every exported metrics.Session field — the reflection test
+// TestMergeSessionCoversEveryField fails the build of any new field
+// that is not merged here (DelaysMicros was silently dropped once).
 func mergeSession(dst *metrics.Session, src *metrics.Session) {
 	dst.Census.Add(src.Census)
 	dst.Detection.Add(src.Detection)
 	dst.Bits += src.Bits
 	dst.TimeMicros += src.TimeMicros
+	dst.DelaysMicros = append(dst.DelaysMicros, src.DelaysMicros...)
 	dst.TagsIdentified += src.TagsIdentified
-}
-
-func expDraw(rng *prng.Source, mean float64) float64 {
-	u := rng.Float64()
-	for u == 0 {
-		u = rng.Float64()
-	}
-	return -mean * math.Log(u)
 }
 
 func min64(n int) int {

@@ -14,14 +14,14 @@ var GCPauseBuckets = []float64{
 
 // RuntimeStats is one cached reading of the Go runtime's health.
 type RuntimeStats struct {
-	Goroutines    int
-	GOMAXPROCS    int
-	HeapInuse     uint64 // bytes currently in in-use heap spans
-	HeapAlloc     uint64 // bytes of live heap objects
-	TotalAlloc    uint64 // cumulative bytes allocated (monotone)
-	GCCycles      uint32
-	LastGCPause   time.Duration
-	TotalGCPause  time.Duration
+	Goroutines   int
+	GOMAXPROCS   int
+	HeapInuse    uint64 // bytes currently in in-use heap spans
+	HeapAlloc    uint64 // bytes of live heap objects
+	TotalAlloc   uint64 // cumulative bytes allocated (monotone)
+	GCCycles     uint32
+	LastGCPause  time.Duration
+	TotalGCPause time.Duration
 }
 
 // RuntimeCollector samples the Go runtime (goroutine count, heap,
@@ -32,11 +32,11 @@ type RuntimeCollector struct {
 	refreshEvery time.Duration
 	pauses       *Histogram
 
-	mu      sync.Mutex
-	ms      runtime.MemStats
-	asOf    time.Time
-	lastGC  uint32
-	gor     int
+	mu     sync.Mutex
+	ms     runtime.MemStats
+	asOf   time.Time
+	lastGC uint32
+	gor    int
 }
 
 // NewRuntimeCollector returns an unregistered collector; call Register

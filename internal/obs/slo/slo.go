@@ -158,9 +158,9 @@ func DefaultConfig() Config {
 				Series: "rfidd_sweep_window_wait_seconds", Threshold: 1, Target: 0.95,
 				Description: "95% of sweep cells clear the admission window within 1s."},
 			{Name: "cache-hit-ratio", Kind: KindRatio,
-				Good:  []string{"rfidd_cache_hits_total"},
-				Total: []string{"rfidd_cache_hits_total", "rfidd_cache_misses_total"},
-				Target: 0.05,
+				Good:        []string{"rfidd_cache_hits_total"},
+				Total:       []string{"rfidd_cache_hits_total", "rfidd_cache_misses_total"},
+				Target:      0.05,
 				Description: "At least 5% of lookups hit the cache (burn tracks miss pressure)."},
 			{Name: "worker-saturation", Kind: KindGauge,
 				Series: "rfidd_worker_utilisation", Threshold: 0.95, Target: 0.9,

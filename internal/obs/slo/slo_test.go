@@ -178,8 +178,8 @@ func TestIdleServiceIsNotOutOfSLO(t *testing.T) {
 func TestRatioObjective(t *testing.T) {
 	cfg := Config{Windows: testWindows(), Objectives: []Objective{{
 		Name: "hit-ratio", Kind: KindRatio,
-		Good:  []string{"hits_total"},
-		Total: []string{"hits_total", "misses_total"},
+		Good:   []string{"hits_total"},
+		Total:  []string{"hits_total", "misses_total"},
 		Target: 0.5,
 	}}}
 	f := newFixture(t, cfg)

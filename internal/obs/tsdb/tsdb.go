@@ -139,10 +139,10 @@ type SeriesInfo struct {
 
 // Result is one Query answer.
 type Result struct {
-	Name    string  `json:"name"`
-	Kind    string  `json:"kind"`
-	Reduce  string  `json:"reduce"`
-	Points  []Point `json:"points"`
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Reduce string  `json:"reduce"`
+	Points []Point `json:"points"`
 }
 
 // Store is the bounded history store. Construct with New; a nil *Store

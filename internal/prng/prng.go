@@ -238,6 +238,18 @@ func (s *Source) Binomial(n int, p float64) int {
 	return k
 }
 
+// Exp returns a draw from the exponential distribution with the given
+// mean (-mean·ln U, zero-rejected so the log is always finite). Poisson
+// inter-arrival gaps and exponential dwell windows — the mobile-tag flow
+// of internal/mobility and internal/scenario — are built from it.
+func (s *Source) Exp(mean float64) float64 {
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
 // normal returns a standard normal draw (Box–Muller, one half used).
 func (s *Source) normal() float64 {
 	u1 := s.Float64()

@@ -1,0 +1,387 @@
+package scenario
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/deploy"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/prng"
+	"repro/internal/sched"
+	"repro/internal/signal"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// Options carries the engine's environment: none of it affects results.
+type Options struct {
+	// Scratch lends per-worker sim.RoundScratch (its IndexFrame) to the
+	// reader sessions; nil allocates fresh scratch.
+	Scratch *sim.ScratchPool
+	// OnEpoch receives a progress snapshot every EpochsPerProgress
+	// epochs, called from the engine goroutine between epochs.
+	OnEpoch func(Progress)
+}
+
+// Run executes the scenario to completion with default options.
+func Run(spec Spec) (*Result, error) {
+	return RunContext(context.Background(), spec, Options{})
+}
+
+// engine is the wired-up run state.
+type engine struct {
+	spec  Spec
+	floor *deploy.Floor
+	store *Store
+	wheel *Wheel
+	rds   []readerState
+	// groups[c] lists colour class c's reader IDs in ascending order —
+	// the serial merge order that pins determinism.
+	groups [][]int
+	costs  slotCosts
+
+	// Coverage index: the arena divided into read-range-sized cells,
+	// each listing the readers whose disc intersects it, so an arrival
+	// touches O(covering readers) instead of O(readers).
+	cellSize    float64
+	cells       int
+	cellReaders [][]int32
+
+	// covered[slot] records whether the tag admitted into the slot is
+	// inside any reader's range; only covered tags can ever be read,
+	// so only they count toward the miss rate.
+	covered []bool
+
+	arrRng      prng.Source
+	nextArrival float64
+
+	newlyRead []Handle // per-group merge scratch
+
+	res        *Result
+	epochReads int64
+	epochLat   float64
+}
+
+// RunContext executes the scenario, stopping early (with the partial
+// result and ctx.Err) if ctx is cancelled at an epoch boundary.
+func RunContext(ctx context.Context, spec Spec, opts Options) (*Result, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	e := &engine{spec: spec, res: &Result{Spec: spec}}
+
+	e.floor = deploy.NewFloor(spec.SideMetres)
+	e.floor.PlaceReadersGrid(spec.Readers, spec.ReadRangeMetres)
+	adj := e.floor.InterferenceGraph(spec.InterferenceRadiusMetres)
+	colors, ncolors := deploy.ColorReaders(adj)
+	e.res.Colors = ncolors
+	e.groups = make([][]int, ncolors)
+	for id := 0; id < spec.Readers; id++ {
+		c := colors[id]
+		e.groups[c] = append(e.groups[c], id)
+	}
+
+	e.buildCoverageIndex()
+
+	det := detect.NewQCD(spec.Strength, spec.IDBits)
+	tm := timing.Model{TauMicros: spec.TauMicros}
+	e.costs = slotCosts{
+		idle:     tm.SlotMicros(det, signal.Idle),
+		single:   tm.SlotMicros(det, signal.Single),
+		collided: tm.SlotMicros(det, signal.Collided),
+	}
+
+	// Streams derive from the master seed in a fixed order — reader 0..R-1
+	// first, the arrival stream last — so every draw is pinned by the
+	// spec alone, never by scheduling.
+	master := prng.New(spec.Seed)
+	e.rds = make([]readerState, spec.Readers)
+	for i := range e.rds {
+		e.rds[i].id = i
+		e.rds[i].ccq.wSize = spec.PriorityWeightSize
+		e.rds[i].ccq.wDepth = spec.PriorityWeightDepth
+		master.SplitInto(&e.rds[i].rng)
+	}
+	master.SplitInto(&e.arrRng)
+	e.nextArrival = e.arrRng.Exp(1e6 / spec.ArrivalsPerSecond)
+
+	expectedLive := int(spec.ArrivalsPerSecond*spec.DwellMicros/1e6) + 64
+	e.store = NewStore(spec.Readers, expectedLive+expectedLive/2)
+	dwellTicks := int(spec.DwellMicros/spec.TickMicros) + 1
+	buckets := 2*dwellTicks + 64
+	if buckets > 1<<15 {
+		buckets = 1 << 15
+	}
+	e.wheel = NewWheel(spec.TickMicros, buckets)
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	epochSpan := float64(ncolors) * spec.SessionMicros
+	now := 0.0
+	var err error
+	for now < spec.DurationMicros {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
+		for c := 0; c < ncolors; c++ {
+			groupStart := now + float64(c)*spec.SessionMicros
+			e.advanceTo(groupStart)
+			e.runGroup(e.groups[c], groupStart, workers, opts.Scratch)
+			e.mergeGroup(e.groups[c])
+		}
+		now += epochSpan
+		e.res.Epochs++
+		if live := e.store.Len(); live > e.res.PeakLive {
+			e.res.PeakLive = live
+		}
+		if e.res.Epochs%spec.EpochsPerProgress == 0 {
+			e.emitProgress(now, opts.OnEpoch)
+		}
+	}
+	e.res.SimMicros = now
+
+	// Drain: fire every remaining departure so tags still in the field
+	// classify by their read state, exactly as mobility.Run drains.
+	e.wheel.Drain(e.onDepart)
+
+	if e.res.Latency.N() > 0 {
+		e.res.LatencyMeanMicros = e.res.Latency.Mean()
+		e.res.LatencyMaxMicros = e.res.Latency.Max()
+	}
+	return e.res, err
+}
+
+// buildCoverageIndex precomputes, per read-range-sized cell, the readers
+// whose disc intersects the cell's rectangle (distance from the reader
+// to the rect at most the range).
+func (e *engine) buildCoverageIndex() {
+	e.cellSize = e.spec.ReadRangeMetres
+	e.cells = int(math.Ceil(e.spec.SideMetres / e.cellSize))
+	if e.cells < 1 {
+		e.cells = 1
+	}
+	e.cellReaders = make([][]int32, e.cells*e.cells)
+	for _, r := range e.floor.Readers {
+		lo := func(v float64) int {
+			c := int((v - r.Range) / e.cellSize)
+			if c < 0 {
+				c = 0
+			}
+			return c
+		}
+		hi := func(v float64) int {
+			c := int((v + r.Range) / e.cellSize)
+			if c > e.cells-1 {
+				c = e.cells - 1
+			}
+			return c
+		}
+		for cx := lo(r.Pos.X); cx <= hi(r.Pos.X); cx++ {
+			for cy := lo(r.Pos.Y); cy <= hi(r.Pos.Y); cy++ {
+				x0, x1 := float64(cx)*e.cellSize, float64(cx+1)*e.cellSize
+				y0, y1 := float64(cy)*e.cellSize, float64(cy+1)*e.cellSize
+				dx := math.Max(0, math.Max(x0-r.Pos.X, r.Pos.X-x1))
+				dy := math.Max(0, math.Max(y0-r.Pos.Y, r.Pos.Y-y1))
+				if dx*dx+dy*dy <= r.Range*r.Range {
+					i := cy*e.cells + cx
+					e.cellReaders[i] = append(e.cellReaders[i], int32(r.ID))
+				}
+			}
+		}
+	}
+}
+
+// coveringReaders iterates the readers covering (x, y), via the cell
+// index plus an exact range check.
+func (e *engine) coveringReaders(x, y float64, visit func(id int32)) {
+	cx, cy := int(x/e.cellSize), int(y/e.cellSize)
+	if cx > e.cells-1 {
+		cx = e.cells - 1
+	}
+	if cy > e.cells-1 {
+		cy = e.cells - 1
+	}
+	for _, id := range e.cellReaders[cy*e.cells+cx] {
+		r := e.floor.Readers[id]
+		if r.Covers(deploy.Point{X: x, Y: y}) {
+			visit(id)
+		}
+	}
+}
+
+// advanceTo moves the simulation clock to a group boundary: departures
+// fire first (wheel order), then every arrival due by the boundary is
+// admitted, in arrival order. Both sequences are single-threaded and
+// fully determined by the spec.
+func (e *engine) advanceTo(at float64) {
+	e.wheel.AdvanceTo(at, e.onDepart)
+	gap := 1e6 / e.spec.ArrivalsPerSecond
+	for e.nextArrival <= at {
+		e.admit(e.nextArrival)
+		e.nextArrival += e.arrRng.Exp(gap)
+	}
+}
+
+// admit brings one tag into the arena: position and dwell draws, store
+// slot, newcomer push to every covering reader, departure scheduling.
+func (e *engine) admit(arrive float64) {
+	x := e.arrRng.Float64() * e.spec.SideMetres
+	y := e.arrRng.Float64() * e.spec.SideMetres
+	dwell := e.spec.DwellMicros
+	if e.spec.ExponentialDwell {
+		dwell = e.arrRng.Exp(dwell)
+	}
+	leave := arrive + dwell
+	h := e.store.Alloc(float32(x), float32(y), arrive, leave)
+	idx := int(h.index())
+	for len(e.covered) <= idx {
+		e.covered = append(e.covered, false)
+	}
+	ncov := 0
+	e.coveringReaders(x, y, func(id int32) {
+		e.rds[id].pushNewcomer(h)
+		ncov++
+	})
+	e.covered[idx] = ncov > 0
+	e.res.Arrived++
+	if ncov > 0 {
+		e.res.Covered++
+	}
+	e.wheel.Schedule(leave, uint64(h))
+}
+
+// onDepart retires a departing tag: a covered tag that was never read
+// counts as missed (reads were already counted at merge time), its seen
+// bits clear so the slot recycles clean, and the slot returns to the
+// free list.
+func (e *engine) onDepart(payload uint64) {
+	h := Handle(payload)
+	idx := int(h.index())
+	if e.covered[idx] {
+		if e.store.FirstRead(h) < 0 {
+			e.res.Missed++
+		}
+		x, y := e.store.Pos(h)
+		e.coveringReaders(float64(x), float64(y), func(id int32) {
+			e.store.ClearSeen(int(id), h)
+		})
+	}
+	e.store.Release(h)
+}
+
+// runGroup executes one colour class's sessions. Readers of one class
+// are non-interfering by construction, and each session touches only
+// its own reader's state plus read-only store columns, so they run
+// concurrently; results cannot depend on the worker count because every
+// reader consumes only its own PRNG stream.
+func (e *engine) runGroup(group []int, start float64, workers int, pool *sim.ScratchPool) {
+	if workers > len(group) {
+		workers = len(group)
+	}
+	if workers <= 1 {
+		rs := pool.Get()
+		for _, id := range group {
+			e.runSession(id, start, rs.IndexFrame())
+		}
+		pool.Put(rs)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs := pool.Get()
+			defer pool.Put(rs)
+			fr := rs.IndexFrame()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(group) {
+					return
+				}
+				e.runSession(group[i], start, fr)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func (e *engine) runSession(id int, start float64, fr *sched.IndexFrame) {
+	e.rds[id].session(e.store, fr, e.costs, start, e.spec.SessionMicros,
+		e.spec.NewcomerBatch, e.spec.MaxFrame)
+}
+
+// mergeGroup folds the group's sessions back into global state, in
+// ascending reader order. Phase one applies the minimum read time per
+// tag (two same-colour readers can both read a tag in one window);
+// phase two folds first-read latency for tags read for the first time,
+// in discovery order. Census and airtime fold in the same pass.
+func (e *engine) mergeGroup(group []int) {
+	e.newlyRead = e.newlyRead[:0]
+	for _, id := range group {
+		r := &e.rds[id]
+		for _, rec := range r.reads {
+			if !e.store.Valid(rec.h) || rec.at > e.store.LeaveAt(rec.h) {
+				continue // departed mid-window: the read came too late
+			}
+			cur := e.store.FirstRead(rec.h)
+			if cur < 0 {
+				e.newlyRead = append(e.newlyRead, rec.h)
+				e.store.SetFirstRead(rec.h, rec.at)
+			} else if rec.at < cur {
+				e.store.SetFirstRead(rec.h, rec.at)
+			}
+		}
+		r.reads = r.reads[:0]
+		e.res.Census.Add(r.census)
+		r.census = metrics.Census{}
+		e.res.AirtimeMicros += r.air
+		r.air = 0
+	}
+	for _, h := range e.newlyRead {
+		lat := e.store.FirstRead(h) - e.store.ArriveAt(h)
+		e.res.Latency.Add(lat)
+		e.res.Read++
+		e.epochReads++
+		e.epochLat += lat
+	}
+}
+
+// emitProgress publishes one progress snapshot and resets the
+// interval's read tallies.
+func (e *engine) emitProgress(now float64, fn func(Progress)) {
+	if fn == nil {
+		e.epochReads, e.epochLat = 0, 0
+		return
+	}
+	span := float64(e.spec.EpochsPerProgress) * float64(e.res.Colors) * e.spec.SessionMicros
+	p := Progress{
+		Epoch:      e.res.Epochs,
+		SimMicros:  now,
+		Live:       e.store.Len(),
+		Arrived:    e.res.Arrived,
+		Read:       e.res.Read,
+		Missed:     e.res.Missed,
+		EpochReads: e.epochReads,
+		MissRate:   e.res.MissRate(),
+	}
+	if e.epochReads > 0 {
+		p.EpochMeanLatencyMicros = e.epochLat / float64(e.epochReads)
+	}
+	if span > 0 {
+		p.ReadsPerSecond = float64(e.epochReads) / (span / 1e6)
+	}
+	e.epochReads, e.epochLat = 0, 0
+	fn(p)
+}

@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// smallSpec is a dense little arena that still exercises every moving
+// part: multiple colour classes, overlapping coverage, tag churn.
+func smallSpec() Spec {
+	return Spec{
+		Name:                     "test",
+		SideMetres:               24,
+		Readers:                  16,
+		ReadRangeMetres:          5,
+		InterferenceRadiusMetres: 9,
+		ArrivalsPerSecond:        4000,
+		DwellMicros:              150_000,
+		DurationMicros:           1_000_000,
+		SessionMicros:            2000,
+		Seed:                     7,
+	}
+}
+
+func TestRunProducesReads(t *testing.T) {
+	res, err := Run(smallSpec())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Arrived == 0 || res.Covered == 0 {
+		t.Fatalf("no flow: %+v", res)
+	}
+	if res.Read == 0 {
+		t.Fatalf("no tag was ever read: %+v", res)
+	}
+	if res.Read+res.Missed != res.Covered {
+		t.Fatalf("covered tags unaccounted for: read %d + missed %d != covered %d",
+			res.Read, res.Missed, res.Covered)
+	}
+	if res.Covered > res.Arrived {
+		t.Fatalf("covered %d exceeds arrived %d", res.Covered, res.Arrived)
+	}
+	if res.Latency.N() != res.Read {
+		t.Fatalf("latency folded %d times for %d reads", res.Latency.N(), res.Read)
+	}
+	if res.LatencyMeanMicros <= 0 {
+		t.Fatalf("non-positive mean latency %v", res.LatencyMeanMicros)
+	}
+	if res.Census.Single < res.Read {
+		t.Fatalf("census singles %d below read count %d", res.Census.Single, res.Read)
+	}
+	if res.Colors < 2 {
+		t.Fatalf("expected a multi-colour schedule, got %d", res.Colors)
+	}
+}
+
+// TestRunDeterministicAcrossWorkers is the PR's core contract: the
+// worker count schedules goroutines and nothing else, so every tally —
+// census, reads, latency moments — is bit-identical for any value.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	var pool sim.ScratchPool
+	var base *Result
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		spec := smallSpec()
+		spec.Workers = workers
+		res, err := RunContext(context.Background(), spec, Options{Scratch: &pool})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		res.Spec.Workers = 0 // the only field allowed to differ
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("workers=%d diverged:\n  base %+v\n  got  %+v", workers, base, res)
+		}
+	}
+}
+
+func TestRunProgressSeries(t *testing.T) {
+	spec := smallSpec()
+	spec.EpochsPerProgress = 2
+	var seen []Progress
+	_, err := RunContext(context.Background(), spec, Options{
+		OnEpoch: func(p Progress) { seen = append(seen, p) },
+	})
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("no progress events")
+	}
+	var total int64
+	for i, p := range seen {
+		if i > 0 && p.Epoch <= seen[i-1].Epoch {
+			t.Fatalf("epochs not increasing: %+v", seen)
+		}
+		total += p.EpochReads
+	}
+	last := seen[len(seen)-1]
+	if total != last.Read {
+		t.Fatalf("interval reads sum %d != cumulative %d", total, last.Read)
+	}
+	if last.MissRate < 0 || last.MissRate > 1 {
+		t.Fatalf("miss rate %v out of range", last.MissRate)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	spec := smallSpec()
+	spec.DurationMicros = 1e12 // would run ~forever
+	n := 0
+	res, err := RunContext(ctx, spec, Options{
+		OnEpoch: func(Progress) {
+			n++
+			if n == 3 {
+				cancel()
+			}
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Epochs < 3 {
+		t.Fatalf("expected a partial result with >= 3 epochs, got %+v", res)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Spec{ArrivalsPerSecond: 100, DwellMicros: 1000, DurationMicros: 1000}).Validate(); err != nil {
+		t.Fatalf("minimal spec should validate: %v", err)
+	}
+	bad := []Spec{
+		{},                       // no flow at all
+		{ArrivalsPerSecond: 100}, // no dwell/duration
+		{ArrivalsPerSecond: 100, DwellMicros: 1000, DurationMicros: 1000, Readers: 7},
+		{ArrivalsPerSecond: 100, DwellMicros: 1000, DurationMicros: 1000, Strength: 99},
+		{ArrivalsPerSecond: -1, DwellMicros: 1000, DurationMicros: 1000},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected a validation error", i)
+		}
+	}
+}
+
+// TestZeroDwellTags: tags that leave the instant they arrive must flow
+// through admission, scheduling and departure without ever counting as
+// read (their read window is empty).
+func TestZeroDwellTags(t *testing.T) {
+	spec := smallSpec()
+	spec.ExponentialDwell = true
+	spec.DwellMicros = 1 // μs-scale dwells, far below one slot
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Read != 0 {
+		t.Fatalf("read %d tags whose dwell is below a slot time", res.Read)
+	}
+	if res.Covered == 0 || res.Missed != res.Covered {
+		t.Fatalf("every covered tag should be missed: %+v", res)
+	}
+}

@@ -1,0 +1,154 @@
+package scenario
+
+import "fmt"
+
+// wheelEvent is one scheduled firing: an opaque payload due at a tick.
+type wheelEvent struct {
+	tick    uint64
+	payload uint64
+}
+
+// Wheel is a hashed time wheel: events hash into buckets by tick, the
+// cursor visits one bucket per tick, and an event whose tick has not
+// come around yet simply stays in its bucket for a later lap. Advancing
+// the clock therefore costs O(events due + buckets crossed), never
+// O(live events) — and when the wheel is empty the cursor jumps in O(1),
+// so sparse stretches cost nothing at all.
+//
+// Buckets and the firing scratch are pooled: they are appended to and
+// re-sliced but never released, so a wheel in steady state schedules and
+// fires without allocating. Not safe for concurrent use, and the fire
+// callback must not touch the wheel (the engine never needs to: tag
+// departures schedule nothing).
+type Wheel struct {
+	tickMicros float64
+	mask       uint64
+	buckets    [][]wheelEvent
+	firing     []wheelEvent
+	cur        uint64 // next tick to visit; every earlier tick has fired
+	n          int
+}
+
+// NewWheel returns a wheel of the given resolution with at least the
+// requested bucket count (rounded up to a power of two). Times are
+// quantised to ticks of tickMicros: an event scheduled anywhere inside
+// a tick fires when AdvanceTo first reaches that tick's end.
+func NewWheel(tickMicros float64, buckets int) *Wheel {
+	if tickMicros <= 0 {
+		panic(fmt.Sprintf("scenario: wheel tick %v must be positive", tickMicros))
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	return &Wheel{
+		tickMicros: tickMicros,
+		mask:       uint64(n - 1),
+		buckets:    make([][]wheelEvent, n),
+	}
+}
+
+// Len returns the number of scheduled, unfired events.
+func (w *Wheel) Len() int { return w.n }
+
+// tickOf quantises an absolute time to its tick index.
+func (w *Wheel) tickOf(at float64) uint64 {
+	if at <= 0 {
+		return 0
+	}
+	return uint64(at / w.tickMicros)
+}
+
+// Schedule registers payload to fire once the clock passes at. A time
+// already in the past (or inside the current tick) clamps to the next
+// unvisited tick, so zero-dwell events still fire exactly once, on the
+// next advance.
+func (w *Wheel) Schedule(at float64, payload uint64) {
+	tick := w.tickOf(at)
+	if tick < w.cur {
+		tick = w.cur
+	}
+	b := tick & w.mask
+	w.buckets[b] = append(w.buckets[b], wheelEvent{tick: tick, payload: payload})
+	w.n++
+}
+
+// Cancel removes the earliest-scheduled pending event carrying payload
+// at the given time (same clamping as Schedule), reporting whether one
+// was found. Removal is stable: the bucket's remaining events keep
+// their insertion order, so cancellation never perturbs firing order.
+func (w *Wheel) Cancel(at float64, payload uint64) bool {
+	tick := w.tickOf(at)
+	if tick < w.cur {
+		tick = w.cur
+	}
+	b := tick & w.mask
+	evs := w.buckets[b]
+	for i, ev := range evs {
+		if ev.tick == tick && ev.payload == payload {
+			w.buckets[b] = append(evs[:i], evs[i+1:]...)
+			w.n--
+			return true
+		}
+	}
+	return false
+}
+
+// AdvanceTo moves the clock to now, invoking fire for every event in
+// ticks up to and including now's, in tick order and insertion order
+// within a tick. Events landing in now's tick after the call would be
+// clamped forward by Schedule, so no event can be silently skipped.
+func (w *Wheel) AdvanceTo(now float64, fire func(payload uint64)) {
+	w.advance(w.tickOf(now), fire)
+}
+
+// Drain fires every pending event in tick order, however far ahead it
+// sits (including events Schedule clamped past the last AdvanceTo
+// target), one wheel lap at a time until the wheel is empty.
+func (w *Wheel) Drain(fire func(payload uint64)) {
+	for w.n > 0 {
+		w.advance(w.cur+w.mask, fire)
+	}
+}
+
+// advance visits ticks cur..target, firing due events.
+func (w *Wheel) advance(target uint64, fire func(payload uint64)) {
+	if target < w.cur {
+		return
+	}
+	if w.n == 0 {
+		w.cur = target + 1
+		return
+	}
+	for t := w.cur; t <= target; t++ {
+		if w.n == 0 {
+			w.cur = target + 1
+			return
+		}
+		evs := w.buckets[t&w.mask]
+		if len(evs) == 0 {
+			w.cur = t + 1
+			continue
+		}
+		// Split the bucket: due events (tick == t) move to the firing
+		// scratch, later laps compact down in place, preserving order.
+		w.firing = w.firing[:0]
+		keep := evs[:0]
+		for _, ev := range evs {
+			if ev.tick == t {
+				w.firing = append(w.firing, ev)
+			} else {
+				keep = append(keep, ev)
+			}
+		}
+		w.buckets[t&w.mask] = keep
+		w.n -= len(w.firing)
+		w.cur = t + 1
+		for _, ev := range w.firing {
+			fire(ev.payload)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// collect returns a fire callback appending payloads to out.
+func collect(out *[]uint64) func(uint64) {
+	return func(p uint64) { *out = append(*out, p) }
+}
+
+func TestWheelFiresInTickOrder(t *testing.T) {
+	w := NewWheel(10, 8)
+	w.Schedule(95, 3) // tick 9
+	w.Schedule(25, 1) // tick 2
+	w.Schedule(50, 2) // tick 5
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	var got []uint64
+	w.AdvanceTo(55, collect(&got))
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("fired %v, want [1 2]", got)
+	}
+	got = got[:0]
+	w.AdvanceTo(100, collect(&got))
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("fired %v, want [3]", got)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after firing everything", w.Len())
+	}
+}
+
+// TestWheelWraparound schedules events several laps apart in the same
+// bucket: the near event must fire without disturbing the far one, and
+// the far one must survive the laps in between.
+func TestWheelWraparound(t *testing.T) {
+	w := NewWheel(10, 4) // lap = 4 ticks = 40 μs
+	w.Schedule(15, 1)    // tick 1
+	w.Schedule(55, 2)    // tick 5: same bucket, one lap later
+	w.Schedule(95, 3)    // tick 9: same bucket, two laps later
+	var got []uint64
+	w.AdvanceTo(20, collect(&got))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("lap 0 fired %v, want [1]", got)
+	}
+	got = got[:0]
+	w.AdvanceTo(60, collect(&got))
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("lap 1 fired %v, want [2]", got)
+	}
+	got = got[:0]
+	w.AdvanceTo(200, collect(&got))
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("lap 2 fired %v, want [3]", got)
+	}
+}
+
+// TestWheelSameTick pins behaviour within one tick: insertion order is
+// firing order, and Cancel removes exactly one matching event without
+// perturbing the order of the rest.
+func TestWheelSameTick(t *testing.T) {
+	w := NewWheel(10, 8)
+	w.Schedule(42, 7)
+	w.Schedule(43, 8)
+	w.Schedule(44, 7) // duplicate payload, same tick
+	if !w.Cancel(45, 7) {
+		t.Fatal("Cancel found no match")
+	}
+	if w.Cancel(45, 99) {
+		t.Fatal("Cancel matched a payload never scheduled")
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", w.Len())
+	}
+	var got []uint64
+	w.AdvanceTo(49, collect(&got))
+	if len(got) != 2 || got[0] != 8 || got[1] != 7 {
+		t.Fatalf("fired %v, want [8 7] (first 7 cancelled, order stable)", got)
+	}
+}
+
+// TestWheelZeroDwell: an event scheduled at (or before) already-visited
+// time must not vanish — it clamps forward and fires on the next
+// advance, exactly once.
+func TestWheelZeroDwell(t *testing.T) {
+	w := NewWheel(10, 8)
+	var got []uint64
+	w.AdvanceTo(50, collect(&got)) // visit ticks 0..5
+	w.Schedule(50, 1)              // inside an already-visited tick
+	w.Schedule(0, 2)               // far in the past
+	w.AdvanceTo(50, collect(&got)) // same target: nothing new to visit
+	if len(got) != 0 {
+		t.Fatalf("fired %v before the clock moved", got)
+	}
+	w.AdvanceTo(60, collect(&got))
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("fired %v, want [1 2]", got)
+	}
+	got = got[:0]
+	w.AdvanceTo(200, collect(&got))
+	if len(got) != 0 {
+		t.Fatalf("events fired twice: %v", got)
+	}
+}
+
+// TestWheelDrain: Drain must flush clamped events sitting past any
+// real timestamp — the zero-dwell end-of-run case.
+func TestWheelDrain(t *testing.T) {
+	w := NewWheel(10, 4)
+	w.AdvanceTo(100, func(uint64) {})
+	w.Schedule(5, 1)   // clamps to the cursor, tick 11
+	w.Schedule(500, 2) // many laps ahead
+	var got []uint64
+	w.Drain(collect(&got))
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("drained %v, want [1 2]", got)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after Drain", w.Len())
+	}
+}
+
+func TestWheelSchedulePanicsOnBadTick(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWheel accepted a non-positive tick")
+		}
+	}()
+	NewWheel(0, 8)
+}

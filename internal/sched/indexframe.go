@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/prng"
+)
+
+// IndexFrame is Frame for engines that identify tags by packed SoA
+// handles (uint64) instead of *tagmodel.Tag objects — the streaming
+// warehouse scenario, whose million-tag store keeps no per-tag heap
+// objects at all. The bucketing is the same counting sort, but the draw
+// pass is one prng.FillIntn bulk fill: the generator state stays in
+// registers for the whole frame, and the draw sequence equals len(h)
+// successive Intn(slots) calls, so a scalar re-implementation would be
+// bit-identical.
+//
+// The zero value is ready to use; arrays are retained across Build
+// calls, so one IndexFrame per reader serves every frame of a run
+// allocation-free in steady state. Not safe for concurrent use.
+type IndexFrame struct {
+	order []uint64 // flat bucket storage, handles in slot-major order
+	start []int32  // slots+1 bucket boundaries into order
+	fill  []int32  // per-slot placement cursor (counts before prefix-sum)
+	drawn []int32  // per-handle drawn slot, aligned with the Build input
+	slots int
+}
+
+// Build schedules one frame: every handle draws a uniform slot in
+// [0, slots) from rng — exactly the values len(handles) successive
+// Intn(slots) calls would return, in handle order — and the stable
+// counting sort places them so Bucket(i) lists slot i's responders in
+// input order.
+func (f *IndexFrame) Build(handles []uint64, slots int, rng *prng.Source) {
+	if slots < 1 {
+		panic(fmt.Sprintf("sched: index frame of %d slots", slots))
+	}
+	f.slots = slots
+	f.drawn = growInt32(f.drawn, len(handles))
+	f.start = growInt32(f.start, slots+1)
+	f.fill = growInt32(f.fill, slots+1)
+	counts := f.fill[:slots]
+	for i := range counts {
+		counts[i] = 0
+	}
+	rng.FillIntn(f.drawn, slots)
+	for _, s := range f.drawn {
+		counts[s]++
+	}
+	if cap(f.order) < len(handles) {
+		f.order = make([]uint64, len(handles))
+	}
+	f.order = f.order[:len(handles)]
+	var off int32
+	for i := 0; i < slots; i++ {
+		c := counts[i]
+		f.start[i] = off
+		f.fill[i] = off
+		off += c
+	}
+	f.start[slots] = off
+	for i, h := range handles {
+		s := f.drawn[i]
+		f.order[f.fill[s]] = h
+		f.fill[s]++
+	}
+}
+
+// Bucket returns slot i's responders in input order. The slice aliases
+// the frame's storage and is valid until the next Build.
+func (f *IndexFrame) Bucket(i int) []uint64 {
+	return f.order[f.start[i]:f.start[i+1]:f.start[i+1]]
+}
+
+// Slots returns the slot count of the last built frame.
+func (f *IndexFrame) Slots() int { return f.slots }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -304,6 +305,73 @@ func (c *Client) WatchSweep(ctx context.Context, id string, fn func(WatchEvent) 
 	isTerminal := func(ev WatchEvent) bool { return ev.Type == "sweep" }
 	return c.watch(ctx, "/v1/sweeps/"+id+"/events", isTerminal, fn, func() (bool, error) {
 		resp, err := c.GetSweep(ctx, id)
+		if err != nil {
+			return false, err
+		}
+		return terminalStatus(resp.Status), nil
+	})
+}
+
+// SubmitScenario schedules a streaming warehouse scenario and returns
+// its record.
+func (c *Client) SubmitScenario(ctx context.Context, spec scenario.Spec) (ScenarioResponse, error) {
+	var out ScenarioResponse
+	err := c.do(ctx, http.MethodPost, "/v1/scenarios", ScenarioSubmitRequest{Spec: spec}, &out)
+	return out, err
+}
+
+// GetScenario fetches one scenario by ID (status, latest progress and,
+// when done, the result).
+func (c *Client) GetScenario(ctx context.Context, id string) (ScenarioResponse, error) {
+	var out ScenarioResponse
+	err := c.do(ctx, http.MethodGet, "/v1/scenarios/"+id, nil, &out)
+	return out, err
+}
+
+// ListScenarios fetches all scenario summaries.
+func (c *Client) ListScenarios(ctx context.Context) ([]ScenarioResponse, error) {
+	var out ScenarioListResponse
+	err := c.do(ctx, http.MethodGet, "/v1/scenarios", nil, &out)
+	return out.Scenarios, err
+}
+
+// CancelScenario requests cancellation of a queued or running scenario.
+func (c *Client) CancelScenario(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/scenarios/"+id, nil, nil)
+}
+
+// WaitScenario polls GetScenario until the run is terminal or ctx
+// expires. A zero interval polls every 10 ms.
+func (c *Client) WaitScenario(ctx context.Context, id string, interval time.Duration) (ScenarioResponse, error) {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		resp, err := c.GetScenario(ctx, id)
+		if err != nil {
+			return resp, err
+		}
+		if terminalStatus(resp.Status) {
+			return resp, nil
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return resp, ctx.Err()
+		}
+	}
+}
+
+// WatchScenario streams a scenario's per-epoch progress over SSE,
+// invoking fn for every event. It returns nil once the terminal
+// "scenario" event arrives; transient stream drops reconnect with
+// Last-Event-ID.
+func (c *Client) WatchScenario(ctx context.Context, id string, fn func(WatchEvent) error) error {
+	isTerminal := func(ev WatchEvent) bool { return ev.Type == "scenario" }
+	return c.watch(ctx, "/v1/scenarios/"+id+"/events", isTerminal, fn, func() (bool, error) {
+		resp, err := c.GetScenario(ctx, id)
 		if err != nil {
 			return false, err
 		}

@@ -15,7 +15,7 @@ import (
 func historyOptions() Options {
 	return Options{
 		Workers: 2, QueueDepth: 8, CacheSize: 16,
-		HistoryInterval: 5 * time.Millisecond,
+		HistoryInterval:  5 * time.Millisecond,
 		HistoryRetention: 2 * time.Second,
 	}
 }

@@ -40,6 +40,9 @@ func (s *Server) registerMetrics() {
 	s.reg.GaugeFunc("rfidd_sweeps", "Sweep records currently indexed.", func() float64 {
 		return float64(s.sweepRecords.Load())
 	})
+	s.reg.GaugeFunc("rfidd_scenarios", "Scenario records currently indexed.", func() float64 {
+		return float64(s.scenRecords.Load())
+	})
 	// Exposition callbacks run under the registry lock and must stay
 	// lock-free (atomics only), so the record count is mirrored into an
 	// atomic rather than read under s.mu.

@@ -1,0 +1,339 @@
+package server
+
+// Scenario endpoints: POST /v1/scenarios accepts a streaming warehouse
+// spec (internal/scenario) and runs it as one long-lived job on the
+// shared worker pool, exempted from the pool-wide experiment timeout
+// via jobs.NoTimeout. Per-epoch progress streams over SSE ("epoch"
+// events, terminal "scenario" event) from a replay ring sized to hold
+// the whole run, so a client connecting after completion still drains
+// every event.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// ScenarioSubmitRequest is the POST /v1/scenarios body.
+type ScenarioSubmitRequest struct {
+	Spec scenario.Spec `json:"spec"`
+}
+
+// ScenarioResponse is the JSON shape of one scenario, returned by the
+// submit, get and list endpoints (list omits Result).
+type ScenarioResponse struct {
+	ID     string        `json:"id"`
+	Status string        `json:"status"`
+	Spec   scenario.Spec `json:"spec"` // defaulted form
+
+	EnqueuedAt string `json:"enqueued_at,omitempty"`
+	StartedAt  string `json:"started_at,omitempty"`
+	FinishedAt string `json:"finished_at,omitempty"`
+
+	// Progress is the latest epoch snapshot of a live run (also present
+	// after completion, as the final epoch reported).
+	Progress *scenario.Progress `json:"progress,omitempty"`
+	// Result is the scenario.Result encoding, set once the run is done.
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// ScenarioListResponse is the GET /v1/scenarios body.
+type ScenarioListResponse struct {
+	Scenarios []ScenarioResponse `json:"scenarios"`
+}
+
+// scenarioRec is the server-side record behind a scenario ID. Lifecycle
+// state lives in the pool job with the same ID; the record carries what
+// the pool does not: the defaulted spec, the event bus and the latest
+// progress snapshot (stored from the engine's OnEpoch callback, read by
+// handlers without taking s.mu).
+type scenarioRec struct {
+	id        string
+	spec      scenario.Spec
+	createdAt time.Time
+	traceID   string
+	bus       *obs.Bus
+	prog      atomic.Pointer[scenario.Progress]
+}
+
+func (s *Server) handleScenarioSubmit(w http.ResponseWriter, r *http.Request) {
+	var req ScenarioSubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	spec := req.Spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	sc := obs.SpanFrom(r.Context())
+
+	var bus *obs.Bus
+	if s.opts.EventHistory > 0 {
+		// Size the replay ring for the whole run: one "epoch" event per
+		// progress report plus the terminal "scenario" event.
+		epochMicros := float64(colorUpperBound(spec)) * spec.SessionMicros
+		reports := int(spec.DurationMicros/(epochMicros*float64(spec.EpochsPerProgress))) + 16
+		if reports > 1<<13 {
+			reports = 1 << 13
+		}
+		bus = obs.NewBus(reports)
+		bus.CountDropsInto(s.evDrops)
+	}
+
+	s.mu.Lock()
+	s.nextScenID++
+	id := "scn-" + strconv.FormatUint(s.nextScenID, 10)
+	rec := &scenarioRec{
+		id: id, spec: spec, createdAt: time.Now(),
+		traceID: sc.TraceID(), bus: bus,
+	}
+	s.mu.Unlock()
+
+	runSpec := spec
+	fn := func(ctx context.Context) (any, error) {
+		res, err := scenario.RunContext(ctx, runSpec, scenario.Options{
+			Scratch: s.sweeps.Scratch,
+			OnEpoch: func(p scenario.Progress) {
+				rec.prog.Store(&p)
+				rec.bus.Publish("epoch", progressEvent(p))
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			return nil, err
+		}
+		return json.RawMessage(b), nil
+	}
+	// The run outlives this request (only the span context rides along)
+	// and is exempt from the pool's one-shot experiment timeout — a
+	// warehouse run is minutes by design, DELETE /v1/scenarios/{id}
+	// bounds it.
+	if err := s.pool.SubmitTracedTimeout(r.Context(), id, fn, jobs.NoTimeout); err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		case errors.Is(err, jobs.ErrClosed):
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	s.mu.Lock()
+	s.scenByID[id] = rec
+	s.scenOrder = append(s.scenOrder, id)
+	s.pruneScenariosLocked()
+	s.scenRecords.Store(int64(len(s.scenByID)))
+	resp := s.scenarioResponseOf(rec)
+	s.mu.Unlock()
+	if s.logger != nil {
+		s.logger.Info("scenario submitted", "id", id,
+			"readers", spec.Readers, "arrivals_per_second", spec.ArrivalsPerSecond,
+			"duration_micros", spec.DurationMicros)
+	}
+	s.hist.Annotate("scenario", fmt.Sprintf("%s started (%d readers, λ=%g/s)",
+		id, spec.Readers, spec.ArrivalsPerSecond)) // nil-safe when history is off
+	// Watch for the terminal state: publish the closing "scenario" event,
+	// retire the stream, and mark the history timeline.
+	go s.watchScenario(rec)
+	w.Header().Set("Location", "/v1/scenarios/"+id)
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// progressEvent flattens one epoch snapshot into the bus's event
+// payload shape, keys matching the Progress JSON encoding.
+func progressEvent(p scenario.Progress) map[string]any {
+	return map[string]any{
+		"epoch":                     p.Epoch,
+		"sim_micros":                p.SimMicros,
+		"live":                      p.Live,
+		"arrived":                   p.Arrived,
+		"read":                      p.Read,
+		"missed":                    p.Missed,
+		"epoch_reads":               p.EpochReads,
+		"epoch_mean_latency_micros": p.EpochMeanLatencyMicros,
+		"reads_per_second":          p.ReadsPerSecond,
+		"miss_rate":                 p.MissRate,
+	}
+}
+
+// watchScenario waits for the scenario's pool job to reach a terminal
+// state, then emits the terminal "scenario" SSE event, closes the bus
+// (subscribers drain the replay ring, then hang up) and annotates the
+// metrics history.
+func (s *Server) watchScenario(rec *scenarioRec) {
+	snap, err := s.pool.Wait(context.Background(), rec.id)
+	if err != nil {
+		return // record vanished from the pool; nothing to finalise
+	}
+	data := map[string]any{"id": rec.id, "status": string(snap.Status)}
+	if snap.Err != nil {
+		data["error"] = snap.Err.Error()
+	}
+	rec.bus.Publish("scenario", data)
+	rec.bus.Close()
+	s.hist.Annotate("scenario", fmt.Sprintf("%s %s", rec.id, snap.Status))
+}
+
+// pruneScenariosLocked evicts the oldest terminal scenarios above
+// ScenarioRecordCap, forgetting their pool jobs with them; s.mu must be
+// held.
+func (s *Server) pruneScenariosLocked() {
+	for len(s.scenOrder) > s.opts.ScenarioRecordCap {
+		id := s.scenOrder[0]
+		if snap, ok := s.pool.Get(id); ok && !snap.Status.Terminal() {
+			return // oldest scenario still live; keep everything
+		}
+		s.pool.Forget(id)
+		s.scenOrder = s.scenOrder[1:]
+		delete(s.scenByID, id)
+	}
+}
+
+// scenarioByIDOr404 resolves the path id or writes the 404.
+func (s *Server) scenarioByIDOr404(w http.ResponseWriter, r *http.Request) *scenarioRec {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	rec := s.scenByID[id]
+	s.mu.Unlock()
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown scenario " + id})
+	}
+	return rec
+}
+
+// scenarioResponseOf assembles the response for one record from its
+// pool snapshot and latest progress.
+func (s *Server) scenarioResponseOf(rec *scenarioRec) ScenarioResponse {
+	resp := ScenarioResponse{
+		ID:       rec.id,
+		Spec:     rec.spec,
+		Progress: rec.prog.Load(),
+	}
+	snap, ok := s.pool.Get(rec.id)
+	if !ok {
+		resp.Status = string(jobs.StatusFailed)
+		resp.Error = "job state lost"
+		return resp
+	}
+	resp.Status = string(snap.Status)
+	resp.EnqueuedAt = snap.EnqueuedAt.UTC().Format(time.RFC3339Nano)
+	if !snap.StartedAt.IsZero() {
+		resp.StartedAt = snap.StartedAt.UTC().Format(time.RFC3339Nano)
+	}
+	if !snap.FinishedAt.IsZero() {
+		resp.FinishedAt = snap.FinishedAt.UTC().Format(time.RFC3339Nano)
+	}
+	if snap.Status == jobs.StatusDone {
+		if body, isRaw := snap.Result.(json.RawMessage); isRaw {
+			resp.Result = body
+		}
+	}
+	if snap.Err != nil {
+		resp.Error = snap.Err.Error()
+	}
+	return resp
+}
+
+func (s *Server) handleScenarioGet(w http.ResponseWriter, r *http.Request) {
+	rec := s.scenarioByIDOr404(w, r)
+	if rec == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.scenarioResponseOf(rec))
+}
+
+func (s *Server) handleScenarioList(w http.ResponseWriter, r *http.Request) {
+	filter, err := statusFilter(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	recs := make([]*scenarioRec, 0, len(s.scenOrder))
+	for _, id := range s.scenOrder {
+		if rec := s.scenByID[id]; rec != nil {
+			recs = append(recs, rec)
+		}
+	}
+	s.mu.Unlock()
+	out := ScenarioListResponse{Scenarios: make([]ScenarioResponse, 0, len(recs))}
+	for _, rec := range recs {
+		resp := s.scenarioResponseOf(rec)
+		if filter != "" && resp.Status != string(filter) {
+			continue
+		}
+		resp.Result = nil // keep listings light
+		out.Scenarios = append(out.Scenarios, resp)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleScenarioEvents streams a scenario's epoch progress as SSE: one
+// "epoch" event per progress report and a terminal "scenario" event.
+func (s *Server) handleScenarioEvents(w http.ResponseWriter, r *http.Request) {
+	rec := s.scenarioByIDOr404(w, r)
+	if rec == nil {
+		return
+	}
+	if rec.bus == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: "no event stream for " + rec.id + " (streaming disabled)"})
+		return
+	}
+	s.streamSSE(w, r, rec.bus)
+}
+
+func (s *Server) handleScenarioCancel(w http.ResponseWriter, r *http.Request) {
+	rec := s.scenarioByIDOr404(w, r)
+	if rec == nil {
+		return
+	}
+	if !s.pool.Cancel(rec.id) {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: "scenario " + rec.id + " is not cancellable"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": rec.id, "canceled": true})
+}
+
+// colorUpperBound is a cheap overestimate of the interference-colouring
+// class count used only to size the event replay ring before the engine
+// computes the real colouring: readers within the interference radius
+// of one grid cell, capped at the reader count.
+func colorUpperBound(spec scenario.Spec) int {
+	k := 1
+	for k*k < spec.Readers {
+		k++
+	}
+	step := spec.SideMetres / float64(k)
+	if step <= 0 {
+		return spec.Readers
+	}
+	d := int(spec.InterferenceRadiusMetres/step) + 1
+	c := (2*d + 1) * (2*d + 1)
+	if c > spec.Readers {
+		c = spec.Readers
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}

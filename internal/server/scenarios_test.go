@@ -1,0 +1,198 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// smallScenario is a sub-second workload: a 4×4 reader grid over a
+// small arena with a brisk tag flow.
+func smallScenario() scenario.Spec {
+	return scenario.Spec{
+		Name:                     "test-flow",
+		SideMetres:               24,
+		Readers:                  16,
+		ReadRangeMetres:          5,
+		InterferenceRadiusMetres: 9,
+		ArrivalsPerSecond:        4000,
+		DwellMicros:              150_000,
+		DurationMicros:           400_000,
+		SessionMicros:            2000,
+		Seed:                     7,
+	}
+}
+
+// TestScenarioEndToEnd drives a scenario through the full HTTP surface:
+// submit (202 + Location), SSE progress with a terminal event, the
+// terminal GET carrying the engine's result, and the listing.
+func TestScenarioEndToEnd(t *testing.T) {
+	svc := New(Options{Workers: 2, QueueDepth: 8})
+	defer svc.Shutdown(context.Background())
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	sub, err := c.SubmitScenario(ctx, smallScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID == "" || sub.Spec.Readers != 16 {
+		t.Fatalf("submit response %+v", sub)
+	}
+	// The response carries the defaulted spec, not the sparse request.
+	if sub.Spec.Strength != 8 || sub.Spec.MaxFrame != 1024 {
+		t.Fatalf("spec not defaulted in response: %+v", sub.Spec)
+	}
+
+	// Watch the SSE stream to the terminal event; epochs must carry
+	// monotonically non-decreasing cumulative reads.
+	var epochs int
+	var lastRead float64
+	var terminal WatchEvent
+	err = c.WatchScenario(ctx, sub.ID, func(ev WatchEvent) error {
+		switch ev.Type {
+		case "epoch":
+			epochs++
+			r, _ := ev.Data["read"].(float64)
+			if r < lastRead {
+				t.Errorf("cumulative reads went backwards: %v after %v", r, lastRead)
+			}
+			lastRead = r
+		case "scenario":
+			terminal = ev
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if epochs == 0 {
+		t.Fatal("no epoch events streamed")
+	}
+	if terminal.Data["status"] != "done" {
+		t.Fatalf("terminal event %+v", terminal.Data)
+	}
+
+	fin, err := c.WaitScenario(ctx, sub.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Status != "done" || len(fin.Result) == 0 {
+		t.Fatalf("final record %+v", fin)
+	}
+	var res scenario.Result
+	if err := json.Unmarshal(fin.Result, &res); err != nil {
+		t.Fatalf("result decode: %v", err)
+	}
+	if res.Read == 0 || res.Arrived == 0 || res.Colors < 2 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if fin.Progress == nil || int64(lastRead) != fin.Progress.Read {
+		t.Fatalf("latest progress %+v does not match last epoch event (read %v)", fin.Progress, lastRead)
+	}
+
+	// The HTTP result must be the engine's own, bit-identically.
+	direct, err := scenario.Run(smallScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fin.Result) != string(want) {
+		t.Errorf("service result differs from a direct engine run:\n%s\nvs\n%s", fin.Result, want)
+	}
+
+	list, err := c.ListScenarios(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != sub.ID || list[0].Result != nil {
+		t.Fatalf("listing %+v", list)
+	}
+}
+
+// TestScenarioValidationAndNotFound covers the request-error surface.
+func TestScenarioValidationAndNotFound(t *testing.T) {
+	svc := New(Options{Workers: 1, QueueDepth: 4})
+	defer svc.Shutdown(context.Background())
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	if _, err := c.SubmitScenario(ctx, scenario.Spec{Readers: 7, ArrivalsPerSecond: 1, DwellMicros: 1, DurationMicros: 1}); err == nil {
+		t.Error("non-square reader grid accepted")
+	}
+	if _, err := c.GetScenario(ctx, "scn-404"); err == nil {
+		t.Error("unknown scenario served")
+	}
+	if err := c.CancelScenario(ctx, "scn-404"); err == nil {
+		t.Error("unknown scenario cancelled")
+	}
+}
+
+// TestScenarioCancel: DELETE on a running scenario cancels its job; the
+// record goes terminal and the SSE stream still ends with the terminal
+// event.
+func TestScenarioCancel(t *testing.T) {
+	svc := New(Options{Workers: 1, QueueDepth: 4})
+	defer svc.Shutdown(context.Background())
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	spec := smallScenario()
+	spec.DurationMicros = 3_600_000_000 // an hour of simulated time: never finishes in test wall time
+	sub, err := c.SubmitScenario(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until it is actually running (an epoch reported) so the
+	// cancel exercises the in-flight path, not the queued one.
+	for {
+		got, err := c.GetScenario(ctx, sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Progress != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := c.CancelScenario(ctx, sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.WaitScenario(ctx, sub.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Status != "canceled" {
+		t.Fatalf("status %q after cancel", fin.Status)
+	}
+	// The watcher goroutine closes the bus on the terminal state, so a
+	// fresh SSE drain ends (with the terminal "scenario" event).
+	sawTerminal := false
+	err = c.WatchScenario(ctx, sub.ID, func(ev WatchEvent) error {
+		if ev.Type == "scenario" {
+			sawTerminal = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawTerminal {
+		t.Error("no terminal scenario event after cancel")
+	}
+}

@@ -23,6 +23,11 @@
 //	GET    /v1/sweeps/{id}/report       merged paper-style output (?format=table|csv)
 //	GET    /v1/sweeps/{id}/events       per-cell progress stream (text/event-stream)
 //	DELETE /v1/sweeps/{id}              cancel a running sweep
+//	POST   /v1/scenarios                {"spec": {...scenario.Spec...}} → 202 with the scenario record
+//	GET    /v1/scenarios                list of scenario summaries (?status= filters)
+//	GET    /v1/scenarios/{id}           status, latest progress and, when done, the result
+//	GET    /v1/scenarios/{id}/events    per-epoch progress stream (text/event-stream)
+//	DELETE /v1/scenarios/{id}           cancel a queued or running scenario
 //	GET    /v1/traces                   retained service-level trace summaries
 //	GET    /v1/traces/{id}              joined trace: request → job/sweep → cell spans plus
 //	                                    linked per-run ring traces (?format=jsonl for JSONL)
@@ -113,6 +118,9 @@ type Options struct {
 	// SweepRecordCap bounds the in-memory sweep index; the oldest
 	// terminal sweeps are pruned beyond it (default 256).
 	SweepRecordCap int
+	// ScenarioRecordCap bounds the in-memory scenario index; the oldest
+	// terminal scenarios are pruned beyond it (default 64).
+	ScenarioRecordCap int
 	// EnableAudit turns on shadow-oracle verdict auditing for every
 	// experiment (sim.InstrumentAudit is process-global: the most
 	// recently constructed audit-enabled Server receives the verdicts).
@@ -172,6 +180,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SweepRecordCap <= 0 {
 		o.SweepRecordCap = 256
+	}
+	if o.ScenarioRecordCap <= 0 {
+		o.ScenarioRecordCap = 64
 	}
 	if o.HistoryInterval == 0 {
 		o.HistoryInterval = time.Second
@@ -273,9 +284,13 @@ type Server struct {
 	sweepByID   map[string]*sweep.Sweep
 	sweepOrder  []string
 	nextSweepID uint64
+	scenByID    map[string]*scenarioRec
+	scenOrder   []string
+	nextScenID  uint64
 
 	records       atomic.Int64  // len(byID) mirror for the lock-free gauge
 	sweepRecords  atomic.Int64  // len(sweepByID) mirror, same reason
+	scenRecords   atomic.Int64  // len(scenByID) mirror, same reason
 	expTraceDrops atomic.Uint64 // span drops folded in from finished experiment tracers
 }
 
@@ -288,6 +303,7 @@ func New(o Options) *Server {
 		byID:      make(map[string]*experiment),
 		inflight:  make(map[string]string),
 		sweepByID: make(map[string]*sweep.Sweep),
+		scenByID:  make(map[string]*scenarioRec),
 		reg:       obs.NewRegistry(),
 		logger:    o.Logger,
 		startedAt: time.Now(),
@@ -338,6 +354,11 @@ func New(o Options) *Server {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/report", s.handleSweepReport)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	s.mux.HandleFunc("POST /v1/scenarios", s.handleScenarioSubmit)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarioList)
+	s.mux.HandleFunc("GET /v1/scenarios/{id}", s.handleScenarioGet)
+	s.mux.HandleFunc("GET /v1/scenarios/{id}/events", s.handleScenarioEvents)
+	s.mux.HandleFunc("DELETE /v1/scenarios/{id}", s.handleScenarioCancel)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /v1/metrics/history", s.handleMetricsHistory)

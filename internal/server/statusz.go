@@ -212,7 +212,7 @@ func (s *Server) statuszTrends(window time.Duration) []trendRow {
 
 // poolView adds the derived utilisation to jobs.Stats for the template.
 type poolView struct {
-	Workers, Busy, QueueDepth, QueueHighWater int
+	Workers, Busy, QueueDepth, QueueHighWater  int
 	Submitted, Done, Failed, Canceled, Retries uint64
 	BusySeconds                                float64
 	Utilisation                                float64

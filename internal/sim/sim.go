@@ -272,7 +272,15 @@ type RoundScratch struct {
 	impRng prng.Source
 	stat   aloha.StatScratch
 	rng    prng.Source
+	idx    sched.IndexFrame
 }
+
+// IndexFrame lends out the scratch's handle-based frame scheduler, the
+// piece engines that keep tags in packed stores (internal/scenario's
+// streaming readers) borrow in place of the object-based Frame. The
+// same aliasing rule applies: frames built on it are valid only until
+// the scratch's next use.
+func (rs *RoundScratch) IndexFrame() *sched.IndexFrame { return &rs.idx }
 
 // ScratchPool is a concurrency-safe free list of RoundScratch, letting
 // callers that run many experiments back to back (the sweep engine, a

@@ -31,8 +31,11 @@ FILTER=${BENCH_FILTER:-.}
 # grid expander (its allocs/op guards spec-expansion cost), the span
 # layer, the metrics history store and the SLO engine (their disabled
 # paths must stay at 0 allocs/op, and the enabled sampling/evaluation
-# ticks must stay allocation-free in steady state).
-PKGS="./internal/prng ./internal/bitstr ./internal/detect ./internal/air ./internal/sched ./internal/aloha ./internal/qtree ./internal/sim ./internal/sweep ./internal/obs ./internal/obs/tsdb ./internal/obs/slo"
+# ticks must stay allocation-free in steady state), the reader
+# colouring, and the streaming warehouse engine (its full-run
+# benchmark is the acceptance workload: 100k tags × 100 readers per
+# op).
+PKGS="./internal/prng ./internal/bitstr ./internal/detect ./internal/air ./internal/sched ./internal/aloha ./internal/qtree ./internal/sim ./internal/sweep ./internal/deploy ./internal/scenario ./internal/obs ./internal/obs/tsdb ./internal/obs/slo"
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT

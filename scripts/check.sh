@@ -18,6 +18,9 @@ go test -race "$@" ./...
 echo "==> sweep smoke (2x2 grid through the service)"
 go run ./cmd/sweepsmoke
 
+echo "==> scenario smoke (streaming warehouse through the service, worker determinism)"
+go run ./cmd/scenariosmoke
+
 echo "==> observability smoke (traced sweep, span tree, statusz, history, SLO alert cycle)"
 go run ./cmd/obssmoke
 
